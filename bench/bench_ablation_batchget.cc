@@ -1,0 +1,93 @@
+// Ablation A4 (§4.2, DirStat discussion): how CFS serves readdir+stat —
+//   * per-inode gets (the Ceph-style pattern),
+//   * batchInodeGet (one RPC per meta partition),
+//   * batchInodeGet + client cache (the shipped design; repeated scans).
+// Reported: stat throughput and meta RPCs per scanned entry.
+#include <cstdio>
+
+#include "harness/cluster.h"
+#include "harness/workloads.h"
+
+using namespace cfs;
+using namespace cfs::bench;
+using namespace cfs::harness;
+using namespace cfs::sim;
+
+namespace {
+
+struct Sample {
+  double iops = 0;
+  double rpcs_per_entry = 0;
+};
+
+enum class Mode { kPerInode, kBatch, kBatchCached };
+
+Sample Measure(Mode mode) {
+  ClusterOptions opts;
+  opts.num_nodes = 10;
+  opts.track_contents = false;
+  opts.client.enable_metadata_cache = mode == Mode::kBatchCached;
+  Cluster cluster(opts);
+  if (!RunTask(cluster.sched(), cluster.Start())->ok()) std::abort();
+  if (!RunTask(cluster.sched(), cluster.CreateVolume("v", 8, 8))->ok()) std::abort();
+  auto mounted = RunTask(cluster.sched(), cluster.MountClient("v"));
+  if (!mounted || !mounted->ok()) std::abort();
+  client::Client* c = **mounted;
+  auto& sched = cluster.sched();
+
+  const int kFiles = 64;
+  const int kScans = 20;
+  auto dir = RunTask(sched, c->Create(meta::kRootInode, "dir", meta::FileType::kDir));
+  if (!dir || !dir->ok()) std::abort();
+  uint64_t dir_ino = (*dir)->id;
+  for (int i = 0; i < kFiles; i++) {
+    auto f = RunTask(sched, c->Create(dir_ino, "f" + std::to_string(i), meta::FileType::kFile));
+    if (!f || !f->ok()) std::abort();
+  }
+  sched.RunFor(3 * kSec);  // cold caches at scan start
+
+  uint64_t rpcs0 = c->stats().meta_rpcs;
+  SimTime t0 = sched.Now();
+  uint64_t entries = 0;
+  bool done = RunTaskVoid(sched, [](client::Client* c, uint64_t dir_ino, Mode mode,
+                                    uint64_t& entries) -> Task<void> {
+    for (int s = 0; s < kScans; s++) {
+      if (mode == Mode::kPerInode) {
+        auto names = co_await c->ReadDir(dir_ino);
+        if (!names.ok()) continue;
+        for (const auto& d : *names) {
+          auto ino = co_await c->GetInode(d.inode);
+          if (ino.ok()) entries++;
+        }
+      } else {
+        auto r = co_await c->ReadDirPlus(dir_ino);
+        if (r.ok()) entries += r->size();
+      }
+    }
+  }(c, dir_ino, mode, entries));
+  if (!done) std::abort();
+
+  Sample s;
+  SimDuration elapsed = sched.Now() - t0;
+  s.iops = elapsed > 0 ? entries * 1.0e6 / static_cast<double>(elapsed) : 0;
+  s.rpcs_per_entry = entries ? static_cast<double>(c->stats().meta_rpcs - rpcs0) / entries : 0;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A4: readdir+stat strategies, 64-entry directory, 20 scans\n");
+  PrintHeader("DirStat strategy", {"stats/sec", "RPCs/entry"});
+  Sample per_inode = Measure(Mode::kPerInode);
+  PrintRow("per-inode gets (no cache)", {per_inode.iops, per_inode.rpcs_per_entry});
+  Sample batch = Measure(Mode::kBatch);
+  PrintRow("batchInodeGet (no cache)", {batch.iops, batch.rpcs_per_entry});
+  Sample cached = Measure(Mode::kBatchCached);
+  PrintRow("batchInodeGet + cache", {cached.iops, cached.rpcs_per_entry});
+  std::printf(
+      "\nbatchInodeGet collapses N inode fetches into one RPC per meta partition\n"
+      "(§4.2); the client-side cache then serves repeated scans locally, which is\n"
+      "what separates CFS from Ceph in the DirStat test by ~an order of magnitude.\n");
+  return 0;
+}

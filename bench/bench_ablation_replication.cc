@@ -1,0 +1,93 @@
+// Ablation A1 (§2.2.4, scenario-aware replication): compare CFS's design —
+// primary-backup for appends + raft for overwrites — against the two
+// one-size-fits-all alternatives the paper argues against:
+//   * raft-for-everything: appends pay raft's log write amplification,
+//   * primary-backup-for-everything is unsafe for overwrites (§2.2.4's
+//     fragmentation argument); we quantify the write-amplification side.
+//
+// Reported: append and overwrite IOPS plus the measured disk write
+// amplification (physical bytes written / logical bytes).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace cfs;
+using namespace cfs::bench;
+
+namespace {
+
+uint64_t TotalDiskWrites(harness::Cluster* c) {
+  uint64_t bytes = 0;
+  for (int i = 0; i < c->num_nodes(); i++) {
+    sim::Host* h = c->node_host(i);
+    for (int d = 0; d < h->num_disks(); d++) bytes += h->disk(d)->write_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main() {
+  const int kClients = 4;
+  const int kProcs = 32;
+  std::printf("Ablation A1: scenario-aware replication (append via primary-backup,\n");
+  std::printf("overwrite via raft) vs raft-for-appends.\n\n");
+
+  // --- Appends: chain (CFS design) vs raft (ablation). The "raft" variant
+  // is emulated by writing each packet through the overwrite path of a
+  // prepared file (same payload through the raft group).
+  {
+    // CFS design: appends through the primary-backup chain.
+    CfsBench b = MakeCfsBench(kClients, 61, 30, 40, 1170);
+    auto data = FanOutAs<DataOps>(b.data_adapters, kProcs);
+    FioParams params;
+    params.file_bytes = 256 * kMiB;
+    params.ops_per_proc = 30;
+    uint64_t before = TotalDiskWrites(b.cluster.get());
+    auto chain = RunFio(&b.sched(), FioPattern::kSeqWrite, data, params);
+    uint64_t chain_bytes = TotalDiskWrites(b.cluster.get()) - before;
+    double chain_logical = static_cast<double>(chain.ops) * params.seq_block;
+
+    // Ablation: the same packets as raft proposals (overwrite path carries
+    // the payload through the raft log).
+    CfsBench b2 = MakeCfsBench(kClients, 61, 30, 40, 1170);
+    auto data2 = FanOutAs<DataOps>(b2.data_adapters, kProcs);
+    before = TotalDiskWrites(b2.cluster.get());
+    auto raft = RunFio(&b2.sched(), FioPattern::kRandWrite, data2,
+                       [&] {
+                         FioParams p = params;
+                         p.rand_block = params.seq_block;  // 128 KiB via raft
+                         return p;
+                       }());
+    uint64_t raft_bytes = TotalDiskWrites(b2.cluster.get()) - before;
+    double raft_logical = static_cast<double>(raft.ops) * params.seq_block;
+
+    PrintHeader("128 KiB appends", {"IOPS", "write-amp"});
+    PrintRow("primary-backup (CFS)",
+             {chain.Iops(), chain_logical > 0 ? chain_bytes / chain_logical : 0});
+    PrintRow("raft-everything",
+             {raft.Iops(), raft_logical > 0 ? raft_bytes / raft_logical : 0});
+    std::printf(
+        "\nThe chain writes each byte once per replica; raft additionally writes\n"
+        "every byte to the log (%0.1fx vs %0.1fx), the §2.2.4 amplification.\n",
+        chain_logical > 0 ? chain_bytes / chain_logical : 0,
+        raft_logical > 0 ? raft_bytes / raft_logical : 0);
+  }
+
+  // --- Overwrites through raft (the CFS design point for random writes).
+  {
+    CfsBench b = MakeCfsBench(kClients, 62, 30, 40, 1170);
+    auto data = FanOutAs<DataOps>(b.data_adapters, kProcs);
+    FioParams params;
+    params.file_bytes = 256 * kMiB;
+    params.ops_per_proc = 60;
+    auto ow = RunFio(&b.sched(), FioPattern::kRandWrite, data, params);
+    PrintHeader("4 KiB overwrites (raft path)", {"IOPS"});
+    PrintRow("scenario-aware (CFS)", {ow.Iops()});
+    std::printf(
+        "\nPrimary-backup overwrites would fragment extents into linked lists and\n"
+        "eventually require defragmentation (§2.2.4); CFS avoids implementing that\n"
+        "path entirely by reusing the meta-subsystem raft for in-place writes.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Wall-clock micro-benchmarks (google-benchmark) for the hot data
+// structures: the meta-partition B-tree, the extent store, CRC32C, the
+// codec, and the KV store. These complement the simulated-time benches —
+// they measure the real CPU cost of the in-memory structures the paper puts
+// on the metadata hot path.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/codec.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "kv/kvstore.h"
+#include "meta/btree.h"
+#include "meta/meta_partition.h"
+#include "sim/network.h"
+#include "storage/extent_store.h"
+
+namespace cfs {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    meta::BTree<uint64_t, uint64_t> tree;
+    Rng rng(42);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); i++) {
+      tree.Insert(rng.Next(), i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1024)->Arg(16384);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  meta::BTree<uint64_t, uint64_t> tree;
+  Rng rng(42);
+  std::vector<uint64_t> keys;
+  for (int64_t i = 0; i < state.range(0); i++) {
+    uint64_t k = rng.Next();
+    keys.push_back(k);
+    tree.Insert(k, i);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(16384)->Arg(262144);
+
+void BM_BTreeVsStdMapLookup(benchmark::State& state) {
+  std::map<uint64_t, uint64_t> tree;
+  Rng rng(42);
+  std::vector<uint64_t> keys;
+  for (int64_t i = 0; i < state.range(0); i++) {
+    uint64_t k = rng.Next();
+    keys.push_back(k);
+    tree.emplace(k, i);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeVsStdMapLookup)->Arg(262144);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  meta::BTree<meta::DentryKey, meta::Dentry> tree;
+  for (int dir = 0; dir < 64; dir++) {
+    for (int f = 0; f < 256; f++) {
+      meta::Dentry d{static_cast<uint64_t>(dir), "file-" + std::to_string(f),
+                     static_cast<uint64_t>(dir * 1000 + f), meta::FileType::kFile};
+      tree.Insert(meta::DentryKey{d.parent, d.name}, d);
+    }
+  }
+  uint64_t dir = 0;
+  for (auto _ : state) {
+    size_t n = 0;
+    tree.AscendFrom(meta::DentryKey{dir % 64, ""}, [&](const meta::DentryKey& k,
+                                                       const meta::Dentry&) {
+      if (k.parent != dir % 64) return false;
+      n++;
+      return true;
+    });
+    benchmark::DoNotOptimize(n);
+    dir++;
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BTreeRangeScan);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(131072);
+
+void BM_CodecEncodeInode(benchmark::State& state) {
+  meta::Inode ino;
+  ino.id = 123456;
+  ino.type = meta::FileType::kFile;
+  ino.nlink = 1;
+  ino.size = 40ull * kGiB;
+  for (int i = 0; i < 8; i++) {
+    ino.extents.push_back(meta::ExtentKey{static_cast<uint64_t>(i) * 128 * kMiB,
+                                          static_cast<uint64_t>(i % 4 + 1),
+                                          static_cast<uint64_t>(i + 100), 0, 128 * kMiB});
+  }
+  for (auto _ : state) {
+    Encoder enc;
+    ino.Encode(&enc);
+    benchmark::DoNotOptimize(enc.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecEncodeInode);
+
+void BM_MetaPartitionApplyCreate(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Network net(&sched);
+  sim::Host* host = net.AddHost();
+  meta::MetaPartitionConfig cfg;
+  cfg.id = 1;
+  meta::MetaPartition mp(cfg, host);
+  std::string cmd = meta::MetaPartition::EncodeCreateInode(meta::FileType::kFile, "", 0);
+  raft::Index idx = 0;
+  for (auto _ : state) {
+    mp.Apply(++idx, cmd);
+    benchmark::DoNotOptimize(mp.TakeResult(idx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetaPartitionApplyCreate);
+
+void BM_ExtentStoreSmallWrite(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Network net(&sched);
+  sim::Host* host = net.AddHost();
+  storage::ExtentStoreOptions opts;
+  opts.track_contents = false;
+  storage::ExtentStore store(host->disk(0), opts);
+  std::string data(4096, 's');
+  for (auto _ : state) {
+    sim::Spawn([](storage::ExtentStore& store, const std::string& data) -> sim::Task<void> {
+      (void)co_await store.WriteSmall(data);
+    }(store, data));
+    sched.Run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExtentStoreSmallWrite);
+
+void BM_KvStorePut(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Network net(&sched);
+  sim::Host* host = net.AddHost();
+  kv::KvStore store(&host->storage(), host->disk(0), "bench");
+  sim::Spawn([](kv::KvStore& s) -> sim::Task<void> { (void)co_await s.Open(); }(store));
+  sched.Run();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    sim::Spawn([](kv::KvStore& s, uint64_t i) -> sim::Task<void> {
+      (void)co_await s.Put("key" + std::to_string(i % 4096), "value");
+    }(store, i++));
+    sched.Run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvStorePut);
+
+}  // namespace
+}  // namespace cfs
+
+BENCHMARK_MAIN();

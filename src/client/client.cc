@@ -1,0 +1,816 @@
+#include "client/client.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cfs::client {
+
+using sim::Spawn;
+using sim::Task;
+
+Client::Client(sim::Network* net, sim::Host* host, std::vector<sim::NodeId> masters,
+               const ClientOptions& opts)
+    : net_(net), host_(host), masters_(std::move(masters)), opts_(opts) {}
+
+// --- Master communication (non-persistent connections, §2.5.2) --------------
+
+template <typename Req, typename Resp>
+Task<Result<Resp>> Client::MasterCallImpl(Req req) {
+  for (int attempt = 0; attempt < opts_.max_retries + static_cast<int>(masters_.size());
+       attempt++) {
+    sim::NodeId target = master_leader_cache_ != sim::kInvalidNode
+                             ? master_leader_cache_
+                             : masters_[attempt % masters_.size()];
+    stats_.master_rpcs++;
+    auto r = co_await net_->Call<Req, Resp>(host_->id(), target, req, opts_.rpc_timeout);
+    if (!r.ok()) {
+      master_leader_cache_ = sim::kInvalidNode;
+      continue;
+    }
+    if (r->status.IsNotLeader()) {
+      master_leader_cache_ = sim::kInvalidNode;
+      uint64_t hint = std::strtoull(r->status.message().c_str(), nullptr, 10);
+      if (hint != 0) {
+        master_leader_cache_ = static_cast<sim::NodeId>(hint);
+      } else {
+        co_await sim::SleepFor{sched(), 50 * kMsec};
+      }
+      continue;
+    }
+    master_leader_cache_ = target;
+    co_return std::move(*r);
+  }
+  co_return Status::TimedOut("no master leader reachable");
+}
+
+sim::Task<Status> Client::Mount(std::string volume) {
+  volume_name_ = std::move(volume);
+  CFS_CO_RETURN_IF_ERROR(co_await RefreshVolume());
+  mounted_ = true;
+  refresh_gen_++;
+  Spawn(RefreshLoop(refresh_gen_));
+  co_return Status::OK();
+}
+
+sim::Task<Status> Client::RefreshVolume() {
+  master::GetVolumeReq req{volume_name_};
+  auto r = co_await MasterCall<master::GetVolumeReq, master::GetVolumeResp>(std::move(req));
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  meta_views_ = std::move(r->meta_partitions);
+  data_views_ = std::move(r->data_partitions);
+  co_return Status::OK();
+}
+
+Task<void> Client::RefreshLoop(uint64_t gen) {
+  while (mounted_ && refresh_gen_ == gen) {
+    co_await sim::SleepFor{sched(), opts_.volume_refresh_interval};
+    if (!mounted_ || refresh_gen_ != gen) break;
+    (void)co_await RefreshVolume();
+  }
+}
+
+// --- Routing -----------------------------------------------------------------
+
+MetaPartitionView* Client::MetaViewForInode(InodeId ino) {
+  for (auto& v : meta_views_) {
+    if (ino >= v.start && ino <= v.end) return &v;
+  }
+  return nullptr;
+}
+
+MetaPartitionView* Client::PickWritableMetaView() {
+  // "The client simply selects the meta and data partitions in a random
+  // fashion from the ones allocated by the resource manager" (§2.3.1).
+  std::vector<MetaPartitionView*> writable;
+  for (auto& v : meta_views_) {
+    auto it = unwritable_until_.find(v.pid);
+    if (it != unwritable_until_.end() && it->second > sched().Now()) continue;
+    if (v.writable) writable.push_back(&v);
+  }
+  if (writable.empty()) return nullptr;
+  return writable[sched().rng().Uniform(writable.size())];
+}
+
+DataPartitionView* Client::PickWritableDataView() {
+  std::vector<DataPartitionView*> writable;
+  for (auto& v : data_views_) {
+    auto it = unwritable_until_.find(v.pid);
+    if (it != unwritable_until_.end() && it->second > sched().Now()) continue;
+    if (v.writable) writable.push_back(&v);
+  }
+  if (writable.empty()) return nullptr;
+  return writable[sched().rng().Uniform(writable.size())];
+}
+
+DataPartitionView* Client::DataView(PartitionId pid) {
+  for (auto& v : data_views_) {
+    if (v.pid == pid) return &v;
+  }
+  return nullptr;
+}
+
+sim::Task<Status> Client::ReportFailure(PartitionId pid, bool is_meta) {
+  auto r = co_await MasterCall<master::ReportPartitionFailureReq,
+                               master::ReportPartitionFailureResp>(
+      master::ReportPartitionFailureReq{pid, is_meta});
+  co_return r.ok() ? r->status : r.status();
+}
+
+template <typename Req, typename Resp>
+Task<Result<Resp>> Client::MetaCallImpl(PartitionId pid, Req req) {
+  int timeouts = 0;
+  for (int attempt = 0; attempt < opts_.max_retries + 3; attempt++) {
+    MetaPartitionView* view = nullptr;
+    for (auto& v : meta_views_) {
+      if (v.pid == pid) view = &v;
+    }
+    if (!view) {
+      (void)co_await RefreshVolume();
+      for (auto& v : meta_views_) {
+        if (v.pid == pid) view = &v;
+      }
+      if (!view) co_return Status::NotFound("meta partition " + std::to_string(pid));
+    }
+    sim::NodeId target;
+    auto cached = meta_leader_cache_.find(pid);
+    if (cached != meta_leader_cache_.end()) {
+      target = cached->second;
+    } else if (view->leader_hint != sim::kInvalidNode) {
+      target = view->leader_hint;
+    } else {
+      target = view->replicas[attempt % view->replicas.size()];
+    }
+    stats_.meta_rpcs++;
+    auto r = co_await net_->Call<Req, Resp>(host_->id(), target, req, opts_.rpc_timeout);
+    if (!r.ok()) {
+      meta_leader_cache_.erase(pid);
+      view->leader_hint = sim::kInvalidNode;
+      if (++timeouts >= opts_.max_retries) {
+        // §2.3.3: a timed-out partition is reported; the master marks the
+        // remaining replicas read-only.
+        (void)co_await ReportFailure(pid, true);
+        co_return r.status();
+      }
+      continue;
+    }
+    if (r->status.IsNotLeader()) {
+      uint64_t hint = std::strtoull(r->status.message().c_str(), nullptr, 10);
+      if (hint != 0) {
+        meta_leader_cache_[pid] = static_cast<sim::NodeId>(hint);
+      } else {
+        // No leader yet (election in progress): back off briefly.
+        meta_leader_cache_.erase(pid);
+        co_await sim::SleepFor{sched(), 50 * kMsec};
+      }
+      continue;
+    }
+    meta_leader_cache_[pid] = target;
+    co_return std::move(*r);
+  }
+  co_return Status::TimedOut("meta partition " + std::to_string(pid) + " unreachable");
+}
+
+template <typename Req, typename Resp>
+Task<Result<Resp>> Client::DataLeaderCallImpl(PartitionId pid, Req req) {
+  // "By caching the last identified leader, the client can have [a]
+  // minimized number of retries in most cases" (§2.4).
+  DataPartitionView* view = DataView(pid);
+  if (!view) {
+    (void)co_await RefreshVolume();
+    view = DataView(pid);
+    if (!view) co_return Status::NotFound("data partition " + std::to_string(pid));
+  }
+  std::vector<sim::NodeId> order;
+  auto cached = data_leader_cache_.find(pid);
+  if (cached != data_leader_cache_.end()) {
+    order.push_back(cached->second);
+    stats_.leader_cache_hits++;
+  } else if (view->raft_leader_hint != sim::kInvalidNode) {
+    order.push_back(view->raft_leader_hint);
+  }
+  for (sim::NodeId r : view->replicas) {
+    if (std::find(order.begin(), order.end(), r) == order.end()) order.push_back(r);
+  }
+  int timeouts = 0;
+  for (size_t i = 0; i < order.size() + 2; i++) {
+    sim::NodeId target = order[i % order.size()];
+    stats_.data_rpcs++;
+    if (i > 0) stats_.leader_probes++;
+    auto r = co_await net_->Call<Req, Resp>(host_->id(), target, req, opts_.rpc_timeout);
+    if (!r.ok()) {
+      data_leader_cache_.erase(pid);
+      if (++timeouts >= opts_.max_retries) {
+        (void)co_await ReportFailure(pid, false);
+        co_return r.status();
+      }
+      continue;
+    }
+    if (r->status.IsNotLeader()) {
+      data_leader_cache_.erase(pid);
+      if (i + 1 >= order.size()) co_await sim::SleepFor{sched(), 50 * kMsec};
+      continue;
+    }
+    data_leader_cache_[pid] = target;
+    co_return std::move(*r);
+  }
+  co_return Status::TimedOut("data partition " + std::to_string(pid) + " unreachable");
+}
+
+// --- Metadata cache ------------------------------------------------------------
+
+void Client::CacheInode(const Inode& ino) {
+  if (!opts_.enable_metadata_cache) return;
+  inode_cache_[ino.id] = {ino, sched().Now()};
+}
+
+const Inode* Client::CachedInode(InodeId ino) {
+  if (!opts_.enable_metadata_cache) return nullptr;
+  auto it = inode_cache_.find(ino);
+  if (it == inode_cache_.end()) return nullptr;
+  if (sched().Now() - it->second.second > opts_.metadata_cache_ttl) {
+    inode_cache_.erase(it);
+    return nullptr;
+  }
+  return &it->second.first;
+}
+
+// --- Metadata workflows (Fig. 3) -----------------------------------------------
+
+sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
+                                        FileType type, std::string symlink_target) {
+  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  // Step 1: create the inode on an available (randomly chosen) partition.
+  Inode inode;
+  PartitionId ino_pid = 0;
+  Status last = Status::Unavailable("no writable meta partition");
+  for (int attempt = 0; attempt < opts_.max_retries + 2; attempt++) {
+    MetaPartitionView* view = PickWritableMetaView();
+    if (!view) {
+      (void)co_await RefreshVolume();
+      continue;
+    }
+    meta::MetaCreateInodeReq req{view->pid, type, symlink_target};
+    auto r = co_await MetaCall<meta::MetaCreateInodeReq, meta::MetaCreateInodeResp>(
+        view->pid, std::move(req));
+    if (!r.ok()) {
+      last = r.status();
+      continue;
+    }
+    if (r->status.IsNoSpace()) {
+      // Range cut off by a split or the partition is full: give the resource
+      // manager a beat to finish the split/expansion, then re-fetch views.
+      view->writable = false;
+      unwritable_until_[view->pid] = sched().Now() + 2 * kSec;
+      last = r->status;
+      co_await sim::SleepFor{sched(), 100 * kMsec};
+      (void)co_await RefreshVolume();
+      continue;
+    }
+    if (!r->status.ok()) {
+      last = r->status;
+      continue;
+    }
+    inode = std::move(r->inode);
+    ino_pid = view->pid;
+    break;
+  }
+  if (ino_pid == 0) co_return last;
+
+  // Step 2: only after the inode exists, create the dentry on the PARENT's
+  // partition (the inode and dentry may live on different meta nodes, §2.6.1).
+  MetaPartitionView* pview = MetaViewForInode(parent);
+  Status dstatus = Status::NotFound("no partition for parent inode");
+  if (pview) {
+    Dentry d{parent, name, inode.id, type};
+    meta::MetaCreateDentryReq req{pview->pid, std::move(d)};
+    auto r = co_await MetaCall<meta::MetaCreateDentryReq, meta::MetaCreateDentryResp>(
+        pview->pid, std::move(req));
+    dstatus = r.ok() ? r->status : r.status();
+  }
+  if (!dstatus.ok()) {
+    // Fig. 3a failure path: unlink the fresh inode, park it on the local
+    // orphan list, evict later.
+    (void)co_await MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
+        ino_pid, meta::MetaUnlinkInodeReq{ino_pid, inode.id});
+    orphans_.emplace_back(ino_pid, inode.id);
+    stats_.orphans_created++;
+    co_return dstatus;
+  }
+  CacheInode(inode);
+  readdir_cache_.erase(parent);
+  co_return inode;
+}
+
+sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
+  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  MetaPartitionView* iview = MetaViewForInode(ino);
+  if (!iview) co_return Status::NotFound("inode partition");
+  // Fig. 3b: nlink++ first...
+  auto r = co_await MetaCall<meta::MetaLinkInodeReq, meta::MetaLinkInodeResp>(
+      iview->pid, meta::MetaLinkInodeReq{iview->pid, ino});
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  // ...then the dentry on the target parent's partition.
+  MetaPartitionView* pview = MetaViewForInode(parent);
+  Status dstatus = Status::NotFound("parent partition");
+  if (pview) {
+    Dentry d{parent, name, ino, r->inode.type};
+    meta::MetaCreateDentryReq req{pview->pid, std::move(d)};
+    auto r2 = co_await MetaCall<meta::MetaCreateDentryReq, meta::MetaCreateDentryResp>(
+        pview->pid, std::move(req));
+    dstatus = r2.ok() ? r2->status : r2.status();
+  }
+  if (!dstatus.ok()) {
+    // Failure path: undo the nlink increment.
+    (void)co_await MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
+        iview->pid, meta::MetaUnlinkInodeReq{iview->pid, ino});
+    co_return dstatus;
+  }
+  readdir_cache_.erase(parent);
+  inode_cache_.erase(ino);
+  co_return Status::OK();
+}
+
+sim::Task<Status> Client::Unlink(InodeId parent, std::string name) {
+  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  MetaPartitionView* pview = MetaViewForInode(parent);
+  if (!pview) co_return Status::NotFound("parent partition");
+  // Fig. 3c: delete the dentry first; a dentry must always point at a live
+  // inode, so the reverse order is never allowed.
+  meta::MetaDeleteDentryReq req{pview->pid, parent, name};
+  auto r = co_await MetaCall<meta::MetaDeleteDentryReq, meta::MetaDeleteDentryResp>(
+      pview->pid, std::move(req));
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  InodeId ino = r->dentry.inode;
+  readdir_cache_.erase(parent);
+  inode_cache_.erase(ino);
+
+  // Then decrement nlink with retries; if every retry fails the inode
+  // becomes an orphan for fsck/the administrator (§2.6.3). The decrement is
+  // asynchronous by default (§2.7.3: deletes are async once the dentry is
+  // gone, so the name disappears immediately and content reclamation
+  // trails behind).
+  MetaPartitionView* iview = MetaViewForInode(ino);
+  if (!iview) co_return Status::OK();
+  PartitionId ipid = iview->pid;
+  auto decrement = [](Client* self, PartitionId pid, InodeId ino) -> sim::Task<void> {
+    for (int attempt = 0; attempt < self->opts_.max_retries; attempt++) {
+      meta::MetaUnlinkInodeReq req{pid, ino};
+      auto r = co_await self->MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
+          pid, std::move(req));
+      if (r.ok() && (r->status.ok() || r->status.IsNotFound())) co_return;
+    }
+    LOG_WARN("unlink of inode ", ino, " failed after retries; inode is now an orphan");
+  };
+  if (opts_.async_unlink) {
+    Spawn(decrement(this, ipid, ino));
+    co_return Status::OK();
+  }
+  co_await decrement(this, ipid, ino);
+  co_return Status::OK();
+}
+
+sim::Task<Status> Client::Rename(InodeId old_parent, std::string old_name,
+                                 InodeId new_parent, std::string new_name) {
+  auto looked = co_await Lookup(old_parent, old_name);
+  if (!looked.ok()) co_return looked.status();
+  CFS_CO_RETURN_IF_ERROR(co_await Link(new_parent, new_name, looked->inode));
+  co_return co_await Unlink(old_parent, old_name);
+}
+
+sim::Task<Result<Dentry>> Client::Lookup(InodeId parent, std::string name) {
+  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  // Serve from a fresh readdir cache when possible.
+  if (opts_.enable_metadata_cache) {
+    auto it = readdir_cache_.find(parent);
+    if (it != readdir_cache_.end() &&
+        sched().Now() - it->second.second <= opts_.metadata_cache_ttl) {
+      for (const auto& d : it->second.first) {
+        if (d.name == name) {
+          stats_.cache_hits++;
+          co_return d;
+        }
+      }
+    }
+  }
+  stats_.cache_misses++;
+  MetaPartitionView* pview = MetaViewForInode(parent);
+  if (!pview) co_return Status::NotFound("parent partition");
+  meta::MetaLookupReq req{pview->pid, parent, name};
+  auto r = co_await MetaCall<meta::MetaLookupReq, meta::MetaLookupResp>(pview->pid,
+                                                                        std::move(req));
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  co_return r->dentry;
+}
+
+sim::Task<Result<Inode>> Client::GetInode(InodeId ino) {
+  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  if (const Inode* cached = CachedInode(ino)) {
+    stats_.cache_hits++;
+    co_return *cached;
+  }
+  stats_.cache_misses++;
+  MetaPartitionView* view = MetaViewForInode(ino);
+  if (!view) co_return Status::NotFound("inode partition");
+  auto r = co_await MetaCall<meta::MetaGetInodeReq, meta::MetaGetInodeResp>(
+      view->pid, meta::MetaGetInodeReq{view->pid, ino});
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  CacheInode(r->inode);
+  co_return r->inode;
+}
+
+sim::Task<Result<std::vector<Dentry>>> Client::ReadDir(InodeId parent) {
+  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  if (opts_.enable_metadata_cache) {
+    auto it = readdir_cache_.find(parent);
+    if (it != readdir_cache_.end() &&
+        sched().Now() - it->second.second <= opts_.metadata_cache_ttl) {
+      stats_.cache_hits++;
+      co_return it->second.first;
+    }
+  }
+  stats_.cache_misses++;
+  MetaPartitionView* pview = MetaViewForInode(parent);
+  if (!pview) co_return Status::NotFound("parent partition");
+  auto r = co_await MetaCall<meta::MetaReadDirReq, meta::MetaReadDirResp>(
+      pview->pid, meta::MetaReadDirReq{pview->pid, parent});
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  if (opts_.enable_metadata_cache) {
+    readdir_cache_[parent] = {r->dentries, sched().Now()};
+  }
+  co_return std::move(r->dentries);
+}
+
+sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> Client::ReadDirPlus(InodeId parent) {
+  // The DirStat path (§4.2): readdir, then ONE batchInodeGet per meta
+  // partition instead of per-inode fetches, with client-side caching.
+  auto dentries = co_await ReadDir(parent);
+  if (!dentries.ok()) co_return dentries.status();
+
+  std::vector<std::pair<Dentry, Inode>> out;
+  std::map<PartitionId, std::vector<InodeId>> missing;
+  std::map<InodeId, const Dentry*> by_ino;
+  for (const auto& d : *dentries) {
+    by_ino[d.inode] = &d;
+    if (const Inode* cached = CachedInode(d.inode)) {
+      stats_.cache_hits++;
+      out.emplace_back(d, *cached);
+      continue;
+    }
+    MetaPartitionView* view = MetaViewForInode(d.inode);
+    if (view) missing[view->pid].push_back(d.inode);
+  }
+  for (auto& [pid, inos] : missing) {
+    stats_.cache_misses++;
+    meta::MetaBatchInodeGetReq req{pid, inos};
+    auto r = co_await MetaCall<meta::MetaBatchInodeGetReq, meta::MetaBatchInodeGetResp>(
+        pid, std::move(req));
+    if (!r.ok()) co_return r.status();
+    if (!r->status.ok()) co_return r->status;
+    for (auto& ino : r->inodes) {
+      CacheInode(ino);
+      auto dit = by_ino.find(ino.id);
+      if (dit != by_ino.end()) out.emplace_back(*dit->second, std::move(ino));
+    }
+  }
+  co_return out;
+}
+
+sim::Task<void> Client::EvictOrphans() {
+  auto orphans = std::move(orphans_);
+  orphans_.clear();
+  for (auto& [pid, ino] : orphans) {
+    auto r = co_await MetaCall<meta::MetaEvictInodeReq, meta::MetaEvictInodeResp>(
+        pid, meta::MetaEvictInodeReq{pid, ino});
+    if (!r.ok() || !r->status.ok()) orphans_.emplace_back(pid, ino);  // retry later
+  }
+}
+
+// --- File I/O (§2.7) -----------------------------------------------------------
+
+sim::Task<Status> Client::Open(InodeId ino) {
+  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  // "When a file is opened for read/write, the client will force the cached
+  // metadata to be synchronous with the meta node" (§2.4).
+  inode_cache_.erase(ino);
+  auto r = co_await GetInode(ino);
+  if (!r.ok()) co_return r.status();
+  OpenFile of;
+  of.inode = std::move(*r);
+  // Resume appending into the file's last extent when it is private to this
+  // file (extent_offset == 0) — small-file slots are immutable.
+  if (!of.inode.extents.empty()) {
+    const ExtentKey& last = of.inode.extents.back();
+    if (last.extent_offset == 0) {
+      of.append_pid = last.partition_id;
+      of.append_extent = last.extent_id;
+      of.append_extent_size = last.size;
+    }
+  }
+  of.pending_size = of.inode.size;
+  open_files_[ino] = std::move(of);
+  co_return Status::OK();
+}
+
+sim::Task<Status> Client::Close(InodeId ino) {
+  Status st = co_await Fsync(ino);
+  open_files_.erase(ino);
+  co_return st;
+}
+
+sim::Task<Status> Client::Fsync(InodeId ino) {
+  auto it = open_files_.find(ino);
+  if (it == open_files_.end()) co_return Status::OK();
+  OpenFile& of = it->second;
+  if (!of.dirty) co_return Status::OK();
+  MetaPartitionView* view = MetaViewForInode(ino);
+  if (!view) co_return Status::NotFound("inode partition");
+  for (const ExtentKey& key : of.pending_keys) {
+    auto r = co_await MetaCall<meta::MetaAppendExtentReq, meta::MetaAppendExtentResp>(
+        view->pid, meta::MetaAppendExtentReq{view->pid, ino, key, of.pending_size});
+    if (!r.ok()) co_return r.status();
+    if (!r->status.ok()) co_return r->status;
+  }
+  // Keep the local inode view current (§2.7.1: update cache immediately,
+  // sync with meta node on fsync).
+  for (const ExtentKey& key : of.pending_keys) {
+    bool merged = false;
+    for (auto& e : of.inode.extents) {
+      if (e.partition_id == key.partition_id && e.extent_id == key.extent_id &&
+          e.extent_offset == key.extent_offset && e.file_offset == key.file_offset) {
+        e.size = std::max(e.size, key.size);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) of.inode.extents.push_back(key);
+  }
+  of.inode.size = std::max(of.inode.size, of.pending_size);
+  of.pending_keys.clear();
+  of.dirty = false;
+  CacheInode(of.inode);
+  co_return Status::OK();
+}
+
+sim::Task<Status> Client::WriteSmallFile(OpenFile& of, std::string_view data) {
+  // §4.4: "the CFS client does not need to ask the resource manager for new
+  // extents; instead, it sends the write request to the data node directly."
+  Status last = Status::Unavailable("no writable data partition");
+  for (int attempt = 0; attempt < opts_.max_retries + 2; attempt++) {
+    DataPartitionView* view = PickWritableDataView();
+    if (!view) {
+      (void)co_await RefreshVolume();
+      continue;
+    }
+    stats_.data_rpcs++;
+    data::WriteSmallReq req{view->pid, std::string(data)};
+    auto r = co_await net_->Call<data::WriteSmallReq, data::WriteSmallResp>(
+        host_->id(), view->replicas[0], std::move(req), opts_.rpc_timeout);
+    if (!r.ok()) {
+      last = r.status();
+      continue;
+    }
+    if (!r->status.ok()) {
+      if (r->status.IsNoSpace()) {
+        view->writable = false;
+        unwritable_until_[view->pid] = sched().Now() + 2 * kSec;
+      }
+      last = r->status;
+      continue;
+    }
+    ExtentKey key{0, view->pid, r->extent_id, r->extent_offset, data.size()};
+    of.pending_keys.push_back(key);
+    of.pending_size = std::max(of.pending_size, static_cast<uint64_t>(data.size()));
+    of.dirty = true;
+    co_return Status::OK();
+  }
+  co_return last;
+}
+
+sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
+                                     std::string_view data) {
+  uint64_t remaining = data.size();
+  uint64_t pos = 0;
+  const uint64_t extent_limit = 128 * kMiB;
+  while (remaining > 0) {
+    // Ensure an active extent with room.
+    if (of.append_pid == 0 || of.append_extent_size >= extent_limit) {
+      Status alloc = Status::Unavailable("no writable data partition");
+      for (int attempt = 0; attempt < opts_.max_retries + 2; attempt++) {
+        DataPartitionView* view = PickWritableDataView();
+        if (!view) {
+          (void)co_await RefreshVolume();
+          continue;
+        }
+        stats_.data_rpcs++;
+        auto r = co_await net_->Call<data::CreateExtentReq, data::CreateExtentResp>(
+            host_->id(), view->replicas[0], data::CreateExtentReq{view->pid},
+            opts_.rpc_timeout);
+        if (!r.ok()) {
+          alloc = r.status();
+          continue;
+        }
+        if (!r->status.ok()) {
+          if (r->status.IsNoSpace()) {
+            view->writable = false;
+            unwritable_until_[view->pid] = sched().Now() + 2 * kSec;
+          }
+          alloc = r->status;
+          continue;
+        }
+        of.append_pid = view->pid;
+        of.append_extent = r->extent_id;
+        of.append_extent_size = 0;
+        alloc = Status::OK();
+        break;
+      }
+      CFS_CO_RETURN_IF_ERROR(alloc);
+    }
+
+    uint64_t chunk = std::min({remaining, opts_.packet_size,
+                               extent_limit - of.append_extent_size});
+    uint64_t extent_off = of.append_extent_size;
+    DataPartitionView* view = DataView(of.append_pid);
+    if (!view) co_return Status::NotFound("data partition vanished");
+    stats_.data_rpcs++;
+    data::WritePacketReq packet{of.append_pid, of.append_extent, extent_off,
+                                std::string(data.substr(pos, chunk))};
+    auto r = co_await net_->Call<data::WritePacketReq, data::WritePacketResp>(
+        host_->id(), view->replicas[0], std::move(packet), opts_.rpc_timeout);
+    bool ok = r.ok() && r->status.ok();
+    uint64_t committed_now = ok ? extent_off + chunk
+                                : (r.ok() ? std::min(r->committed_offset, extent_off + chunk)
+                                          : extent_off);
+    uint64_t advanced = committed_now > extent_off ? committed_now - extent_off : 0;
+    if (advanced > 0) {
+      // Record/extend the pending extent key for the committed portion.
+      bool merged = false;
+      for (auto& key : of.pending_keys) {
+        if (key.partition_id == of.append_pid && key.extent_id == of.append_extent &&
+            key.file_offset + key.size == file_offset + pos) {
+          key.size += advanced;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        ExtentKey key;
+        key.file_offset = file_offset + pos - extent_off;  // where this extent begins
+        key.partition_id = of.append_pid;
+        key.extent_id = of.append_extent;
+        key.extent_offset = 0;
+        key.size = extent_off + advanced;
+        of.pending_keys.push_back(key);
+      }
+      of.append_extent_size = committed_now;
+      pos += advanced;
+      remaining -= advanced;
+      of.pending_size = std::max(of.pending_size, file_offset + pos);
+      of.dirty = true;
+    }
+    if (!ok) {
+      // §2.2.5: "the client will resend a write request for the remaining
+      // k−p MB data to the extents in different data partitions/nodes."
+      stats_.resends++;
+      of.append_pid = 0;
+      of.append_extent = 0;
+      of.append_extent_size = 0;
+      if (!r.ok()) (void)co_await RefreshVolume();
+      if (remaining == 0) break;
+    }
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
+                                        std::string_view data) {
+  // In-place (§2.7.2): locate the covering extent keys; offsets don't move;
+  // NO metadata update is needed — the paper's key overwrite advantage.
+  uint64_t end = offset + data.size();
+  // Consider both synced and pending keys.
+  std::vector<const ExtentKey*> keys;
+  for (const auto& k : of.inode.extents) keys.push_back(&k);
+  for (const auto& k : of.pending_keys) keys.push_back(&k);
+  for (const ExtentKey* k : keys) {
+    uint64_t k_end = k->file_offset + k->size;
+    if (k_end <= offset || k->file_offset >= end) continue;
+    uint64_t piece_begin = std::max(offset, k->file_offset);
+    uint64_t piece_end = std::min(end, k_end);
+    std::string piece(data.substr(piece_begin - offset, piece_end - piece_begin));
+    uint64_t extent_off = k->extent_offset + (piece_begin - k->file_offset);
+    data::OverwriteReq req{k->partition_id, k->extent_id, extent_off, std::move(piece)};
+    auto r = co_await DataLeaderCall<data::OverwriteReq, data::OverwriteResp>(
+        k->partition_id, std::move(req));
+    if (!r.ok()) co_return r.status();
+    if (!r->status.ok()) co_return r->status;
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, std::string data) {
+  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  auto it = open_files_.find(ino);
+  if (it == open_files_.end()) {
+    CFS_CO_RETURN_IF_ERROR(co_await Open(ino));
+    it = open_files_.find(ino);
+  }
+  OpenFile& of = it->second;
+  uint64_t size = of.pending_size;
+  if (offset > size) co_return Status::InvalidArgument("write beyond EOF (no holes)");
+
+  // Small-file fast path (§2.2.3): whole file fits under the threshold.
+  if (offset == 0 && size == 0 && data.size() <= opts_.small_file_threshold &&
+      of.inode.extents.empty() && of.pending_keys.empty()) {
+    co_return co_await WriteSmallFile(of, data);
+  }
+
+  // §2.7.2: split into the overwritten portion and the appended portion.
+  uint64_t overwrite_end = std::min<uint64_t>(offset + data.size(), size);
+  if (offset < overwrite_end) {
+    CFS_CO_RETURN_IF_ERROR(
+        co_await OverwriteData(of, offset, std::string_view(data).substr(0, overwrite_end - offset)));
+  }
+  if (overwrite_end < offset + data.size()) {
+    CFS_CO_RETURN_IF_ERROR(co_await AppendData(
+        of, overwrite_end, std::string_view(data).substr(overwrite_end - offset)));
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64_t len) {
+  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  // Use open-file state if present (read-your-own-writes), else the cached
+  // or fetched inode.
+  const Inode* inode = nullptr;
+  std::vector<const ExtentKey*> keys;
+  uint64_t size = 0;
+  auto oit = open_files_.find(ino);
+  if (oit != open_files_.end()) {
+    inode = &oit->second.inode;
+    size = oit->second.pending_size;
+    for (const auto& k : oit->second.pending_keys) keys.push_back(&k);
+  } else {
+    auto r = co_await GetInode(ino);
+    if (!r.ok()) co_return r.status();
+    CacheInode(*r);
+    inode = CachedInode(ino);
+    if (!inode) co_return Status::NotFound("inode");
+    size = inode->size;
+  }
+  for (const auto& k : inode->extents) keys.push_back(&k);
+
+  if (offset >= size) co_return std::string();
+  len = std::min(len, size - offset);
+  std::string out(len, '\0');
+  uint64_t end = offset + len;
+  for (const ExtentKey* k : keys) {
+    uint64_t k_end = k->file_offset + k->size;
+    if (k_end <= offset || k->file_offset >= end) continue;
+    uint64_t piece_begin = std::max(offset, k->file_offset);
+    uint64_t piece_end = std::min(end, k_end);
+    uint64_t extent_off = k->extent_offset + (piece_begin - k->file_offset);
+    auto r = co_await DataLeaderCall<data::ReadExtentReq, data::ReadExtentResp>(
+        k->partition_id, data::ReadExtentReq{k->partition_id, k->extent_id, extent_off,
+                                             piece_end - piece_begin});
+    if (!r.ok()) co_return r.status();
+    if (!r->status.ok()) co_return r->status;
+    out.replace(piece_begin - offset, r->data.size(), r->data);
+  }
+  co_return out;
+}
+
+void Client::InjectPreparedFile(InodeId ino, std::vector<ExtentKey> keys, uint64_t size) {
+  OpenFile of;
+  of.inode.id = ino;
+  of.inode.type = FileType::kFile;
+  of.inode.nlink = 1;
+  of.inode.size = size;
+  of.inode.extents = std::move(keys);
+  of.pending_size = size;
+  of.dirty = false;
+  open_files_[ino] = std::move(of);
+}
+
+sim::Task<Status> Client::Truncate(InodeId ino, uint64_t new_size) {
+  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  MetaPartitionView* view = MetaViewForInode(ino);
+  if (!view) co_return Status::NotFound("inode partition");
+  auto r = co_await MetaCall<meta::MetaTruncateReq, meta::MetaTruncateResp>(
+      view->pid, meta::MetaTruncateReq{view->pid, ino, new_size});
+  if (!r.ok()) co_return r.status();
+  inode_cache_.erase(ino);
+  auto oit = open_files_.find(ino);
+  if (oit != open_files_.end()) {
+    oit->second.pending_size = std::min(oit->second.pending_size, new_size);
+    oit->second.inode.size = std::min(oit->second.inode.size, new_size);
+  }
+  co_return r->status;
+}
+
+}  // namespace cfs::client

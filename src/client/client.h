@@ -1,0 +1,243 @@
+// The CFS client (§2.4, §2.6, §2.7): mounts a volume, caches partition
+// routes / leaders / metadata, and implements the metadata-operation
+// workflows of Fig. 3 and the file I/O paths of Fig. 4/5.
+//
+// Caching (§2.4):
+//  * partition views cached at mount and refreshed periodically (the client
+//    talks to the resource manager over non-persistent connections);
+//  * inodes/dentries cached on create and readdir; forced re-sync on open;
+//  * the most recently identified raft leader of each data partition is
+//    cached so reads rarely probe replicas.
+//
+// Failure semantics: metadata workflows retry and fall back to the client's
+// orphan-inode list (§2.6.1); sequential writes that fail mid-stream resend
+// the uncommitted suffix to a new extent on a different partition (§2.2.5).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datanode/messages.h"
+#include "master/messages.h"
+#include "meta/messages.h"
+#include "sim/network.h"
+
+namespace cfs::client {
+
+using master::DataPartitionView;
+using master::MetaPartitionView;
+using meta::Dentry;
+using meta::ExtentKey;
+using meta::FileType;
+using meta::Inode;
+using meta::InodeId;
+using meta::PartitionId;
+
+struct ClientOptions {
+  SimDuration rpc_timeout = 1 * kSec;
+  int max_retries = 3;
+  /// Fixed packet size for sequential writes (§2.7.1; also the default
+  /// small-file threshold t, §2.2.1).
+  uint64_t packet_size = 128 * kKiB;
+  uint64_t small_file_threshold = 128 * kKiB;
+  /// Periodic re-sync of the cached partition views with the master (§2.4).
+  SimDuration volume_refresh_interval = 5 * kSec;
+  /// TTL of cached inodes/dentries/readdir results.
+  SimDuration metadata_cache_ttl = 2 * kSec;
+  bool enable_metadata_cache = true;
+  /// §2.7.3: "the delete operation is asynchronous" — the unlink returns
+  /// once the dentry is gone; the nlink decrement (and the content purge it
+  /// triggers) completes in the background. Disable for strict tests.
+  bool async_unlink = true;
+  /// CPU charged on the client host per operation (FUSE + client path).
+  SimDuration client_cpu_per_op = 6;
+};
+
+struct ClientStats {
+  uint64_t meta_rpcs = 0;
+  uint64_t data_rpcs = 0;
+  uint64_t master_rpcs = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t leader_cache_hits = 0;
+  uint64_t leader_probes = 0;
+  uint64_t resends = 0;           // §2.2.5 suffix resends
+  uint64_t orphans_created = 0;   // create workflows that failed after inode
+};
+
+class Client {
+ public:
+  Client(sim::Network* net, sim::Host* host, std::vector<sim::NodeId> masters,
+         const ClientOptions& opts = {});
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Fetch the volume view and start the periodic refresh loop.
+  sim::Task<Status> Mount(std::string volume);
+
+  bool mounted() const { return mounted_; }
+  const ClientStats& stats() const { return stats_; }
+  ClientStats& mutable_stats() { return stats_; }
+  const ClientOptions& options() const { return opts_; }
+
+  // --- Metadata operations (Fig. 3 workflows) ---
+
+  /// Create: inode first, then dentry; on dentry failure unlink the inode
+  /// and put it on the local orphan list (Fig. 3a).
+  sim::Task<Result<Inode>> Create(InodeId parent, std::string name, FileType type,
+                                  std::string symlink_target = "");
+
+  /// Link: nlink++ on the inode's partition, then create the dentry on the
+  /// parent's partition; decrement on failure (Fig. 3b).
+  sim::Task<Status> Link(InodeId parent, std::string name, InodeId ino);
+
+  /// Unlink: delete the dentry first, only then decrement nlink (Fig. 3c).
+  sim::Task<Status> Unlink(InodeId parent, std::string name);
+
+  /// Rename = link under the new name + unlink the old (no atomicity across
+  /// partitions: the relaxed-metadata-atomicity tradeoff, §2.6).
+  sim::Task<Status> Rename(InodeId old_parent, std::string old_name,
+                           InodeId new_parent, std::string new_name);
+
+  sim::Task<Result<Dentry>> Lookup(InodeId parent, std::string name);
+  sim::Task<Result<Inode>> GetInode(InodeId ino);
+  sim::Task<Result<std::vector<Dentry>>> ReadDir(InodeId parent);
+  /// readdir + batched inode fetch with client-side caching (§4.2's
+  /// batchInodeGet): what mdtest's DirStat exercises.
+  sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> ReadDirPlus(InodeId parent);
+
+  // --- File I/O (§2.7) ---
+
+  /// Open for read/write: forces cached metadata in sync with the meta node
+  /// (§2.4) and initializes append state.
+  sim::Task<Status> Open(InodeId ino);
+  sim::Task<Status> Close(InodeId ino);  // fsync + drop append state
+
+  /// Random writes are in-place for the overwritten range and sequential
+  /// for the appended remainder (§2.7.2). Returns after all replicas
+  /// committed the data; metadata syncs on Fsync/Close.
+  sim::Task<Status> Write(InodeId ino, uint64_t offset, std::string data);
+
+  sim::Task<Result<std::string>> Read(InodeId ino, uint64_t offset, uint64_t len);
+
+  /// Push cached size/extent updates to the meta node (fsync, §2.7.1).
+  sim::Task<Status> Fsync(InodeId ino);
+
+  sim::Task<Status> Truncate(InodeId ino, uint64_t new_size);
+
+  /// Delete = unlink; content removal is asynchronous on the meta node
+  /// (§2.7.3).
+  sim::Task<Status> Delete(InodeId parent, std::string name) {
+    return Unlink(parent, std::move(name));
+  }
+
+  /// Drain the local orphan list: send evict for inodes whose create
+  /// workflow failed (§2.6.1).
+  sim::Task<void> EvictOrphans();
+  size_t orphan_count() const { return orphans_.size(); }
+
+  /// Force-refresh the partition views now.
+  sim::Task<Status> RefreshVolume();
+
+  /// Bench/test rig: register already-materialized extents of a file with
+  /// this client's open-file state (pairs with ExtentStore::ImportExtent;
+  /// stands in for the excluded fio laydown phase).
+  void InjectPreparedFile(InodeId ino, std::vector<ExtentKey> keys, uint64_t size);
+
+  sim::NodeId node() const { return host_->id(); }
+
+ private:
+  sim::Scheduler& sched() { return *net_->scheduler(); }
+
+  // Routing.
+  MetaPartitionView* MetaViewForInode(InodeId ino);
+  MetaPartitionView* PickWritableMetaView();
+  DataPartitionView* PickWritableDataView();
+  DataPartitionView* DataView(PartitionId pid);
+
+  // NOTE: the *Call helpers are thin non-coroutine wrappers around the
+  // *CallImpl coroutines. gcc 12 double-destroys braced-init temporary
+  // arguments bound to coroutine parameters; routing every call through a
+  // plain function that std::moves into the coroutine sidesteps the bug for
+  // all call sites.
+
+  /// Meta RPC with NotLeader redirect + retry; updates the leader hint.
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> MetaCall(PartitionId pid, Req req) {
+    return MetaCallImpl<Req, Resp>(pid, std::move(req));
+  }
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> MetaCallImpl(PartitionId pid, Req req);
+
+  /// Data RPC to the partition's raft leader, probing replicas one by one
+  /// and caching the last identified leader (§2.4).
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> DataLeaderCall(PartitionId pid, Req req) {
+    return DataLeaderCallImpl<Req, Resp>(pid, std::move(req));
+  }
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> DataLeaderCallImpl(PartitionId pid, Req req);
+
+  /// Master RPC with leader probing across replicas.
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> MasterCall(Req req) {
+    return MasterCallImpl<Req, Resp>(std::move(req));
+  }
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> MasterCallImpl(Req req);
+
+  sim::Task<void> RefreshLoop(uint64_t gen);
+  sim::Task<Status> ReportFailure(PartitionId pid, bool is_meta);
+
+  struct OpenFile {
+    Inode inode;
+    // Append pipeline state (current partition/extent being filled).
+    PartitionId append_pid = 0;
+    storage::ExtentId append_extent = 0;
+    uint64_t append_extent_size = 0;
+    // Metadata not yet pushed to the meta node.
+    std::vector<ExtentKey> pending_keys;
+    uint64_t pending_size = 0;
+    bool dirty = false;
+  };
+
+  sim::Task<Status> AppendData(OpenFile& of, uint64_t file_offset, std::string_view data);
+  sim::Task<Status> OverwriteData(OpenFile& of, uint64_t offset, std::string_view data);
+  sim::Task<Status> WriteSmallFile(OpenFile& of, std::string_view data);
+
+  void CacheInode(const Inode& ino);
+  const Inode* CachedInode(InodeId ino);
+
+  sim::Network* net_;
+  sim::Host* host_;
+  std::vector<sim::NodeId> masters_;
+  ClientOptions opts_;
+  ClientStats stats_;
+
+  bool mounted_ = false;
+  std::string volume_name_;
+  uint64_t refresh_gen_ = 0;
+  std::vector<MetaPartitionView> meta_views_;
+  std::vector<DataPartitionView> data_views_;
+
+  std::map<PartitionId, sim::NodeId> meta_leader_cache_;
+  std::map<PartitionId, sim::NodeId> data_leader_cache_;
+  sim::NodeId master_leader_cache_ = sim::kInvalidNode;
+
+  std::map<InodeId, std::pair<Inode, SimTime>> inode_cache_;
+  std::map<InodeId, std::pair<std::vector<Dentry>, SimTime>> readdir_cache_;
+
+  std::map<InodeId, OpenFile> open_files_;
+  std::vector<std::pair<PartitionId, InodeId>> orphans_;
+
+  /// Partitions the client observed NoSpace on; skipped by the writable
+  /// pickers until the deadline (survives view refreshes, which would
+  /// otherwise resurrect them before the master learns they are full).
+  std::map<PartitionId, SimTime> unwritable_until_;
+};
+
+}  // namespace cfs::client

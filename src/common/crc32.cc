@@ -1,0 +1,39 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace cfs {
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78;  // reflected CRC32C polynomial
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; k++) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t init) {
+  const auto& table = Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~init;
+  for (size_t i = 0; i < n; i++) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace cfs

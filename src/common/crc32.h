@@ -1,0 +1,19 @@
+// CRC32C (Castagnoli), software table implementation. Used by the extent
+// store to verify data integrity; the per-extent CRC is cached in memory as
+// described in §2.2.1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace cfs {
+
+/// Compute CRC32C of `data`, continuing from `init` (0 for a fresh CRC).
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+inline uint32_t Crc32c(std::string_view s, uint32_t init = 0) {
+  return Crc32c(s.data(), s.size(), init);
+}
+
+}  // namespace cfs

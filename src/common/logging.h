@@ -1,0 +1,43 @@
+// Minimal leveled logger. Off by default (benchmarks run clean); tests and
+// examples can raise the level. Not thread-safe by design: the simulator is
+// single-threaded.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <sstream>
+#include <utility>
+
+namespace cfs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogLine(LogLevel level, const char* file, int line, const std::string& msg);
+
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace internal
+
+}  // namespace cfs
+
+#define CFS_LOG(level, ...)                                                  \
+  do {                                                                       \
+    if (static_cast<int>(level) >= static_cast<int>(::cfs::GetLogLevel())) { \
+      ::cfs::internal::LogLine(level, __FILE__, __LINE__,                    \
+                               ::cfs::internal::StrCat(__VA_ARGS__));        \
+    }                                                                        \
+  } while (0)
+
+#define LOG_DEBUG(...) CFS_LOG(::cfs::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) CFS_LOG(::cfs::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) CFS_LOG(::cfs::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) CFS_LOG(::cfs::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace cfs {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kTimedOut: return "TimedOut";
+    case StatusCode::kNotLeader: return "NotLeader";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kNoSpace: return "NoSpace";
+    case StatusCode::kRetry: return "Retry";
+    case StatusCode::kUnsupported: return "Unsupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s(StatusCodeName(code_));
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace cfs

@@ -1,0 +1,137 @@
+// Status and Result<T>: exception-free error handling in the style of
+// RocksDB/Arrow. Every fallible API in this codebase returns a Status or a
+// Result<T>; exceptions are reserved for programmer errors (assertions).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace cfs {
+
+/// Error categories used across all subsystems.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound,        ///< key/inode/dentry/extent/volume does not exist
+  kAlreadyExists,   ///< create of an existing object
+  kCorruption,      ///< checksum mismatch / malformed persistent state
+  kInvalidArgument, ///< caller error
+  kIOError,         ///< simulated disk failure
+  kTimedOut,        ///< RPC deadline exceeded
+  kNotLeader,       ///< raft/primary request sent to a non-leader replica
+  kUnavailable,     ///< node down, partition read-only, no quorum
+  kNoSpace,         ///< partition or disk full
+  kRetry,           ///< transient; caller should retry (possibly elsewhere)
+  kUnsupported,     ///< operation not implemented by this object
+};
+
+/// Human-readable name of a status code ("NotFound", "IOError", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "") { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m = "") { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status Corruption(std::string m = "") { return {StatusCode::kCorruption, std::move(m)}; }
+  static Status InvalidArgument(std::string m = "") { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status IOError(std::string m = "") { return {StatusCode::kIOError, std::move(m)}; }
+  static Status TimedOut(std::string m = "") { return {StatusCode::kTimedOut, std::move(m)}; }
+  static Status NotLeader(std::string m = "") { return {StatusCode::kNotLeader, std::move(m)}; }
+  static Status Unavailable(std::string m = "") { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status NoSpace(std::string m = "") { return {StatusCode::kNoSpace, std::move(m)}; }
+  static Status Retry(std::string m = "") { return {StatusCode::kRetry, std::move(m)}; }
+  static Status Unsupported(std::string m = "") { return {StatusCode::kUnsupported, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsNotLeader() const { return code_ == StatusCode::kNotLeader; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }
+  bool IsRetry() const { return code_ == StatusCode::kRetry; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& o) const { return code_ == o.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Result<T>: either a value or an error Status (never kOk with no value).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {    // NOLINT implicit
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(v_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace cfs
+
+/// Propagate a non-OK Status out of the current function.
+#define CFS_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::cfs::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Coroutine variant of CFS_RETURN_IF_ERROR (for Task<Status> bodies).
+#define CFS_CO_RETURN_IF_ERROR(expr)         \
+  do {                                       \
+    ::cfs::Status _st = (expr);              \
+    if (!_st.ok()) co_return _st;            \
+  } while (0)
+
+/// Assign a Result's value to `lhs` or return its error status.
+#define CFS_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto CFS_CONCAT_(_res, __LINE__) = (expr); \
+  if (!CFS_CONCAT_(_res, __LINE__).ok())     \
+    return CFS_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(CFS_CONCAT_(_res, __LINE__)).value();
+
+#define CFS_CONCAT_IMPL_(a, b) a##b
+#define CFS_CONCAT_(a, b) CFS_CONCAT_IMPL_(a, b)

@@ -1,0 +1,20 @@
+// Size and simulated-time units shared across the codebase.
+#pragma once
+
+#include <cstdint>
+
+namespace cfs {
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+constexpr uint64_t kGiB = 1024 * kMiB;
+
+/// Simulated time is an integer count of microseconds since simulation start.
+using SimTime = int64_t;
+using SimDuration = int64_t;
+
+constexpr SimDuration kUsec = 1;
+constexpr SimDuration kMsec = 1000;
+constexpr SimDuration kSec = 1000 * 1000;
+
+}  // namespace cfs

@@ -1,0 +1,80 @@
+// The data node service (§2.2): hosts data partitions, serves the
+// primary-backup replication chain for sequential/small-file writes, routes
+// overwrites through raft, serves reads at the raft leader bounded by the
+// committed offset, and runs the two-phase replica recovery of §2.2.5
+// (extent alignment first, then raft).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "datanode/data_partition.h"
+#include "datanode/messages.h"
+#include "raft/multiraft.h"
+#include "sim/network.h"
+
+namespace cfs::data {
+
+struct DataNodeOptions {
+  /// Applied to every partition's extent store: keep real bytes (tests) or
+  /// account sizes/timing only (benches).
+  bool track_contents = true;
+  /// CPU charged per data RPC, plus a per-KiB component for payload handling.
+  SimDuration cpu_per_op = 8;
+  SimDuration cpu_per_kib = 1;
+  SimDuration chain_rpc_timeout = 500 * kMsec;
+};
+
+class DataNode {
+ public:
+  DataNode(sim::Network* net, sim::Host* host, raft::RaftHost* raft,
+           const DataNodeOptions& opts = {});
+
+  DataNode(const DataNode&) = delete;
+  DataNode& operator=(const DataNode&) = delete;
+
+  sim::Host* host() { return host_; }
+
+  Status CreatePartition(const DataPartitionConfig& config, bool recover = false);
+  DataPartition* GetPartition(PartitionId pid);
+  size_t num_partitions() const { return partitions_.size(); }
+
+  std::vector<DataPartitionReport> Reports() const;
+
+  /// Restart recovery: primary-backup alignment of every partition's
+  /// extents against its peers, then raft recovery (§2.2.5's ordering).
+  sim::Task<void> RecoverAll();
+
+  uint64_t ops_served() const { return ops_; }
+
+ private:
+  void RegisterHandlers();
+  SimDuration OpCost(size_t payload) const {
+    return opts_.cpu_per_op +
+           opts_.cpu_per_kib * static_cast<SimDuration>(payload / kKiB);
+  }
+
+  /// Forward a chain request to the next replica; returns OK at chain end.
+  /// (Plain wrappers over the *Impl coroutines; see the gcc-12 note in
+  /// sim/network.h.)
+  sim::Task<Status> ForwardChain(DataPartition* p, ChainAppendReq req) {
+    return ForwardChainImpl(p, std::move(req));
+  }
+  sim::Task<Status> ForwardChainCreate(DataPartition* p, ChainCreateExtentReq req) {
+    return ForwardChainCreateImpl(p, std::move(req));
+  }
+  sim::Task<Status> ForwardChainImpl(DataPartition* p, ChainAppendReq req);
+  sim::Task<Status> ForwardChainCreateImpl(DataPartition* p, ChainCreateExtentReq req);
+
+  sim::Task<void> AlignPartition(DataPartition* p);
+
+  sim::Network* net_;
+  sim::Host* host_;
+  raft::RaftHost* raft_;
+  DataNodeOptions opts_;
+  std::map<PartitionId, std::unique_ptr<DataPartition>> partitions_;
+  uint64_t next_disk_ = 0;  // round-robin tie-break for fresh disks
+  uint64_t ops_ = 0;
+};
+
+}  // namespace cfs::data

@@ -1,0 +1,104 @@
+// A data partition replica (§2.2.1): partition metadata, an extent store,
+// per-extent committed offsets (chain leader), a raft group for the
+// overwrite path, and an out-of-order placement buffer for the replication
+// chain.
+//
+// Scenario-aware replication (§2.2.4): sequential writes use the
+// primary-backup chain implemented in DataNode; overwrites are proposed to
+// this partition's raft group and applied here, paying raft's log-write
+// amplification — the tradeoff the paper calls out explicitly.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "datanode/messages.h"
+#include "raft/multiraft.h"
+#include "storage/extent_store.h"
+
+namespace cfs::data {
+
+/// Raft command opcodes for the overwrite/purge path.
+enum class DataOp : uint8_t {
+  kOverwrite = 1,
+  kDeleteExtent = 2,
+  kPunchHole = 3,
+};
+
+class DataPartition : public raft::StateMachine {
+ public:
+  DataPartition(const DataPartitionConfig& config, sim::Network* net, sim::Host* host,
+                raft::RaftHost* raft);
+
+  const DataPartitionConfig& config() const { return config_; }
+  PartitionId id() const { return config_.id; }
+  storage::ExtentStore& store() { return *store_; }
+  raft::RaftNode* raft_node() { return raft_node_; }
+
+  /// Primary-backup chain leader: the first replica in the array (§2.7.1).
+  bool IsChainLeader() const {
+    return !config_.replicas.empty() && config_.replicas[0] == host_->id() && host_->up();
+  }
+  uint32_t ChainIndexOf(sim::NodeId node) const;
+
+  bool read_only() const { return read_only_; }
+  void set_read_only(bool v) { read_only_ = v; }
+  bool IsFull() const { return store_->num_extents() >= config_.max_extents; }
+
+  // --- Chain-leader bookkeeping ---
+  storage::ExtentId AllocExtentId() { return next_extent_id_++; }
+  uint64_t committed(storage::ExtentId id) const {
+    auto it = committed_.find(id);
+    return it == committed_.end() ? 0 : it->second;
+  }
+  void set_committed(storage::ExtentId id, uint64_t offset) {
+    uint64_t& c = committed_[id];
+    c = std::max(c, offset);
+  }
+
+  /// Replica-side chain placement with buffering of out-of-order arrivals
+  /// (shared tiny extents interleave placements from many clients).
+  sim::Task<Status> ApplyChainAppend(storage::ExtentId extent, uint64_t offset,
+                                     std::string data, bool tiny);
+
+  // --- Raft state machine (overwrite/purge path) ---
+  void Apply(raft::Index index, std::string_view data) override;
+  /// Extent contents are NOT snapshotted through raft (they are recovered by
+  /// the primary-backup alignment phase first, §2.2.5); the snapshot is a
+  /// marker carrying only the allocation high-water mark.
+  std::string TakeSnapshot() override;
+  void Restore(std::string_view snapshot) override;
+
+  std::optional<Status> TakeResult(raft::Index index);
+
+  static std::string EncodeOverwrite(storage::ExtentId id, uint64_t offset,
+                                     std::string_view data);
+  static std::string EncodeDeleteExtent(storage::ExtentId id);
+  static std::string EncodePunchHole(storage::ExtentId id, uint64_t offset, uint64_t len);
+
+  /// Post-restart: bump the extent-id allocator past everything on disk.
+  void ReinitAfterRecovery();
+
+  static raft::GroupId RaftGid(PartitionId pid) { return 0x4400000000000000ull | pid; }
+
+ private:
+  void TryDrainPending(storage::ExtentId extent);
+
+  DataPartitionConfig config_;
+  sim::Network* net_;
+  sim::Host* host_;
+  std::unique_ptr<storage::ExtentStore> store_;
+  raft::RaftNode* raft_node_ = nullptr;
+
+  storage::ExtentId next_extent_id_ = 1;
+  std::map<storage::ExtentId, uint64_t> committed_;
+  bool read_only_ = false;
+
+  /// extent -> offset -> (data, tiny): buffered until contiguous.
+  std::map<storage::ExtentId, std::map<uint64_t, std::string>> pending_;
+
+  std::map<raft::Index, Status> results_;
+  static constexpr size_t kMaxResults = 4096;
+};
+
+}  // namespace cfs::data

@@ -1,0 +1,195 @@
+// Wire messages for the data subsystem: client-facing extent I/O, the
+// primary-backup replication chain for sequential writes (§2.2.4, Fig. 4),
+// raft-replicated overwrites (Fig. 5), recovery alignment (§2.2.5), and
+// resource-manager admin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/network.h"
+#include "storage/extent_store.h"
+
+namespace cfs::data {
+
+using PartitionId = uint64_t;
+using storage::ExtentId;
+
+struct DataPartitionConfig {
+  PartitionId id = 0;
+  uint64_t volume = 0;
+  /// Replica order defines the primary-backup chain; index 0 is the leader
+  /// ("the replica whose address is at index zero is the leader", §2.7.1).
+  std::vector<sim::NodeId> replicas;
+  int disk_index = 0;
+  uint64_t max_extents = 4096;  // "full" threshold (§2.3.1)
+  storage::ExtentStoreOptions store;
+};
+
+// --- Client-facing ----------------------------------------------------------
+
+/// Allocate a fresh large-file extent on every replica (chained).
+struct CreateExtentReq {
+  PartitionId pid = 0;
+};
+struct CreateExtentResp {
+  Status status;
+  ExtentId extent_id = 0;
+};
+
+/// One fixed-size packet of a sequential write (Fig. 4). Goes to the
+/// primary; replicated down the chain; acked once all replicas committed.
+struct WritePacketReq {
+  PartitionId pid = 0;
+  ExtentId extent_id = 0;
+  uint64_t offset = 0;
+  std::string data;
+  size_t WireBytes() const { return 64 + data.size(); }
+};
+struct WritePacketResp {
+  Status status;
+  /// Largest offset committed by ALL replicas (§2.2.5); on failure the
+  /// client uses this to resend the uncommitted suffix elsewhere.
+  uint64_t committed_offset = 0;
+};
+
+/// Small-file write (§2.2.3): the primary picks the (tiny extent, offset)
+/// slot and replicates the placement.
+struct WriteSmallReq {
+  PartitionId pid = 0;
+  std::string data;
+  size_t WireBytes() const { return 48 + data.size(); }
+};
+struct WriteSmallResp {
+  Status status;
+  ExtentId extent_id = 0;
+  uint64_t extent_offset = 0;
+};
+
+/// In-place overwrite of existing bytes; replicated via the partition's
+/// raft group (Fig. 5), which charges raft's log-write amplification.
+struct OverwriteReq {
+  PartitionId pid = 0;
+  ExtentId extent_id = 0;
+  uint64_t offset = 0;
+  std::string data;
+  size_t WireBytes() const { return 64 + data.size(); }
+};
+struct OverwriteResp {
+  Status status;
+};
+
+/// Read served only by the raft leader, bounded by the all-replica
+/// committed offset (§2.7.4).
+struct ReadExtentReq {
+  PartitionId pid = 0;
+  ExtentId extent_id = 0;
+  uint64_t offset = 0;
+  uint64_t len = 0;
+};
+struct ReadExtentResp {
+  Status status;
+  std::string data;
+  size_t WireBytes() const { return 32 + data.size(); }
+};
+
+/// Content purge (delete path): large extents are removed whole, small
+/// files are punch-holed (§2.2.3). Replicated via raft.
+struct DeleteExtentReq {
+  PartitionId pid = 0;
+  ExtentId extent_id = 0;
+};
+struct DeleteExtentResp {
+  Status status;
+};
+struct PunchHoleReq {
+  PartitionId pid = 0;
+  ExtentId extent_id = 0;
+  uint64_t offset = 0;
+  uint64_t len = 0;
+};
+struct PunchHoleResp {
+  Status status;
+};
+
+// --- Replication chain (node -> node) ----------------------------------------
+
+struct ChainCreateExtentReq {
+  PartitionId pid = 0;
+  ExtentId extent_id = 0;
+  uint32_t chain_index = 0;  // position of the RECEIVER in the replica array
+};
+struct ChainCreateExtentResp {
+  Status status;
+};
+
+struct ChainAppendReq {
+  PartitionId pid = 0;
+  ExtentId extent_id = 0;
+  uint64_t offset = 0;
+  bool tiny = false;  // small-file placement vs large-file append
+  std::string data;
+  uint32_t chain_index = 0;
+  size_t WireBytes() const { return 64 + data.size(); }
+};
+struct ChainAppendResp {
+  Status status;
+};
+
+// --- Recovery (§2.2.5) -------------------------------------------------------
+
+/// First phase of replica recovery: fetch every peer's extent sizes and
+/// align (extend short extents by copying, keep stale tails unexposed).
+struct ExtentInfo {
+  ExtentId id = 0;
+  uint64_t size = 0;
+  bool tiny = false;
+};
+struct ExtentInfoReq {
+  PartitionId pid = 0;
+};
+struct ExtentInfoResp {
+  Status status;
+  std::vector<ExtentInfo> extents;
+  size_t WireBytes() const { return 16 + extents.size() * 20; }
+};
+
+/// Raw range fetch used by alignment (ignores the committed bound; the
+/// fetched replica's bytes are by definition committed if shorter peers ask
+/// only up to the aligned size).
+struct FetchRangeReq {
+  PartitionId pid = 0;
+  ExtentId extent_id = 0;
+  uint64_t offset = 0;
+  uint64_t len = 0;
+};
+struct FetchRangeResp {
+  Status status;
+  std::string data;
+  size_t WireBytes() const { return 32 + data.size(); }
+};
+
+// --- Admin (resource manager -> data node) -----------------------------------
+
+struct CreateDataPartitionReq {
+  DataPartitionConfig config;
+  size_t WireBytes() const { return 96 + config.replicas.size() * 4; }
+};
+struct CreateDataPartitionResp {
+  Status status;
+};
+
+struct DataPartitionReport {
+  PartitionId pid = 0;
+  uint64_t volume = 0;
+  uint64_t extents = 0;
+  uint64_t used_bytes = 0;
+  bool is_chain_leader = false;
+  bool is_raft_leader = false;
+  bool full = false;
+  bool read_only = false;
+};
+
+}  // namespace cfs::data

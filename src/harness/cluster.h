@@ -1,0 +1,134 @@
+// Full-cluster harness: brings up the resource manager (3 replicas), N
+// storage nodes each running a meta node and a data node (the paper deploys
+// both on the same 10 machines, §4.1), wires heartbeats and the deleted-
+// inode content purger, and hands out mounted clients.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "datanode/data_node.h"
+#include "master/master.h"
+#include "meta/meta_node.h"
+#include "raft/multiraft.h"
+#include "sim/network.h"
+
+namespace cfs::harness {
+
+struct ClusterOptions {
+  int num_nodes = 10;   // storage machines (meta + data on each, §4.1)
+  int num_masters = 3;  // resource manager replicas
+  uint64_t seed = 1;
+  sim::NetworkOptions network;
+  sim::HostOptions host;
+  raft::RaftOptions raft;
+  meta::MetaNodeOptions meta;
+  data::DataNodeOptions data;
+  master::MasterOptions master;
+  client::ClientOptions client;
+  SimDuration heartbeat_interval = 1 * kSec;
+  /// Extent stores keep real bytes (tests) or account only (benches).
+  bool track_contents = true;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& opts = {});
+
+  sim::Scheduler& sched() { return sched_; }
+  sim::Network& net() { return net_; }
+  const ClusterOptions& options() const { return opts_; }
+
+  /// Bring the cluster up: elect the master leader, register every node,
+  /// start heartbeats.
+  sim::Task<Status> Start();
+
+  /// Create a volume and wait until every partition has a raft leader.
+  sim::Task<Status> CreateVolume(std::string name, uint32_t meta_partitions,
+                                 uint32_t data_partitions);
+
+  /// Allocate a new client machine mounted on `volume`.
+  sim::Task<Result<client::Client*>> MountClient(std::string volume);
+
+  // Accessors.
+  master::MasterNode* master(int i) { return masters_[i].get(); }
+  master::MasterNode* master_leader();
+  meta::MetaNode* meta_node(int i) { return meta_nodes_[i].get(); }
+  data::DataNode* data_node(int i) { return data_nodes_[i].get(); }
+  sim::Host* node_host(int i) { return node_hosts_[i]; }
+  sim::Host* master_host(int i) { return master_hosts_[i]; }
+  raft::RaftHost* raft_host_of(int i) { return raft_hosts_[i].get(); }
+  int num_nodes() const { return static_cast<int>(node_hosts_.size()); }
+  std::vector<sim::NodeId> master_ids() const { return master_ids_; }
+
+  /// Crash/restart storage node i (with full recovery: raft groups, extent
+  /// alignment, CRC cache rebuild).
+  void CrashNode(int i);
+  sim::Task<void> RestartNode(int i);
+
+  /// Direct (harness-level) lookup used by the purge wiring and tests.
+  std::vector<sim::NodeId> DataPartitionReplicas(data::PartitionId pid);
+  bool AllPartitionsHaveLeaders();
+
+  // Convenience for tests: run the scheduler until `pred` is true or the
+  // step budget runs out. Returns pred().
+  template <typename Pred>
+  bool RunUntil(Pred pred, SimDuration step = 10 * kMsec, int max_steps = 3000) {
+    for (int i = 0; i < max_steps; i++) {
+      if (pred()) return true;
+      sched_.RunFor(step);
+    }
+    return pred();
+  }
+
+ private:
+  sim::Task<void> HeartbeatLoop(int node_index);
+  meta::MetaNode::ExtentPurger MakePurger(int node_index);
+  sim::Task<Status> PurgeInodeContent(int node_index, meta::Inode inode);
+
+  ClusterOptions opts_;
+  sim::Scheduler sched_;
+  sim::Network net_;
+  std::vector<sim::Host*> master_hosts_;
+  std::vector<sim::Host*> node_hosts_;
+  std::vector<sim::NodeId> master_ids_;
+  std::vector<std::unique_ptr<raft::RaftHost>> raft_hosts_;        // one per host
+  std::vector<std::unique_ptr<master::MasterNode>> masters_;
+  std::vector<std::unique_ptr<meta::MetaNode>> meta_nodes_;
+  std::vector<std::unique_ptr<data::DataNode>> data_nodes_;
+  std::vector<std::unique_ptr<client::Client>> clients_;
+  std::vector<std::string> volumes_;
+};
+
+/// Run a coroutine to completion on the scheduler (test helper). The
+/// scheduler may have periodic background events; we bound the event count.
+template <typename T>
+std::optional<T> RunTask(sim::Scheduler& sched, sim::Task<T> task,
+                         uint64_t max_events = 50'000'000) {
+  std::optional<T> out;
+  sim::Spawn([](sim::Task<T> t, std::optional<T>& out) -> sim::Task<void> {
+    out = co_await std::move(t);
+  }(std::move(task), out));
+  for (uint64_t i = 0; i < max_events && !out.has_value(); i++) {
+    if (!sched.RunOne()) break;
+  }
+  return out;
+}
+
+/// Void-task variant of RunTask; returns true if the task completed.
+inline bool RunTaskVoid(sim::Scheduler& sched, sim::Task<void> task,
+                        uint64_t max_events = 50'000'000) {
+  bool done = false;
+  sim::Spawn([](sim::Task<void> t, bool& done) -> sim::Task<void> {
+    co_await std::move(t);
+    done = true;
+  }(std::move(task), done));
+  for (uint64_t i = 0; i < max_events && !done; i++) {
+    if (!sched.RunOne()) break;
+  }
+  return done;
+}
+
+}  // namespace cfs::harness

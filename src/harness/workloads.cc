@@ -1,0 +1,557 @@
+#include "harness/workloads.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace cfs::bench {
+
+using harness::RunTask;
+using sim::Spawn;
+using sim::Task;
+
+// --- CFS adapters ---------------------------------------------------------------
+
+Task<Result<uint64_t>> CfsMetaOps::Mkdir(uint64_t parent, std::string name) {
+  auto r = co_await c_->Create(parent, std::move(name), meta::FileType::kDir);
+  if (!r.ok()) co_return r.status();
+  co_return r->id;
+}
+
+Task<Result<uint64_t>> CfsMetaOps::Create(uint64_t parent, std::string name) {
+  auto r = co_await c_->Create(parent, std::move(name), meta::FileType::kFile);
+  if (!r.ok()) co_return r.status();
+  co_return r->id;
+}
+
+Task<Result<size_t>> CfsMetaOps::StatDir(uint64_t dir) {
+  // readdir + batchInodeGet, with client-side caching (§4.2).
+  auto r = co_await c_->ReadDirPlus(dir);
+  if (!r.ok()) co_return r.status();
+  co_return r->size();
+}
+
+Task<Status> CfsMetaOps::Remove(uint64_t parent, std::string name) {
+  co_return co_await c_->Unlink(parent, std::move(name));
+}
+
+Task<Status> CfsMetaOps::Rmdir(uint64_t parent, std::string name) {
+  co_return co_await c_->Unlink(parent, std::move(name));
+}
+
+Task<Result<uint64_t>> CfsDataOps::PrepareFile(uint64_t bytes) {
+  // Create the inode, then materialize extents directly on every replica
+  // (the laydown phase the paper's fio runs exclude from measurement).
+  static uint64_t file_seq = 0;
+  std::string name = "fio-" + std::to_string(c_->node()) + "-" + std::to_string(file_seq++);
+  auto created = co_await c_->Create(meta::kRootInode, name, meta::FileType::kFile);
+  if (!created.ok()) co_return created.status();
+  meta::InodeId ino = created->id;
+
+  master::MasterNode* leader = cluster_->master_leader();
+  if (!leader) co_return Status::Unavailable("no master leader");
+  std::vector<data::PartitionId> pids;
+  for (const auto& [pid, rec] : leader->state().data_partitions()) pids.push_back(pid);
+  if (pids.empty()) co_return Status::Unavailable("no data partitions");
+
+  const uint64_t extent_size = 128 * kMiB;
+  std::vector<meta::ExtentKey> keys;
+  uint64_t offset = 0;
+  while (offset < bytes) {
+    uint64_t len = std::min(extent_size, bytes - offset);
+    data::PartitionId pid = pids[(prepared_ + offset / extent_size) % pids.size()];
+    storage::ExtentId eid = 1'000'000 + ino * 1024 + offset / extent_size;
+    for (sim::NodeId node : cluster_->DataPartitionReplicas(pid)) {
+      for (int i = 0; i < cluster_->num_nodes(); i++) {
+        if (cluster_->node_host(i)->id() != node) continue;
+        data::DataPartition* dp = cluster_->data_node(i)->GetPartition(pid);
+        if (dp) {
+          (void)dp->store().ImportExtent(eid, len, false);
+          dp->set_committed(eid, len);
+        }
+      }
+    }
+    meta::ExtentKey key;
+    key.file_offset = offset;
+    key.partition_id = pid;
+    key.extent_id = eid;
+    key.extent_offset = 0;
+    key.size = len;
+    keys.push_back(key);
+    offset += len;
+  }
+  prepared_++;
+  c_->InjectPreparedFile(ino, std::move(keys), bytes);
+  co_return ino;
+}
+
+Task<Status> CfsDataOps::Write(uint64_t file, uint64_t offset, uint64_t len, bool overwrite) {
+  (void)overwrite;  // the client splits overwrite/append itself (§2.7.2)
+  std::string payload(len, 'w');
+  CFS_CO_RETURN_IF_ERROR(co_await c_->Write(file, offset, std::move(payload)));
+  if (!overwrite) {
+    // Appends sync size/extent metadata (fsync-per-op keeps parity with the
+    // Ceph model's per-op size persist).
+    co_return co_await c_->Fsync(file);
+  }
+  co_return Status::OK();
+}
+
+Task<Status> CfsDataOps::Read(uint64_t file, uint64_t offset, uint64_t len) {
+  auto r = co_await c_->Read(file, offset, len);
+  co_return r.status();
+}
+
+// --- Ceph adapters ----------------------------------------------------------------
+
+Task<Result<uint64_t>> CephMetaOps::Mkdir(uint64_t parent, std::string name) {
+  auto r = co_await c_->Mkdir(parent, std::move(name));
+  if (!r.ok()) co_return r.status();
+  co_return *r;
+}
+
+Task<Result<uint64_t>> CephMetaOps::Create(uint64_t parent, std::string name) {
+  auto r = co_await c_->Create(parent, std::move(name));
+  if (!r.ok()) co_return r.status();
+  co_return *r;
+}
+
+Task<Result<size_t>> CephMetaOps::StatDir(uint64_t dir) {
+  auto r = co_await c_->ReaddirPlus(dir);
+  if (!r.ok()) co_return r.status();
+  co_return r->size();
+}
+
+Task<Status> CephMetaOps::Remove(uint64_t parent, std::string name) {
+  co_return co_await c_->Remove(parent, std::move(name));
+}
+
+Task<Status> CephMetaOps::Rmdir(uint64_t parent, std::string name) {
+  co_return co_await c_->Rmdir(parent, std::move(name));
+}
+
+Task<Result<uint64_t>> CephDataOps::PrepareFile(uint64_t bytes) {
+  (void)bytes;  // objects materialize lazily in the model
+  // One directory per fio file: "each client in Ceph operates different
+  // file directories and each directory is bonded to a specific MDS in
+  // order to maximize the concurrency" (§4.3).
+  static uint64_t file_seq = 0;
+  auto d = co_await c_->Mkdir(ceph::kCephRoot, "fio-dir-" + std::to_string(file_seq++));
+  if (!d.ok()) co_return d.status();
+  auto r = co_await c_->Create(*d, "fio-" + std::to_string(file_seq++));
+  if (!r.ok()) co_return r.status();
+  file_dir_[*r] = *d;
+  co_return *r;
+}
+
+Task<Status> CephDataOps::Write(uint64_t file, uint64_t offset, uint64_t len,
+                                bool overwrite) {
+  uint64_t parent = 0;
+  if (!overwrite) {
+    auto it = file_dir_.find(file);
+    parent = it == file_dir_.end() ? ceph::kCephRoot : it->second;
+  }
+  co_return co_await c_->Write(file, parent, offset, len, overwrite);
+}
+
+Task<Status> CephDataOps::Read(uint64_t file, uint64_t offset, uint64_t len) {
+  co_return co_await c_->Read(file, offset, len);
+}
+
+// --- mdtest ------------------------------------------------------------------------
+
+const char* MdTestName(MdTest t) {
+  switch (t) {
+    case MdTest::kDirCreation: return "DirCreation";
+    case MdTest::kDirStat: return "DirStat";
+    case MdTest::kDirRemoval: return "DirRemoval";
+    case MdTest::kFileCreation: return "FileCreation";
+    case MdTest::kFileRemoval: return "FileRemoval";
+    case MdTest::kTreeCreation: return "TreeCreation";
+    case MdTest::kTreeRemoval: return "TreeRemoval";
+  }
+  return "?";
+}
+
+namespace {
+
+struct ProcState {
+  uint64_t parent = 0;              // per-process working directory
+  std::vector<uint64_t> dirs;       // created directories (DirRemoval)
+  std::vector<std::string> names;   // created entries
+  std::vector<std::pair<uint64_t, std::string>> tree_dirs;  // (parent, name)
+  std::vector<uint64_t> tree_order;                         // creation order
+};
+
+/// Build a tree of non-leaf directories; returns directories in creation
+/// order (parents before children).
+Task<Status> BuildTree(MetaOps* ops, uint64_t root, int depth, int branch,
+                       const std::string& tag,
+                       std::vector<std::pair<uint64_t, std::string>>* dirs_by_parent,
+                       std::vector<uint64_t>* order) {
+  struct Frame {
+    uint64_t dir;
+    int depth;
+  };
+  std::vector<Frame> stack{{root, 0}};
+  int seq = 0;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.depth >= depth) continue;
+    for (int b = 0; b < branch; b++) {
+      std::string name = tag + "-t" + std::to_string(seq++);
+      auto d = co_await ops->Mkdir(f.dir, name);
+      if (!d.ok()) co_return d.status();
+      if (dirs_by_parent) dirs_by_parent->emplace_back(f.dir, name);
+      if (order) order->push_back(*d);
+      stack.push_back({*d, f.depth + 1});
+    }
+  }
+  co_return Status::OK();
+}
+
+}  // namespace
+
+BenchResult RunMdtest(sim::Scheduler* sched, MdTest test,
+                      const std::vector<MetaOps*>& procs, const MdtestParams& params) {
+  const int n = static_cast<int>(procs.size());
+  std::vector<ProcState> state(n);
+
+  // ---- Setup phase (unmeasured) ----
+  {
+    auto setup = [&](int i) -> Task<void> {
+      MetaOps* ops = procs[i];
+      std::string tag = params.phase_tag + "p" + std::to_string(i);
+      auto dir = co_await ops->Mkdir(ops->Root(), tag);
+      if (!dir.ok()) co_return;
+      state[i].parent = *dir;
+      switch (test) {
+        case MdTest::kDirStat: {
+          for (int k = 0; k < params.stat_dir_files; k++) {
+            std::string name = tag + "-s" + std::to_string(k);
+            (void)co_await ops->Create(state[i].parent, name);
+          }
+          break;
+        }
+        case MdTest::kDirRemoval: {
+          for (int k = 0; k < params.items_per_proc; k++) {
+            std::string name = tag + "-d" + std::to_string(k);
+            auto d = co_await ops->Mkdir(state[i].parent, name);
+            if (d.ok()) state[i].names.push_back(name);
+          }
+          break;
+        }
+        case MdTest::kFileRemoval: {
+          for (int k = 0; k < params.items_per_proc; k++) {
+            std::string name = tag + "-f" + std::to_string(k);
+            auto f = co_await ops->Create(state[i].parent, name);
+            if (f.ok()) state[i].names.push_back(name);
+          }
+          break;
+        }
+        case MdTest::kTreeRemoval: {
+          (void)co_await BuildTree(ops, state[i].parent, params.tree_depth,
+                                   params.tree_branch, tag, &state[i].tree_dirs,
+                                   &state[i].tree_order);
+          break;
+        }
+        default:
+          break;
+      }
+    };
+    sim::Join join(sched, n);
+    for (int i = 0; i < n; i++) {
+      auto done = join.Arrive();
+      Spawn([](Task<void> t, std::function<void()> done) -> Task<void> {
+        co_await std::move(t);
+        done();
+      }(setup(i), done));
+    }
+    (void)harness::RunTaskVoid(*sched, join.Wait());
+  }
+
+  // ---- Measured phase ----
+  uint64_t total_ops = 0;
+  SimTime t0 = sched->Now();
+  {
+    auto measured = [&](int i) -> Task<void> {
+      MetaOps* ops = procs[i];
+      std::string tag = params.phase_tag + "p" + std::to_string(i);
+      switch (test) {
+        case MdTest::kDirCreation: {
+          for (int k = 0; k < params.items_per_proc; k++) {
+            auto d = co_await ops->Mkdir(state[i].parent, tag + "-d" + std::to_string(k));
+            if (d.ok()) total_ops++;
+          }
+          break;
+        }
+        case MdTest::kFileCreation: {
+          for (int k = 0; k < params.items_per_proc; k++) {
+            auto f = co_await ops->Create(state[i].parent, tag + "-f" + std::to_string(k));
+            if (f.ok()) total_ops++;
+          }
+          break;
+        }
+        case MdTest::kDirStat: {
+          // mdtest counts one op per stat'ed entry; the -N rank shift makes
+          // process i stat another process's directory.
+          uint64_t target = state[(i + params.stat_shift) % n].parent;
+          for (int rep = 0; rep < params.stat_repetitions; rep++) {
+            auto r = co_await ops->StatDir(target);
+            if (r.ok()) total_ops += *r;
+          }
+          break;
+        }
+        case MdTest::kDirRemoval: {
+          for (auto& name : state[i].names) {
+            Status st = co_await ops->Rmdir(state[i].parent, name);
+            if (st.ok()) total_ops++;
+          }
+          break;
+        }
+        case MdTest::kFileRemoval: {
+          for (auto& name : state[i].names) {
+            Status st = co_await ops->Remove(state[i].parent, name);
+            if (st.ok()) total_ops++;
+          }
+          break;
+        }
+        case MdTest::kTreeCreation: {
+          // mdtest builds the directory tree once (rank 0); an "op" here is
+          // one full tree, which is why the paper's numbers are ~10 IOPS.
+          Status st = co_await BuildTree(ops, state[i].parent, params.tree_depth,
+                                         params.tree_branch, tag, nullptr, nullptr);
+          if (st.ok()) total_ops++;
+          break;
+        }
+        case MdTest::kTreeRemoval: {
+          // mdtest's removal walks the tree via readdir before unlinking:
+          // leaves-first, scanning each directory to discover its entries.
+          auto& order = state[i].tree_order;
+          auto& dirs = state[i].tree_dirs;
+          for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            (void)co_await ops->StatDir(*it);
+          }
+          for (auto it = dirs.rbegin(); it != dirs.rend(); ++it) {
+            (void)co_await ops->Rmdir(it->first, it->second);
+          }
+          total_ops++;
+          break;
+        }
+      }
+    };
+    sim::Join join(sched, n);
+    for (int i = 0; i < n; i++) {
+      auto done = join.Arrive();
+      Spawn([](Task<void> t, std::function<void()> done) -> Task<void> {
+        co_await std::move(t);
+        done();
+      }(measured(i), done));
+    }
+    (void)harness::RunTaskVoid(*sched, join.Wait());
+  }
+  BenchResult res;
+  res.ops = total_ops;
+  res.elapsed = sched->Now() - t0;
+  return res;
+}
+
+// --- fio ---------------------------------------------------------------------------
+
+const char* FioPatternName(FioPattern p) {
+  switch (p) {
+    case FioPattern::kSeqWrite: return "SeqWrite";
+    case FioPattern::kSeqRead: return "SeqRead";
+    case FioPattern::kRandWrite: return "RandWrite";
+    case FioPattern::kRandRead: return "RandRead";
+  }
+  return "?";
+}
+
+BenchResult RunFio(sim::Scheduler* sched, FioPattern pattern,
+                   const std::vector<DataOps*>& procs, const FioParams& params) {
+  const int n = static_cast<int>(procs.size());
+  std::vector<uint64_t> files(n, 0);
+
+  // Laydown (unmeasured).
+  {
+    sim::Join join(sched, n);
+    for (int i = 0; i < n; i++) {
+      auto done = join.Arrive();
+      Spawn([](DataOps* ops, uint64_t bytes, uint64_t& file,
+               std::function<void()> done) -> Task<void> {
+        auto f = co_await ops->PrepareFile(bytes);
+        if (f.ok()) file = *f;
+        done();
+      }(procs[i], params.file_bytes, files[i], done));
+    }
+    (void)harness::RunTaskVoid(*sched, join.Wait());
+  }
+
+  uint64_t total_ops = 0;
+  SimTime t0 = sched->Now();
+  {
+    sim::Join join(sched, n);
+    for (int i = 0; i < n; i++) {
+      auto done = join.Arrive();
+      Spawn([](sim::Scheduler* sched, FioPattern pattern, DataOps* ops, uint64_t file,
+               FioParams params, int seed, uint64_t& total,
+               std::function<void()> done) -> Task<void> {
+        if (file == 0) {
+          done();
+          co_return;
+        }
+        Rng rng(0xf10f10 + seed);
+        uint64_t seq_pos = 0;
+        (void)sched;
+        for (int k = 0; k < params.ops_per_proc; k++) {
+          Status st;
+          switch (pattern) {
+            case FioPattern::kSeqWrite: {
+              // Appends at EOF: overwrite=false (primary-backup path).
+              st = co_await ops->Write(file, params.file_bytes + seq_pos,
+                                       params.seq_block, false);
+              seq_pos += params.seq_block;
+              break;
+            }
+            case FioPattern::kSeqRead: {
+              uint64_t off = seq_pos % (params.file_bytes - params.seq_block);
+              st = co_await ops->Read(file, off, params.seq_block);
+              seq_pos += params.seq_block;
+              break;
+            }
+            case FioPattern::kRandWrite: {
+              uint64_t off = rng.Uniform(params.file_bytes - params.rand_block);
+              st = co_await ops->Write(file, off, params.rand_block, true);
+              break;
+            }
+            case FioPattern::kRandRead: {
+              uint64_t off = rng.Uniform(params.file_bytes - params.rand_block);
+              st = co_await ops->Read(file, off, params.rand_block);
+              break;
+            }
+          }
+          if (st.ok()) total++;
+        }
+        done();
+      }(sched, pattern, procs[i], files[i], params, i, total_ops, done));
+    }
+    (void)harness::RunTaskVoid(*sched, join.Wait());
+  }
+  BenchResult res;
+  res.ops = total_ops;
+  res.elapsed = sched->Now() - t0;
+  return res;
+}
+
+// --- Small files (Fig. 10) -----------------------------------------------------------
+
+BenchResult RunSmallFiles(sim::Scheduler* sched, SmallFileTest test, uint64_t file_size,
+                          const std::vector<MetaOps*>& meta,
+                          const std::vector<DataOps*>& data, int files_per_proc) {
+  const int n = static_cast<int>(meta.size());
+  std::vector<std::vector<std::pair<uint64_t, std::string>>> files(n);
+  std::vector<uint64_t> parents(n, 0);
+
+  // Setup: per-proc dir; for read/removal also pre-create the files.
+  {
+    sim::Join join(sched, n);
+    for (int i = 0; i < n; i++) {
+      auto done = join.Arrive();
+      Spawn([](MetaOps* m, DataOps* d, SmallFileTest test, uint64_t file_size, int count,
+               int i, uint64_t& parent, std::vector<std::pair<uint64_t, std::string>>& out,
+               std::function<void()> done) -> Task<void> {
+        std::string tag = "sf" + std::to_string(i);
+        auto dir = co_await m->Mkdir(m->Root(), tag);
+        if (dir.ok()) {
+          parent = *dir;
+          if (test != SmallFileTest::kWrite) {
+            for (int k = 0; k < count; k++) {
+              std::string name = tag + "-" + std::to_string(k);
+              auto f = co_await m->Create(parent, name);
+              if (!f.ok()) continue;
+              d->BindParent(*f, parent);
+              (void)co_await d->Write(*f, 0, file_size, false);
+              out.emplace_back(*f, name);
+            }
+          }
+        }
+        done();
+      }(meta[i], data[i], test, file_size, files_per_proc, i, parents[i], files[i], done));
+    }
+    (void)harness::RunTaskVoid(*sched, join.Wait());
+  }
+
+  uint64_t total_ops = 0;
+  SimTime t0 = sched->Now();
+  {
+    sim::Join join(sched, n);
+    for (int i = 0; i < n; i++) {
+      auto done = join.Arrive();
+      Spawn([](MetaOps* m, DataOps* d, SmallFileTest test, uint64_t file_size, int count,
+               int i, uint64_t parent, std::vector<std::pair<uint64_t, std::string>>& mine,
+               uint64_t& total, std::function<void()> done) -> Task<void> {
+        std::string tag = "sf" + std::to_string(i);
+        switch (test) {
+          case SmallFileTest::kWrite: {
+            for (int k = 0; k < count; k++) {
+              std::string name = tag + "-w" + std::to_string(k);
+              auto f = co_await m->Create(parent, name);
+              if (!f.ok()) continue;
+              d->BindParent(*f, parent);
+              Status st = co_await d->Write(*f, 0, file_size, false);
+              if (st.ok()) total++;
+            }
+            break;
+          }
+          case SmallFileTest::kRead: {
+            for (auto& [ino, name] : mine) {
+              Status st = co_await d->Read(ino, 0, file_size);
+              if (st.ok()) total++;
+            }
+            break;
+          }
+          case SmallFileTest::kRemoval: {
+            for (auto& [ino, name] : mine) {
+              Status st = co_await m->Remove(parent, name);
+              if (st.ok()) total++;
+            }
+            break;
+          }
+        }
+        done();
+      }(meta[i], data[i], test, file_size, files_per_proc, i, parents[i], files[i],
+        total_ops, done));
+    }
+    (void)harness::RunTaskVoid(*sched, join.Wait());
+  }
+  BenchResult res;
+  res.ops = total_ops;
+  res.elapsed = sched->Now() - t0;
+  return res;
+}
+
+// --- Printing ----------------------------------------------------------------------
+
+void PrintHeader(const std::string& title, const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-24s", "");
+  for (const auto& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& label, const std::vector<double>& values) {
+  std::printf("%-24s", label.c_str());
+  for (double v : values) {
+    if (v >= 1000) {
+      std::printf("%14.0f", v);
+    } else {
+      std::printf("%14.1f", v);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace cfs::bench

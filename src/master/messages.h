@@ -1,0 +1,98 @@
+// Resource-manager wire messages (§2.3): node registration and heartbeats,
+// volume creation, volume views handed to clients, and failure reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datanode/messages.h"
+#include "meta/messages.h"
+#include "sim/network.h"
+
+namespace cfs::master {
+
+using meta::PartitionId;
+using meta::VolumeId;
+
+struct RegisterNodeReq {
+  sim::NodeId node = 0;
+  bool is_meta = false;
+  bool is_data = false;
+};
+struct RegisterNodeResp {
+  Status status;
+  uint32_t raft_set = 0;  // the Raft set this node was assigned to (§2.5.1)
+};
+
+/// Periodic node -> master heartbeat carrying utilization and per-partition
+/// reports (how the master learns maxInodeID, fullness and leadership).
+struct NodeHeartbeatReq {
+  sim::NodeId node = 0;
+  double memory_utilization = 0;
+  double disk_utilization = 0;
+  std::vector<meta::MetaPartitionReport> meta_reports;
+  std::vector<data::DataPartitionReport> data_reports;
+  size_t WireBytes() const {
+    return 64 + meta_reports.size() * 48 + data_reports.size() * 40;
+  }
+};
+struct NodeHeartbeatResp {
+  Status status;
+};
+
+struct CreateVolumeReq {
+  std::string name;
+  uint32_t meta_partitions = 3;
+  uint32_t data_partitions = 10;
+  uint32_t replica_factor = 3;
+  size_t WireBytes() const { return 64 + name.size(); }
+};
+struct CreateVolumeResp {
+  Status status;
+  VolumeId volume = 0;
+};
+
+/// Client-visible placement of one meta partition (inode range + replicas).
+struct MetaPartitionView {
+  PartitionId pid = 0;
+  uint64_t start = 0;
+  uint64_t end = 0;
+  std::vector<sim::NodeId> replicas;
+  sim::NodeId leader_hint = 0;
+  bool writable = true;
+};
+
+/// Client-visible placement of one data partition.
+struct DataPartitionView {
+  PartitionId pid = 0;
+  std::vector<sim::NodeId> replicas;  // index 0 = chain leader (§2.7.1)
+  sim::NodeId raft_leader_hint = 0;
+  bool writable = true;
+};
+
+struct GetVolumeReq {
+  std::string name;
+  size_t WireBytes() const { return 32 + name.size(); }
+};
+struct GetVolumeResp {
+  Status status;
+  VolumeId volume = 0;
+  std::vector<MetaPartitionView> meta_partitions;
+  std::vector<DataPartitionView> data_partitions;
+  size_t WireBytes() const {
+    return 32 + meta_partitions.size() * 48 + data_partitions.size() * 40;
+  }
+};
+
+/// Exception handling (§2.3.3): a client observed a request timeout on a
+/// partition; the master marks the remaining replicas read-only.
+struct ReportPartitionFailureReq {
+  PartitionId pid = 0;
+  bool is_meta = false;
+};
+struct ReportPartitionFailureResp {
+  Status status;
+};
+
+}  // namespace cfs::master

@@ -1,0 +1,189 @@
+// Wire messages between clients and meta nodes, plus resource-manager admin
+// messages for meta partitions. Request routing is by partition id; write
+// operations are executed through the partition's raft group, reads are
+// served from leader memory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "meta/meta_partition.h"
+#include "meta/types.h"
+#include "sim/network.h"
+
+namespace cfs::meta {
+
+// --- Inode ops -------------------------------------------------------------
+
+struct MetaCreateInodeReq {
+  PartitionId pid = 0;
+  FileType type = FileType::kFile;
+  std::string link_target;
+  size_t WireBytes() const { return 48 + link_target.size(); }
+};
+struct MetaCreateInodeResp {
+  Status status;
+  Inode inode;
+};
+
+struct MetaUnlinkInodeReq {
+  PartitionId pid = 0;
+  InodeId ino = 0;
+};
+struct MetaUnlinkInodeResp {
+  Status status;
+  uint64_t nlink = 0;
+  Inode inode;
+};
+
+struct MetaLinkInodeReq {
+  PartitionId pid = 0;
+  InodeId ino = 0;
+};
+struct MetaLinkInodeResp {
+  Status status;
+  Inode inode;
+};
+
+struct MetaEvictInodeReq {
+  PartitionId pid = 0;
+  InodeId ino = 0;
+};
+struct MetaEvictInodeResp {
+  Status status;
+  Inode inode;  // evicted inode (extent keys used for content purge)
+};
+
+struct MetaGetInodeReq {
+  PartitionId pid = 0;
+  InodeId ino = 0;
+};
+struct MetaGetInodeResp {
+  Status status;
+  Inode inode;
+};
+
+/// The batched inode fetch CFS uses to serve readdir efficiently (§4.2: a
+/// batchInodeGet replaces Ceph's per-inode fetches).
+struct MetaBatchInodeGetReq {
+  PartitionId pid = 0;
+  std::vector<InodeId> inos;
+  size_t WireBytes() const { return 32 + inos.size() * 8; }
+};
+struct MetaBatchInodeGetResp {
+  Status status;
+  std::vector<Inode> inodes;
+  size_t WireBytes() const { return 16 + inodes.size() * 96; }
+};
+
+// --- Dentry ops ------------------------------------------------------------
+
+struct MetaCreateDentryReq {
+  PartitionId pid = 0;
+  Dentry dentry;
+  size_t WireBytes() const { return 64 + dentry.name.size(); }
+};
+struct MetaCreateDentryResp {
+  Status status;
+};
+
+struct MetaDeleteDentryReq {
+  PartitionId pid = 0;
+  InodeId parent = 0;
+  std::string name;
+  size_t WireBytes() const { return 48 + name.size(); }
+};
+struct MetaDeleteDentryResp {
+  Status status;
+  Dentry dentry;  // the removed dentry (its inode gets unlinked next)
+};
+
+struct MetaLookupReq {
+  PartitionId pid = 0;
+  InodeId parent = 0;
+  std::string name;
+  size_t WireBytes() const { return 48 + name.size(); }
+};
+struct MetaLookupResp {
+  Status status;
+  Dentry dentry;
+};
+
+struct MetaReadDirReq {
+  PartitionId pid = 0;
+  InodeId parent = 0;
+};
+struct MetaReadDirResp {
+  Status status;
+  std::vector<Dentry> dentries;
+  size_t WireBytes() const { return 16 + dentries.size() * 64; }
+};
+
+// --- File content metadata ---------------------------------------------------
+
+struct MetaAppendExtentReq {
+  PartitionId pid = 0;
+  InodeId ino = 0;
+  ExtentKey key;
+  uint64_t new_size = 0;
+};
+struct MetaAppendExtentResp {
+  Status status;
+  Inode inode;
+};
+
+struct MetaSetAttrReq {
+  PartitionId pid = 0;
+  InodeId ino = 0;
+  uint64_t size = 0;
+  int64_t mtime = 0;
+};
+struct MetaSetAttrResp {
+  Status status;
+};
+
+struct MetaTruncateReq {
+  PartitionId pid = 0;
+  InodeId ino = 0;
+  uint64_t new_size = 0;
+};
+struct MetaTruncateResp {
+  Status status;
+  Inode inode;  // pre-truncate inode: dropped extents get freed by the caller
+};
+
+// --- Admin (resource manager -> meta node) ----------------------------------
+
+struct CreateMetaPartitionReq {
+  MetaPartitionConfig config;
+  std::vector<sim::NodeId> peers;
+  size_t WireBytes() const { return 64 + peers.size() * 4; }
+};
+struct CreateMetaPartitionResp {
+  Status status;
+};
+
+/// Algorithm 1, step "sync with the meta node": cut the inode range.
+struct SplitMetaPartitionReq {
+  PartitionId pid = 0;
+  InodeId end = 0;
+};
+struct SplitMetaPartitionResp {
+  Status status;
+  InodeId max_inode_id = 0;
+};
+
+/// Per-partition state reported to the resource manager.
+struct MetaPartitionReport {
+  PartitionId pid = 0;
+  VolumeId volume = 0;
+  InodeId start = 0;
+  InodeId end = 0;
+  InodeId max_inode_id = 0;
+  uint64_t item_count = 0;
+  bool is_leader = false;
+  bool full = false;
+};
+
+}  // namespace cfs::meta

@@ -1,0 +1,496 @@
+#include "meta/meta_partition.h"
+
+namespace cfs::meta {
+
+MetaPartition::MetaPartition(const MetaPartitionConfig& config, sim::Host* host)
+    : config_(config), host_(host), next_inode_(config.start) {
+  InitRoot();
+}
+
+void MetaPartition::InitRoot() {
+  if (!config_.create_root || next_inode_ != kRootInode) return;
+  Inode root;
+  root.id = next_inode_++;
+  root.type = FileType::kDir;
+  root.nlink = 2;
+  AccountMemory(static_cast<int64_t>(root.MemoryFootprint()));
+  inode_tree_.Insert(root.id, std::move(root));
+}
+
+MetaPartition::~MetaPartition() {
+  // Return the accounted memory to the host.
+  if (memory_bytes_ > 0) host_->AddMemory(-static_cast<int64_t>(memory_bytes_));
+}
+
+void MetaPartition::AccountMemory(int64_t delta) {
+  memory_bytes_ = static_cast<uint64_t>(static_cast<int64_t>(memory_bytes_) + delta);
+  host_->AddMemory(delta);
+}
+
+// --- Command encoding ------------------------------------------------------
+
+std::string MetaPartition::EncodeCreateInode(FileType type, std::string_view link_target,
+                                             int64_t mtime) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(MetaOp::kCreateInode));
+  enc.PutU8(static_cast<uint8_t>(type));
+  enc.PutString(link_target);
+  enc.PutI64(mtime);
+  return enc.Take();
+}
+
+std::string MetaPartition::EncodeUnlinkInode(InodeId ino) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(MetaOp::kUnlinkInode));
+  enc.PutVarint(ino);
+  return enc.Take();
+}
+
+std::string MetaPartition::EncodeLinkInode(InodeId ino) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(MetaOp::kLinkInode));
+  enc.PutVarint(ino);
+  return enc.Take();
+}
+
+std::string MetaPartition::EncodeEvictInode(InodeId ino) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(MetaOp::kEvictInode));
+  enc.PutVarint(ino);
+  return enc.Take();
+}
+
+std::string MetaPartition::EncodeCreateDentry(const Dentry& d) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(MetaOp::kCreateDentry));
+  d.Encode(&enc);
+  return enc.Take();
+}
+
+std::string MetaPartition::EncodeDeleteDentry(InodeId parent, std::string_view name) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(MetaOp::kDeleteDentry));
+  enc.PutVarint(parent);
+  enc.PutString(name);
+  return enc.Take();
+}
+
+std::string MetaPartition::EncodeAppendExtent(InodeId ino, const ExtentKey& key,
+                                              uint64_t new_size) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(MetaOp::kAppendExtent));
+  enc.PutVarint(ino);
+  key.Encode(&enc);
+  enc.PutVarint(new_size);
+  return enc.Take();
+}
+
+std::string MetaPartition::EncodeSetAttr(InodeId ino, uint64_t size, int64_t mtime) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(MetaOp::kSetAttr));
+  enc.PutVarint(ino);
+  enc.PutVarint(size);
+  enc.PutI64(mtime);
+  return enc.Take();
+}
+
+std::string MetaPartition::EncodeTruncate(InodeId ino, uint64_t new_size) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(MetaOp::kTruncate));
+  enc.PutVarint(ino);
+  enc.PutVarint(new_size);
+  return enc.Take();
+}
+
+std::string MetaPartition::EncodeSetEnd(InodeId end) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(MetaOp::kSetEnd));
+  enc.PutVarint(end);
+  return enc.Take();
+}
+
+// --- Apply -----------------------------------------------------------------
+
+void MetaPartition::Apply(raft::Index index, std::string_view data) {
+  Decoder dec(data);
+  uint8_t op = 0;
+  ApplyResult res;
+  if (!dec.GetU8(&op).ok()) {
+    res.status = Status::Corruption("empty meta command");
+  } else {
+    switch (static_cast<MetaOp>(op)) {
+      case MetaOp::kCreateInode: ApplyCreateInode(&dec, &res); break;
+      case MetaOp::kUnlinkInode: ApplyUnlinkInode(&dec, &res); break;
+      case MetaOp::kLinkInode: ApplyLinkInode(&dec, &res); break;
+      case MetaOp::kEvictInode: ApplyEvictInode(&dec, &res); break;
+      case MetaOp::kCreateDentry: ApplyCreateDentry(&dec, &res); break;
+      case MetaOp::kDeleteDentry: ApplyDeleteDentry(&dec, &res); break;
+      case MetaOp::kAppendExtent: ApplyAppendExtent(&dec, &res); break;
+      case MetaOp::kSetAttr: ApplySetAttr(&dec, &res); break;
+      case MetaOp::kTruncate: ApplyTruncate(&dec, &res); break;
+      case MetaOp::kSetEnd: ApplySetEnd(&dec, &res); break;
+      default: res.status = Status::Corruption("unknown meta op"); break;
+    }
+  }
+  results_.emplace(index, std::move(res));
+  while (results_.size() > kMaxResults) results_.erase(results_.begin());
+}
+
+std::optional<ApplyResult> MetaPartition::TakeResult(raft::Index index) {
+  auto it = results_.find(index);
+  if (it == results_.end()) return std::nullopt;
+  ApplyResult res = std::move(it->second);
+  results_.erase(it);
+  return res;
+}
+
+void MetaPartition::ApplyCreateInode(Decoder* dec, ApplyResult* res) {
+  uint8_t type;
+  std::string link_target;
+  int64_t mtime;
+  res->status = dec->GetU8(&type);
+  if (!res->status.ok()) return;
+  res->status = dec->GetString(&link_target);
+  if (!res->status.ok()) return;
+  res->status = dec->GetI64(&mtime);
+  if (!res->status.ok()) return;
+
+  if (next_inode_ > config_.end) {
+    // The id range was cut off by a split; the client must retry on the
+    // partition owning the higher range.
+    res->status = Status::NoSpace("inode range exhausted");
+    return;
+  }
+  // "The meta node picks up the smallest inode id that has not been used so
+  // far in this partition ... and updates its largest inode id" (§2.6.1).
+  Inode ino;
+  ino.id = next_inode_++;
+  ino.type = static_cast<FileType>(type);
+  ino.link_target = std::move(link_target);
+  // A fresh file inode has one pending link (the dentry about to be
+  // created); a directory starts at 2 ("." and itself-in-parent).
+  ino.nlink = ino.type == FileType::kDir ? 2 : 1;
+  ino.mtime = mtime;
+  AccountMemory(static_cast<int64_t>(ino.MemoryFootprint()));
+  res->inode = ino;
+  inode_tree_.Insert(ino.id, std::move(ino));
+  res->status = Status::OK();
+}
+
+void MetaPartition::ApplyUnlinkInode(Decoder* dec, ApplyResult* res) {
+  InodeId id;
+  res->status = dec->GetVarint(&id);
+  if (!res->status.ok()) return;
+  Inode* ino = inode_tree_.FindMutable(id);
+  if (!ino) {
+    res->status = Status::NotFound("inode " + std::to_string(id));
+    return;
+  }
+  if (ino->nlink > 0) ino->nlink--;
+  if (ino->nlink <= UnlinkThreshold(ino->type) && !ino->IsDeleted()) {
+    ino->flag |= kInodeDeleteMark;
+    free_list_.push_back(id);  // content purge handled by the meta node
+  }
+  res->value = ino->nlink;
+  res->inode = *ino;
+  res->status = Status::OK();
+}
+
+void MetaPartition::ApplyLinkInode(Decoder* dec, ApplyResult* res) {
+  InodeId id;
+  res->status = dec->GetVarint(&id);
+  if (!res->status.ok()) return;
+  Inode* ino = inode_tree_.FindMutable(id);
+  if (!ino) {
+    res->status = Status::NotFound("inode " + std::to_string(id));
+    return;
+  }
+  if (ino->IsDeleted()) {
+    res->status = Status::NotFound("inode already deleted");
+    return;
+  }
+  ino->nlink++;
+  res->inode = *ino;
+  res->status = Status::OK();
+}
+
+void MetaPartition::ApplyEvictInode(Decoder* dec, ApplyResult* res) {
+  InodeId id;
+  res->status = dec->GetVarint(&id);
+  if (!res->status.ok()) return;
+  const Inode* ino = inode_tree_.Find(id);
+  if (!ino) {
+    res->status = Status::OK();  // idempotent: already evicted
+    return;
+  }
+  res->inode = *ino;  // caller needs the extent keys for content purge
+  AccountMemory(-static_cast<int64_t>(ino->MemoryFootprint()));
+  inode_tree_.Erase(id);
+  // Free-list membership is replicated state: erase deterministically here.
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (*it == id) {
+      free_list_.erase(it);
+      break;
+    }
+  }
+  res->status = Status::OK();
+}
+
+void MetaPartition::ApplyCreateDentry(Decoder* dec, ApplyResult* res) {
+  Dentry d;
+  res->status = Dentry::Decode(dec, &d);
+  if (!res->status.ok()) return;
+  DentryKey key{d.parent, d.name};
+  if (dentry_tree_.Contains(key)) {
+    res->status = Status::AlreadyExists(d.name);
+    return;
+  }
+  AccountMemory(static_cast<int64_t>(d.MemoryFootprint()));
+  res->dentry = d;
+  dentry_tree_.Insert(std::move(key), std::move(d));
+  res->status = Status::OK();
+}
+
+void MetaPartition::ApplyDeleteDentry(Decoder* dec, ApplyResult* res) {
+  InodeId parent;
+  std::string name;
+  res->status = dec->GetVarint(&parent);
+  if (!res->status.ok()) return;
+  res->status = dec->GetString(&name);
+  if (!res->status.ok()) return;
+  DentryKey key{parent, name};
+  const Dentry* d = dentry_tree_.Find(key);
+  if (!d) {
+    res->status = Status::NotFound(name);
+    return;
+  }
+  res->dentry = *d;  // caller unlinks this inode next (§2.6.3)
+  AccountMemory(-static_cast<int64_t>(d->MemoryFootprint()));
+  dentry_tree_.Erase(key);
+  res->status = Status::OK();
+}
+
+void MetaPartition::ApplyAppendExtent(Decoder* dec, ApplyResult* res) {
+  InodeId id;
+  ExtentKey key;
+  uint64_t new_size;
+  res->status = dec->GetVarint(&id);
+  if (!res->status.ok()) return;
+  res->status = ExtentKey::Decode(dec, &key);
+  if (!res->status.ok()) return;
+  res->status = dec->GetVarint(&new_size);
+  if (!res->status.ok()) return;
+  Inode* ino = inode_tree_.FindMutable(id);
+  if (!ino) {
+    res->status = Status::NotFound("inode " + std::to_string(id));
+    return;
+  }
+  // A client re-syncing a grown extent replaces the existing key (size is
+  // monotone); an exact duplicate (retry) is a no-op.
+  bool found = false;
+  for (auto& e : ino->extents) {
+    if (e.partition_id == key.partition_id && e.extent_id == key.extent_id &&
+        e.extent_offset == key.extent_offset && e.file_offset == key.file_offset) {
+      e.size = std::max(e.size, key.size);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    ino->extents.push_back(key);
+    AccountMemory(sizeof(ExtentKey));
+  }
+  ino->size = std::max(ino->size, new_size);
+  res->inode = *ino;
+  res->status = Status::OK();
+}
+
+void MetaPartition::ApplySetAttr(Decoder* dec, ApplyResult* res) {
+  InodeId id;
+  uint64_t size;
+  int64_t mtime;
+  res->status = dec->GetVarint(&id);
+  if (!res->status.ok()) return;
+  res->status = dec->GetVarint(&size);
+  if (!res->status.ok()) return;
+  res->status = dec->GetI64(&mtime);
+  if (!res->status.ok()) return;
+  Inode* ino = inode_tree_.FindMutable(id);
+  if (!ino) {
+    res->status = Status::NotFound("inode");
+    return;
+  }
+  ino->size = size;
+  ino->mtime = mtime;
+  res->inode = *ino;
+  res->status = Status::OK();
+}
+
+void MetaPartition::ApplyTruncate(Decoder* dec, ApplyResult* res) {
+  InodeId id;
+  uint64_t new_size;
+  res->status = dec->GetVarint(&id);
+  if (!res->status.ok()) return;
+  res->status = dec->GetVarint(&new_size);
+  if (!res->status.ok()) return;
+  Inode* ino = inode_tree_.FindMutable(id);
+  if (!ino) {
+    res->status = Status::NotFound("inode");
+    return;
+  }
+  // Return the truncated-away extent keys so the caller can free content.
+  res->inode = *ino;
+  std::vector<ExtentKey> kept;
+  for (const auto& e : ino->extents) {
+    if (e.file_offset < new_size) kept.push_back(e);
+  }
+  int64_t delta = static_cast<int64_t>(kept.size() * sizeof(ExtentKey)) -
+                  static_cast<int64_t>(ino->extents.size() * sizeof(ExtentKey));
+  AccountMemory(delta);
+  ino->extents = std::move(kept);
+  ino->size = new_size;
+  res->status = Status::OK();
+}
+
+void MetaPartition::ApplySetEnd(Decoder* dec, ApplyResult* res) {
+  InodeId end;
+  res->status = dec->GetVarint(&end);
+  if (!res->status.ok()) return;
+  // Algorithm 1: the new end must still cover every allocated inode id.
+  if (end < next_inode_ - 1) {
+    res->status = Status::InvalidArgument("split end below maxInodeID");
+    return;
+  }
+  config_.end = end;
+  res->value = end;
+  res->status = Status::OK();
+}
+
+// --- Reads -----------------------------------------------------------------
+
+const Dentry* MetaPartition::Lookup(InodeId parent, const std::string& name) const {
+  return dentry_tree_.Find(DentryKey{parent, name});
+}
+
+std::vector<Dentry> MetaPartition::ReadDir(InodeId parent) const {
+  std::vector<Dentry> out;
+  dentry_tree_.AscendFrom(DentryKey{parent, ""}, [&](const DentryKey& k, const Dentry& d) {
+    if (k.parent != parent) return false;
+    out.push_back(d);
+    return true;
+  });
+  return out;
+}
+
+std::vector<Inode> MetaPartition::BatchInodeGet(const std::vector<InodeId>& inos) const {
+  std::vector<Inode> out;
+  out.reserve(inos.size());
+  for (InodeId id : inos) {
+    if (const Inode* ino = inode_tree_.Find(id)) out.push_back(*ino);
+  }
+  return out;
+}
+
+std::vector<InodeId> MetaPartition::ReferencedInodes() const {
+  std::vector<InodeId> out;
+  dentry_tree_.Ascend([&](const DentryKey&, const Dentry& d) {
+    out.push_back(d.inode);
+    return true;
+  });
+  return out;
+}
+
+std::vector<InodeId> MetaPartition::LiveFileInodes() const {
+  std::vector<InodeId> out;
+  inode_tree_.Ascend([&](const InodeId& id, const Inode& ino) {
+    if (!ino.IsDeleted() && ino.type != FileType::kDir) out.push_back(id);
+    return true;
+  });
+  return out;
+}
+
+std::vector<InodeId> MetaPartition::FindOrphanInodes() const {
+  std::set<InodeId> referenced;
+  dentry_tree_.Ascend([&](const DentryKey&, const Dentry& d) {
+    referenced.insert(d.inode);
+    return true;
+  });
+  std::vector<InodeId> orphans;
+  inode_tree_.Ascend([&](const InodeId& id, const Inode& ino) {
+    if (!referenced.count(id) && !ino.IsDeleted() && ino.type != FileType::kDir) {
+      orphans.push_back(id);
+    }
+    return true;
+  });
+  return orphans;
+}
+
+// --- Snapshot --------------------------------------------------------------
+
+std::string MetaPartition::TakeSnapshot() {
+  Encoder enc;
+  enc.PutVarint(config_.id);
+  enc.PutVarint(config_.volume);
+  enc.PutVarint(config_.start);
+  enc.PutVarint(config_.end);
+  enc.PutVarint(next_inode_);
+  enc.PutVarint(inode_tree_.size());
+  inode_tree_.Ascend([&](const InodeId&, const Inode& ino) {
+    ino.Encode(&enc);
+    return true;
+  });
+  enc.PutVarint(dentry_tree_.size());
+  dentry_tree_.Ascend([&](const DentryKey&, const Dentry& d) {
+    d.Encode(&enc);
+    return true;
+  });
+  enc.PutVarint(free_list_.size());
+  for (InodeId id : free_list_) enc.PutVarint(id);
+  return enc.Take();
+}
+
+void MetaPartition::Restore(std::string_view snapshot) {
+  AccountMemory(-static_cast<int64_t>(memory_bytes_));
+  inode_tree_.Clear();
+  dentry_tree_.Clear();
+  free_list_.clear();
+  results_.clear();
+  if (snapshot.empty()) {
+    next_inode_ = config_.start;
+    InitRoot();
+    return;
+  }
+  Decoder dec(snapshot);
+  uint64_t n = 0;
+  (void)dec.GetVarint(&config_.id);
+  (void)dec.GetVarint(&config_.volume);
+  (void)dec.GetVarint(&config_.start);
+  (void)dec.GetVarint(&config_.end);
+  (void)dec.GetVarint(&next_inode_);
+  (void)dec.GetVarint(&n);
+  int64_t mem = 0;
+  for (uint64_t i = 0; i < n; i++) {
+    Inode ino;
+    if (!Inode::Decode(&dec, &ino).ok()) break;
+    mem += static_cast<int64_t>(ino.MemoryFootprint());
+    InodeId id = ino.id;
+    inode_tree_.Insert(id, std::move(ino));
+  }
+  (void)dec.GetVarint(&n);
+  for (uint64_t i = 0; i < n; i++) {
+    Dentry d;
+    if (!Dentry::Decode(&dec, &d).ok()) break;
+    mem += static_cast<int64_t>(d.MemoryFootprint());
+    DentryKey key{d.parent, d.name};  // build before moving d
+    dentry_tree_.Insert(std::move(key), std::move(d));
+  }
+  (void)dec.GetVarint(&n);
+  for (uint64_t i = 0; i < n; i++) {
+    uint64_t id;
+    if (!dec.GetVarint(&id).ok()) break;
+    free_list_.push_back(id);
+  }
+  AccountMemory(mem);
+}
+
+}  // namespace cfs::meta

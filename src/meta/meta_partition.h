@@ -1,0 +1,151 @@
+// A meta partition (§2.1.1): an in-memory shard of the file metadata of one
+// volume, holding the inodeTree and dentryTree B-trees, replicated by raft,
+// persisted via snapshots + logs (§2.1.3), and owning an inode id range
+// [start, end] that the resource manager may cut off when splitting
+// (Algorithm 1).
+//
+// Write operations are raft commands applied deterministically by every
+// replica; reads (lookup, readdir, batch inode get) are served from leader
+// memory without consensus, matching the paper's read-at-leader design.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "meta/btree.h"
+#include "meta/types.h"
+#include "raft/types.h"
+#include "sim/network.h"
+
+namespace cfs::meta {
+
+/// Raft command opcodes for meta partitions.
+enum class MetaOp : uint8_t {
+  kCreateInode = 1,
+  kUnlinkInode = 2,   // nlink--; marks deleted at the threshold
+  kLinkInode = 3,     // nlink++
+  kEvictInode = 4,    // remove a fully-deleted/orphan inode from the tree
+  kCreateDentry = 5,
+  kDeleteDentry = 6,
+  kAppendExtent = 7,  // record an extent key + new size on an inode
+  kSetAttr = 8,
+  kTruncate = 9,
+  kSetEnd = 10,       // Algorithm 1: cut off the inode id range at `end`
+};
+
+/// Outcome of applying a command, retrievable by the proposing coroutine at
+/// the commit index.
+struct ApplyResult {
+  Status status;
+  Inode inode;       // for inode-returning ops
+  Dentry dentry;     // for dentry-returning ops
+  uint64_t value = 0;  // nlink after unlink, etc.
+};
+
+struct MetaPartitionConfig {
+  PartitionId id = 0;
+  VolumeId volume = 0;
+  InodeId start = kRootInode;               // first allocatable inode id
+  InodeId end = UINT64_MAX;                 // inclusive range end (∞ until split)
+  uint64_t max_items = 1u << 20;            // inode+dentry capacity threshold
+  /// Set on the volume's first partition: pre-creates the root directory
+  /// inode (id 1) as part of the partition's initial state.
+  bool create_root = false;
+};
+
+class MetaPartition : public raft::StateMachine {
+ public:
+  MetaPartition(const MetaPartitionConfig& config, sim::Host* host);
+
+  /// Deterministic initial state: the root directory inode, when configured.
+  void InitRoot();
+  ~MetaPartition() override;
+
+  const MetaPartitionConfig& config() const { return config_; }
+  PartitionId id() const { return config_.id; }
+
+  // --- Command encoding (client/meta-node side) ---
+  static std::string EncodeCreateInode(FileType type, std::string_view link_target,
+                                       int64_t mtime);
+  static std::string EncodeUnlinkInode(InodeId ino);
+  static std::string EncodeLinkInode(InodeId ino);
+  static std::string EncodeEvictInode(InodeId ino);
+  static std::string EncodeCreateDentry(const Dentry& d);
+  static std::string EncodeDeleteDentry(InodeId parent, std::string_view name);
+  static std::string EncodeAppendExtent(InodeId ino, const ExtentKey& key, uint64_t new_size);
+  static std::string EncodeSetAttr(InodeId ino, uint64_t size, int64_t mtime);
+  static std::string EncodeTruncate(InodeId ino, uint64_t new_size);
+  static std::string EncodeSetEnd(InodeId end);
+
+  // --- raft::StateMachine ---
+  void Apply(raft::Index index, std::string_view data) override;
+  std::string TakeSnapshot() override;
+  void Restore(std::string_view snapshot) override;
+
+  /// Fetch (and erase) the apply outcome at `index`; nullopt if pruned.
+  std::optional<ApplyResult> TakeResult(raft::Index index);
+
+  // --- Leader reads (no consensus; §2.7.4 reads happen at the leader) ---
+  const Inode* GetInode(InodeId ino) const { return inode_tree_.Find(ino); }
+  const Dentry* Lookup(InodeId parent, const std::string& name) const;
+  std::vector<Dentry> ReadDir(InodeId parent) const;
+  std::vector<Inode> BatchInodeGet(const std::vector<InodeId>& inos) const;
+
+  // --- Capacity / placement inputs ---
+  InodeId max_inode_id() const { return next_inode_ - 1; }
+  size_t inode_count() const { return inode_tree_.size(); }
+  size_t dentry_count() const { return dentry_tree_.size(); }
+  size_t item_count() const { return inode_tree_.size() + dentry_tree_.size(); }
+  bool IsFull() const { return item_count() >= config_.max_items || next_inode_ > config_.end; }
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  bool read_only() const { return read_only_; }
+  void set_read_only(bool v) { read_only_ = v; }
+
+  /// Inodes marked deleted, awaiting content purge (the free list). Entries
+  /// are removed deterministically when the evict command applies.
+  const std::deque<InodeId>& free_list() const { return free_list_; }
+
+  /// fsck helper: inode ids on THIS partition with no LOCAL referencing
+  /// dentry. Because CFS stores a file's inode and dentry on potentially
+  /// different partitions (§2.6), real fsck must union ReferencedInodes()
+  /// across all partitions of the volume and subtract; see the
+  /// fault-injection tests for the full walk.
+  std::vector<InodeId> FindOrphanInodes() const;
+
+  /// All inode ids referenced by dentries stored on this partition.
+  std::vector<InodeId> ReferencedInodes() const;
+
+  /// All live (non-deleted) file inode ids stored on this partition.
+  std::vector<InodeId> LiveFileInodes() const;
+
+ private:
+  void ApplyCreateInode(Decoder* dec, ApplyResult* res);
+  void ApplyUnlinkInode(Decoder* dec, ApplyResult* res);
+  void ApplyLinkInode(Decoder* dec, ApplyResult* res);
+  void ApplyEvictInode(Decoder* dec, ApplyResult* res);
+  void ApplyCreateDentry(Decoder* dec, ApplyResult* res);
+  void ApplyDeleteDentry(Decoder* dec, ApplyResult* res);
+  void ApplyAppendExtent(Decoder* dec, ApplyResult* res);
+  void ApplySetAttr(Decoder* dec, ApplyResult* res);
+  void ApplyTruncate(Decoder* dec, ApplyResult* res);
+  void ApplySetEnd(Decoder* dec, ApplyResult* res);
+
+  void AccountMemory(int64_t delta);
+
+  MetaPartitionConfig config_;
+  sim::Host* host_;
+
+  BTree<InodeId, Inode> inode_tree_;
+  BTree<DentryKey, Dentry> dentry_tree_;
+  InodeId next_inode_;
+  std::deque<InodeId> free_list_;
+  uint64_t memory_bytes_ = 0;
+  bool read_only_ = false;
+
+  std::map<raft::Index, ApplyResult> results_;
+  static constexpr size_t kMaxResults = 4096;
+};
+
+}  // namespace cfs::meta

@@ -1,0 +1,146 @@
+// Inode and dentry definitions (§2.1.1). Mirrors the paper's structures:
+// the inode carries type, link target, nlink and flags; the dentry is keyed
+// by (parent inode id, name) and references the child inode. Extent
+// locations of file content are recorded on the inode as ExtentKeys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace cfs::meta {
+
+using InodeId = uint64_t;
+using PartitionId = uint64_t;
+using VolumeId = uint64_t;
+
+constexpr InodeId kRootInode = 1;
+
+enum class FileType : uint8_t { kFile = 1, kDir = 2, kSymlink = 3 };
+
+/// Inode flag bits.
+constexpr uint32_t kInodeDeleteMark = 1u << 0;  // nlink hit threshold; content pending purge
+
+/// Location of a piece of file content: which data partition / extent, the
+/// physical offset inside the extent (non-zero only for aggregated small
+/// files, §2.2.3), and the logical placement in the file.
+struct ExtentKey {
+  uint64_t file_offset = 0;
+  PartitionId partition_id = 0;
+  uint64_t extent_id = 0;
+  uint64_t extent_offset = 0;
+  uint64_t size = 0;
+
+  void Encode(Encoder* enc) const {
+    enc->PutVarint(file_offset);
+    enc->PutVarint(partition_id);
+    enc->PutVarint(extent_id);
+    enc->PutVarint(extent_offset);
+    enc->PutVarint(size);
+  }
+  static Status Decode(Decoder* dec, ExtentKey* k) {
+    CFS_RETURN_IF_ERROR(dec->GetVarint(&k->file_offset));
+    CFS_RETURN_IF_ERROR(dec->GetVarint(&k->partition_id));
+    CFS_RETURN_IF_ERROR(dec->GetVarint(&k->extent_id));
+    CFS_RETURN_IF_ERROR(dec->GetVarint(&k->extent_offset));
+    return dec->GetVarint(&k->size);
+  }
+  bool operator==(const ExtentKey&) const = default;
+};
+
+struct Inode {
+  InodeId id = 0;
+  FileType type = FileType::kFile;
+  std::string link_target;  // symlink target name
+  uint32_t nlink = 0;
+  uint32_t flag = 0;
+  uint64_t size = 0;
+  int64_t mtime = 0;
+  std::vector<ExtentKey> extents;
+
+  bool IsDeleted() const { return (flag & kInodeDeleteMark) != 0; }
+  bool IsDir() const { return type == FileType::kDir; }
+
+  /// Approximate resident memory, used for utilization-based placement.
+  uint64_t MemoryFootprint() const {
+    return 96 + link_target.size() + extents.size() * sizeof(ExtentKey);
+  }
+
+  void Encode(Encoder* enc) const {
+    enc->PutVarint(id);
+    enc->PutU8(static_cast<uint8_t>(type));
+    enc->PutString(link_target);
+    enc->PutU32(nlink);
+    enc->PutU32(flag);
+    enc->PutVarint(size);
+    enc->PutI64(mtime);
+    enc->PutVarint(extents.size());
+    for (const auto& e : extents) e.Encode(enc);
+  }
+  static Status Decode(Decoder* dec, Inode* ino) {
+    uint8_t type;
+    CFS_RETURN_IF_ERROR(dec->GetVarint(&ino->id));
+    CFS_RETURN_IF_ERROR(dec->GetU8(&type));
+    ino->type = static_cast<FileType>(type);
+    CFS_RETURN_IF_ERROR(dec->GetString(&ino->link_target));
+    CFS_RETURN_IF_ERROR(dec->GetU32(&ino->nlink));
+    CFS_RETURN_IF_ERROR(dec->GetU32(&ino->flag));
+    CFS_RETURN_IF_ERROR(dec->GetVarint(&ino->size));
+    CFS_RETURN_IF_ERROR(dec->GetI64(&ino->mtime));
+    uint64_t n;
+    CFS_RETURN_IF_ERROR(dec->GetVarint(&n));
+    ino->extents.resize(n);
+    for (uint64_t i = 0; i < n; i++) {
+      CFS_RETURN_IF_ERROR(ExtentKey::Decode(dec, &ino->extents[i]));
+    }
+    return Status::OK();
+  }
+};
+
+struct DentryKey {
+  InodeId parent = 0;
+  std::string name;
+
+  bool operator<(const DentryKey& o) const {
+    if (parent != o.parent) return parent < o.parent;
+    return name < o.name;
+  }
+  bool operator==(const DentryKey&) const = default;
+};
+
+struct Dentry {
+  InodeId parent = 0;
+  std::string name;
+  InodeId inode = 0;
+  FileType type = FileType::kFile;
+
+  uint64_t MemoryFootprint() const { return 48 + name.size(); }
+
+  void Encode(Encoder* enc) const {
+    enc->PutVarint(parent);
+    enc->PutString(name);
+    enc->PutVarint(inode);
+    enc->PutU8(static_cast<uint8_t>(type));
+  }
+  static Status Decode(Decoder* dec, Dentry* d) {
+    CFS_RETURN_IF_ERROR(dec->GetVarint(&d->parent));
+    CFS_RETURN_IF_ERROR(dec->GetString(&d->name));
+    CFS_RETURN_IF_ERROR(dec->GetVarint(&d->inode));
+    uint8_t type;
+    CFS_RETURN_IF_ERROR(dec->GetU8(&type));
+    d->type = static_cast<FileType>(type);
+    return Status::OK();
+  }
+};
+
+/// nlink threshold at which an inode is marked deleted (§2.6.3, §2.7.3):
+/// 0 for files and symlinks, 2 for directories ("." and "..").
+inline uint32_t UnlinkThreshold(FileType type) {
+  return type == FileType::kDir ? 2u : 0u;
+}
+
+}  // namespace cfs::meta

@@ -1,0 +1,91 @@
+// Persistent raft log, hard state and snapshot for one group, stored in the
+// node's StableStorage with IO time charged to a disk.
+//
+// This is where raft's write amplification lives: every replicated command
+// is written to the log file before it is acknowledged, which is exactly the
+// extra IO the paper cites (§2.2.4) as the reason CFS uses primary-backup
+// replication for sequential writes and reserves raft for overwrites.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <string>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "raft/types.h"
+#include "sim/disk.h"
+#include "sim/network.h"
+#include "sim/task.h"
+
+namespace cfs::raft {
+
+class LogStore {
+ public:
+  LogStore(sim::StableStorage* storage, sim::Disk* disk, GroupId gid);
+
+  /// Load hard state, snapshot metadata and log entries from stable storage
+  /// (crash recovery). Charges a disk read for the bytes scanned.
+  sim::Task<Status> Load();
+
+  // --- Hard state ---
+  Term term() const { return term_; }
+  NodeId voted_for() const { return voted_for_; }
+  sim::Task<Status> SaveHardState(Term term, NodeId voted_for);
+
+  // --- Log ---
+  Index first_index() const { return snap_index_ + 1; }
+  Index last_index() const { return snap_index_ + entries_.size(); }
+  Term last_term() const {
+    return entries_.empty() ? snap_term_ : entries_.back().term;
+  }
+  /// Term of the entry at `index`; 0 if unknown (compacted away, except the
+  /// snapshot boundary itself).
+  Term TermAt(Index index) const;
+  bool Has(Index index) const { return index >= first_index() && index <= last_index(); }
+  const LogEntry& At(Index index) const { return entries_[index - first_index()]; }
+
+  /// Append entries (already indexed/termed by the caller) and persist them.
+  sim::Task<Status> Append(std::span<const LogEntry> entries);
+
+  /// Drop all entries with index >= `from` (follower conflict resolution)
+  /// and rewrite the log file.
+  sim::Task<Status> TruncateFrom(Index from);
+
+  // --- Snapshot ---
+  Index snapshot_index() const { return snap_index_; }
+  Term snapshot_term() const { return snap_term_; }
+  const std::string& snapshot_data() const { return snap_data_; }
+  bool has_snapshot() const { return snap_index_ > 0 || !snap_data_.empty(); }
+
+  /// Persist a snapshot at `index` and compact the log prefix up to it.
+  sim::Task<Status> SaveSnapshot(Index index, Term term, std::string data);
+
+  /// Install a snapshot that is ahead of the log (follower catching up):
+  /// the whole log is discarded.
+  sim::Task<Status> InstallSnapshot(Index index, Term term, std::string data);
+
+  uint64_t persisted_bytes() const { return persisted_bytes_; }
+
+ private:
+  std::string Key(const char* what) const;
+  sim::Task<Status> RewriteLog();
+  static void EncodeEntry(Encoder* enc, const LogEntry& e);
+  static Status DecodeEntry(Decoder* dec, LogEntry* e);
+
+  sim::StableStorage* storage_;
+  sim::Disk* disk_;
+  GroupId gid_;
+
+  Term term_ = 0;
+  NodeId voted_for_ = sim::kInvalidNode;
+
+  Index snap_index_ = 0;
+  Term snap_term_ = 0;
+  std::string snap_data_;
+
+  std::deque<LogEntry> entries_;  // entries_[i] has index snap_index_ + 1 + i
+  uint64_t persisted_bytes_ = 0;
+};
+
+}  // namespace cfs::raft

@@ -1,0 +1,507 @@
+#include "raft/raft_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cfs::raft {
+
+using sim::SleepFor;
+using sim::Spawn;
+using sim::Task;
+
+// Concurrency rule used throughout this file: all structural state mutation
+// happens synchronously (between awaits); co_await is used only for timing
+// (disk persistence, RPCs). After any await, leadership/term/generation are
+// re-checked before acting.
+
+RaftNode::RaftNode(const RaftOptions& opts, GroupId gid, NodeId self, std::vector<NodeId> peers,
+                   sim::Network* net, sim::Host* host, sim::Disk* disk, StateMachine* sm)
+    : opts_(opts),
+      gid_(gid),
+      self_(self),
+      peers_(std::move(peers)),
+      net_(net),
+      host_(host),
+      sm_(sm),
+      log_(&host->storage(), disk, gid) {}
+
+SimDuration RaftNode::RandomElectionTimeout() {
+  return static_cast<SimDuration>(sched().rng().Range(
+      static_cast<uint64_t>(opts_.election_timeout_min),
+      static_cast<uint64_t>(opts_.election_timeout_max)));
+}
+
+void RaftNode::Start() {
+  running_ = true;
+  gen_++;
+  election_deadline_ = sched().Now() + RandomElectionTimeout();
+  Spawn(ElectionLoop(gen_));
+}
+
+void RaftNode::Stop() {
+  running_ = false;
+  gen_++;
+  FailPendingProposals(Status::Unavailable("raft node stopped"));
+}
+
+sim::Task<Status> RaftNode::Recover() {
+  gen_++;  // kill any loops from the previous incarnation
+  running_ = false;
+  FailPendingProposals(Status::Unavailable("raft node restarting"));
+  role_ = Role::kFollower;
+  leader_ = sim::kInvalidNode;
+  CFS_CO_RETURN_IF_ERROR(co_await log_.Load());
+  if (log_.has_snapshot()) {
+    sm_->Restore(log_.snapshot_data());
+  }
+  // Volatile indices restart at the snapshot boundary; commit is re-learned
+  // from the current leader.
+  applied_ = log_.snapshot_index();
+  commit_ = log_.snapshot_index();
+  Start();
+  co_return Status::OK();
+}
+
+void RaftNode::FailPendingProposals(const Status& status) {
+  for (auto& [idx, p] : pending_) p.second.Set(status);
+  pending_.clear();
+}
+
+// --- Election ------------------------------------------------------------
+
+Task<void> RaftNode::ElectionLoop(uint64_t gen) {
+  const SimDuration tick = opts_.election_timeout_min / 5;
+  while (running_ && gen_ == gen) {
+    co_await SleepFor{sched(), tick};
+    if (!running_ || gen_ != gen) break;
+    if (!host_->up()) {
+      election_deadline_ = sched().Now() + RandomElectionTimeout();
+      continue;
+    }
+    if (role_ == Role::kLeader) continue;
+    if (sched().Now() >= election_deadline_) {
+      co_await RunElection(gen);
+    }
+  }
+}
+
+Task<void> RaftNode::RunElection(uint64_t gen) {
+  role_ = Role::kCandidate;
+  leader_ = sim::kInvalidNode;
+  Term my_term = log_.term() + 1;
+  election_deadline_ = sched().Now() + RandomElectionTimeout();
+  co_await PersistTerm(my_term, self_);
+  if (!running_ || gen_ != gen || log_.term() != my_term) co_return;
+
+  struct Tally {
+    int votes = 1;  // self
+    bool done = false;
+  };
+  auto tally = std::make_shared<Tally>();
+  sim::Promise<bool> won(&sched());
+
+  for (NodeId peer : peers_) {
+    if (peer == self_) continue;
+    VoteReq req{gid_, my_term, self_, log_.last_index(), log_.last_term()};
+    Spawn([](RaftNode* self, NodeId peer, VoteReq req, std::shared_ptr<Tally> tally,
+             sim::Promise<bool> won, Term my_term) -> Task<void> {
+      auto r = co_await self->net_->Call<VoteReq, VoteResp>(self->self_, peer, req,
+                                                            self->opts_.rpc_timeout);
+      if (!r.ok() || tally->done) co_return;
+      if (r->term > my_term) {
+        tally->done = true;
+        self->StepDownIfStale(r->term);
+        won.Set(false);
+        co_return;
+      }
+      if (r->granted && self->role_ == Role::kCandidate && self->log_.term() == my_term) {
+        tally->votes++;
+        if (tally->votes >= self->Majority()) {
+          tally->done = true;
+          won.Set(true);
+        }
+      }
+    }(this, peer, req, tally, won, my_term));
+  }
+  if (Majority() == 1) won.Set(true);  // single-replica group
+
+  auto v = co_await won.future().WithTimeout(opts_.election_timeout_min);
+  tally->done = true;
+  if (!running_ || gen_ != gen) co_return;
+  if (v.value_or(false) && role_ == Role::kCandidate && log_.term() == my_term) {
+    BecomeLeader();
+  }
+}
+
+void RaftNode::BecomeFollower(Term term, NodeId leader) {
+  role_ = Role::kFollower;
+  leader_ = leader;
+  election_deadline_ = sched().Now() + RandomElectionTimeout();
+  (void)term;  // persisted by the caller where required
+}
+
+void RaftNode::StepDownIfStale(Term observed) {
+  if (observed <= log_.term()) return;
+  BecomeFollower(observed, sim::kInvalidNode);
+  Spawn([](RaftNode* self, Term t) -> Task<void> {
+    if (t > self->log_.term()) co_await self->PersistTerm(t, sim::kInvalidNode);
+  }(this, observed));
+}
+
+Task<void> RaftNode::PersistTerm(Term term, NodeId voted_for) {
+  (void)co_await log_.SaveHardState(term, voted_for);
+}
+
+void RaftNode::BecomeLeader() {
+  role_ = Role::kLeader;
+  leader_ = self_;
+  LOG_DEBUG("raft group ", gid_, " node ", self_, " became leader, term ", log_.term());
+  for (NodeId peer : peers_) {
+    if (peer == self_) continue;
+    next_index_[peer] = log_.last_index() + 1;
+    match_index_[peer] = 0;
+  }
+  // Commit a no-op entry from the new term so earlier-term entries become
+  // committable (Raft §5.4.2).
+  Spawn([](RaftNode* self) -> Task<void> {
+    if (self->role_ != Role::kLeader) co_return;
+    LogEntry noop{self->log_.term(), self->log_.last_index() + 1, ""};
+    (void)co_await self->log_.Append(std::span<const LogEntry>(&noop, 1));
+    for (NodeId peer : self->peers_) {
+      if (peer != self->self_) self->KickPeer(peer);
+    }
+    self->AdvanceCommit();
+  }(this));
+}
+
+// --- Proposals -----------------------------------------------------------
+
+Task<Status> RaftNode::Propose(std::string cmd) {
+  auto r = co_await ProposeIndexed(std::move(cmd));
+  co_return r.status();
+}
+
+Task<Result<Index>> RaftNode::ProposeIndexed(std::string cmd) {
+  if (!host_->up() || !running_) co_return Status::Unavailable("node down");
+  if (role_ != Role::kLeader) {
+    co_return Status::NotLeader(std::to_string(leader_));
+  }
+  Term my_term = log_.term();
+  LogEntry entry{my_term, log_.last_index() + 1, std::move(cmd)};
+  Index idx = entry.index;
+
+  sim::Promise<Status> done(&sched());
+  pending_.emplace(idx, std::make_pair(my_term, done));
+
+  CFS_CO_RETURN_IF_ERROR(co_await log_.Append(std::span<const LogEntry>(&entry, 1)));
+  if (role_ == Role::kLeader && log_.term() == my_term) {
+    for (NodeId peer : peers_) {
+      if (peer != self_) KickPeer(peer);
+    }
+    AdvanceCommit();  // single-replica groups commit immediately
+  }
+
+  auto st = co_await done.future().WithTimeout(opts_.propose_timeout);
+  if (!st) {
+    pending_.erase(idx);
+    co_return Status::TimedOut("propose not committed in time");
+  }
+  if (!st->ok()) co_return *st;
+  co_return idx;
+}
+
+void RaftNode::KickPeer(NodeId peer) {
+  if (pump_active_[peer]) return;
+  pump_active_[peer] = true;
+  Spawn(PeerPump(peer, log_.term(), gen_));
+}
+
+Task<void> RaftNode::PeerPump(NodeId peer, Term my_term, uint64_t gen) {
+  while (running_ && gen_ == gen && role_ == Role::kLeader && log_.term() == my_term &&
+         host_->up()) {
+    Index next = next_index_[peer];
+    if (next > log_.last_index()) break;  // caught up; pump goes idle
+
+    if (next < log_.first_index()) {
+      // Peer is behind the compacted prefix: ship the snapshot.
+      bool ok = co_await SendSnapshotTo(peer, my_term);
+      if (!running_ || gen_ != gen || role_ != Role::kLeader || log_.term() != my_term) break;
+      if (!ok) co_await SleepFor{sched(), 20 * kMsec};
+      continue;
+    }
+
+    AppendReq req;
+    req.gid = gid_;
+    req.term = my_term;
+    req.leader = self_;
+    req.prev_index = next - 1;
+    req.prev_term = log_.TermAt(next - 1);
+    req.commit = commit_;
+    Index end = std::min(log_.last_index(), next + opts_.max_batch_entries - 1);
+    for (Index i = next; i <= end; i++) req.entries.push_back(log_.At(i));
+
+    auto r = co_await net_->Call<AppendReq, AppendResp>(self_, peer, std::move(req),
+                                                        opts_.rpc_timeout);
+    if (!running_ || gen_ != gen || role_ != Role::kLeader || log_.term() != my_term) break;
+    if (!r.ok()) {
+      co_await SleepFor{sched(), 10 * kMsec};
+      continue;
+    }
+    if (r->term > my_term) {
+      StepDownIfStale(r->term);
+      break;
+    }
+    if (r->success) {
+      match_index_[peer] = std::max(match_index_[peer], r->match_hint);
+      next_index_[peer] = match_index_[peer] + 1;
+      AdvanceCommit();
+    } else {
+      Index hint = std::max<Index>(1, std::min(next - 1, r->match_hint));
+      next_index_[peer] = hint;
+    }
+  }
+  pump_active_[peer] = false;
+  // New entries may have arrived while we were finishing; re-arm if so.
+  if (running_ && gen_ == gen && role_ == Role::kLeader && log_.term() == my_term &&
+      next_index_[peer] <= log_.last_index()) {
+    KickPeer(peer);
+  }
+}
+
+Task<bool> RaftNode::SendSnapshotTo(NodeId peer, Term my_term) {
+  InstallSnapshotReq req;
+  req.gid = gid_;
+  req.term = my_term;
+  req.leader = self_;
+  req.snap_index = log_.snapshot_index();
+  req.snap_term = log_.snapshot_term();
+  req.data = log_.snapshot_data();
+  auto r = co_await net_->Call<InstallSnapshotReq, InstallSnapshotResp>(
+      self_, peer, std::move(req), opts_.rpc_timeout * 4);
+  if (!r.ok()) co_return false;
+  if (r->term > my_term) {
+    StepDownIfStale(r->term);
+    co_return false;
+  }
+  if (r->ok) {
+    match_index_[peer] = std::max(match_index_[peer], log_.snapshot_index());
+    next_index_[peer] = match_index_[peer] + 1;
+  }
+  co_return r->ok;
+}
+
+void RaftNode::AdvanceCommit() {
+  if (role_ != Role::kLeader) return;
+  std::vector<Index> matches;
+  matches.push_back(log_.last_index());  // self
+  for (NodeId peer : peers_) {
+    if (peer != self_) matches.push_back(match_index_[peer]);
+  }
+  std::sort(matches.begin(), matches.end(), std::greater<>());
+  Index candidate = matches[Majority() - 1];
+  if (candidate > commit_ && log_.TermAt(candidate) == log_.term()) {
+    commit_ = candidate;
+    KickApply();
+  }
+}
+
+void RaftNode::KickApply() {
+  if (apply_running_) return;
+  apply_running_ = true;
+  Spawn(ApplyLoop());
+}
+
+Task<void> RaftNode::ApplyLoop() {
+  while (applied_ < commit_) {
+    Index idx = applied_ + 1;
+    if (idx <= log_.snapshot_index()) {
+      applied_ = log_.snapshot_index();
+      continue;
+    }
+    if (!log_.Has(idx)) break;  // should not happen; wait for entries
+    const LogEntry& e = log_.At(idx);
+    if (!e.data.empty()) {
+      sm_->Apply(idx, e.data);
+    }
+    applied_ = idx;
+    auto it = pending_.find(idx);
+    if (it != pending_.end()) {
+      Status st = it->second.first == e.term
+                      ? Status::OK()
+                      : Status::NotLeader("entry overwritten by new leader");
+      it->second.second.Set(st);
+      pending_.erase(it);
+    }
+    co_await host_->cpu().Use(2);  // apply cost
+  }
+  apply_running_ = false;
+  if (applied_ < commit_) KickApply();
+  co_await MaybeCompact();
+}
+
+Task<void> RaftNode::MaybeCompact() {
+  if (compacting_) co_return;
+  if (applied_ - log_.snapshot_index() < opts_.compaction_threshold) co_return;
+  compacting_ = true;
+  Index snap_at = applied_;
+  Term snap_term = log_.TermAt(snap_at);
+  std::string snap = sm_->TakeSnapshot();  // synchronous: consistent at applied_
+  (void)co_await log_.SaveSnapshot(snap_at, snap_term, std::move(snap));
+  compacting_ = false;
+}
+
+// --- Handlers (called via RaftHost) --------------------------------------
+
+Task<VoteResp> RaftNode::OnVote(VoteReq req) {
+  co_await host_->cpu().Use(opts_.cpu_per_message);
+  VoteResp resp;
+  resp.gid = gid_;
+  if (!running_) {
+    resp.term = log_.term();
+    co_return resp;
+  }
+  Term term = log_.term();
+  NodeId voted_for = log_.voted_for();
+  if (req.term < term) {
+    resp.term = term;
+    resp.granted = false;
+    co_return resp;
+  }
+  if (req.term > term) {
+    term = req.term;
+    voted_for = sim::kInvalidNode;
+    BecomeFollower(term, sim::kInvalidNode);
+  }
+  bool log_ok = req.last_log_term > log_.last_term() ||
+                (req.last_log_term == log_.last_term() && req.last_log_index >= log_.last_index());
+  bool grant = log_ok && (voted_for == sim::kInvalidNode || voted_for == req.candidate);
+  if (grant) {
+    voted_for = req.candidate;
+    election_deadline_ = sched().Now() + RandomElectionTimeout();
+  }
+  if (term != log_.term() || voted_for != log_.voted_for()) {
+    co_await PersistTerm(term, voted_for);
+  }
+  resp.term = term;
+  resp.granted = grant;
+  co_return resp;
+}
+
+Task<AppendResp> RaftNode::OnAppend(AppendReq req) {
+  co_await host_->cpu().Use(opts_.cpu_per_message);
+  AppendResp resp;
+  resp.gid = gid_;
+  resp.term = log_.term();
+  if (!running_) co_return resp;
+
+  if (req.term < log_.term()) {
+    resp.success = false;
+    co_return resp;
+  }
+  if (req.term > log_.term()) {
+    co_await PersistTerm(req.term, sim::kInvalidNode);
+  }
+  BecomeFollower(req.term, req.leader);
+  resp.term = req.term;
+
+  // Consistency check against prev_index/prev_term. Anything at or below the
+  // snapshot boundary is known committed and therefore matches.
+  if (req.prev_index > log_.last_index()) {
+    resp.success = false;
+    resp.match_hint = log_.last_index() + 1;
+    co_return resp;
+  }
+  if (req.prev_index > log_.snapshot_index() &&
+      log_.TermAt(req.prev_index) != req.prev_term) {
+    resp.success = false;
+    resp.match_hint = req.prev_index;  // probe backwards
+    co_return resp;
+  }
+
+  // Append, resolving conflicts. All structural mutation is synchronous;
+  // persistence cost is charged once at the end.
+  Index last_new = req.prev_index;
+  bool truncated = false;
+  std::vector<LogEntry> to_append;
+  for (auto& e : req.entries) {
+    last_new = e.index;
+    if (e.index <= log_.snapshot_index()) continue;  // covered by snapshot
+    if (log_.Has(e.index)) {
+      if (log_.TermAt(e.index) == e.term) continue;  // duplicate
+      // Conflict: drop our divergent suffix (and fail proposals that lived
+      // in it — they were overwritten by a newer leader).
+      for (auto it = pending_.lower_bound(e.index); it != pending_.end();) {
+        it->second.second.Set(Status::NotLeader("entry overwritten"));
+        it = pending_.erase(it);
+      }
+      (void)co_await log_.TruncateFrom(e.index);
+      truncated = true;
+    }
+    to_append.push_back(std::move(e));
+  }
+  (void)truncated;
+  if (!to_append.empty()) {
+    Status st = co_await log_.Append(std::span<const LogEntry>(to_append));
+    if (!st.ok()) {
+      resp.success = false;
+      resp.match_hint = log_.last_index() + 1;
+      co_return resp;
+    }
+  }
+
+  if (req.commit > commit_) {
+    commit_ = std::min(req.commit, last_new);
+    KickApply();
+  }
+  resp.success = true;
+  resp.match_hint = last_new;
+  co_return resp;
+}
+
+Task<InstallSnapshotResp> RaftNode::OnInstallSnapshot(InstallSnapshotReq req) {
+  co_await host_->cpu().Use(opts_.cpu_per_message);
+  InstallSnapshotResp resp;
+  resp.gid = gid_;
+  resp.term = log_.term();
+  if (!running_) co_return resp;
+  if (req.term < log_.term()) co_return resp;
+  if (req.term > log_.term()) {
+    co_await PersistTerm(req.term, sim::kInvalidNode);
+  }
+  BecomeFollower(req.term, req.leader);
+  resp.term = req.term;
+  if (req.snap_index <= log_.snapshot_index()) {
+    resp.ok = true;  // already have it
+    co_return resp;
+  }
+  sm_->Restore(req.data);
+  (void)co_await log_.InstallSnapshot(req.snap_index, req.snap_term, std::move(req.data));
+  applied_ = std::max(applied_, log_.snapshot_index());
+  commit_ = std::max(commit_, log_.snapshot_index());
+  resp.ok = true;
+  co_return resp;
+}
+
+bool RaftNode::OnHeartbeat(const HeartbeatItem& item, NodeId from) {
+  if (!running_ || !host_->up()) return false;
+  if (item.term < log_.term()) return true;  // stale leader
+  if (item.term > log_.term()) {
+    BecomeFollower(item.term, from);
+    Spawn([](RaftNode* self, Term t) -> Task<void> {
+      if (t > self->log_.term()) co_await self->PersistTerm(t, sim::kInvalidNode);
+    }(this, item.term));
+    return false;  // don't advance commit until the term is persisted
+  }
+  if (role_ == Role::kLeader) return false;  // self heartbeat echo; ignore
+  BecomeFollower(item.term, from);
+  // Commit advance is safe only when our tail is from the leader's term
+  // (log matching property guarantees our prefix equals the leader's).
+  if (log_.last_term() == item.term && item.commit > commit_) {
+    commit_ = std::min(item.commit, log_.last_index());
+    KickApply();
+  }
+  return false;
+}
+
+}  // namespace cfs::raft

@@ -1,0 +1,131 @@
+// A single raft group replica: leader election, log replication, commit,
+// apply, snapshots/compaction, and crash recovery.
+//
+// One RaftNode exists per (group, host). Message transport and heartbeat
+// coalescing live in RaftHost (multiraft.h); RaftNode exposes the protocol
+// entry points the transport routes into.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "raft/log_store.h"
+#include "raft/types.h"
+#include "sim/network.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace cfs::raft {
+
+enum class Role { kFollower, kCandidate, kLeader };
+
+class RaftNode {
+ public:
+  /// `peers` lists every replica of the group including `self`.
+  RaftNode(const RaftOptions& opts, GroupId gid, NodeId self, std::vector<NodeId> peers,
+           sim::Network* net, sim::Host* host, sim::Disk* disk, StateMachine* sm);
+
+  RaftNode(const RaftNode&) = delete;
+  RaftNode& operator=(const RaftNode&) = delete;
+
+  /// Start the election timer (fresh group, empty state).
+  void Start();
+
+  /// Crash-recover from stable storage, then start. Resets the state
+  /// machine from the latest snapshot and re-applies nothing beyond it
+  /// (commit is re-learned from the leader).
+  sim::Task<Status> Recover();
+
+  /// Stop participating (node decommissioned or test teardown).
+  void Stop();
+
+  /// Replicate a command; resolves once the command is committed AND applied
+  /// on this replica. Returns NotLeader (with leader_hint) when this replica
+  /// is not the leader.
+  sim::Task<Status> Propose(std::string cmd);
+
+  /// Like Propose, but returns the log index the command committed at, so
+  /// state machines can hand back per-command apply results (see
+  /// MetaPartition::TakeResult).
+  sim::Task<Result<Index>> ProposeIndexed(std::string cmd);
+
+  // --- Observers ---
+  GroupId gid() const { return gid_; }
+  NodeId self() const { return self_; }
+  const std::vector<NodeId>& peers() const { return peers_; }
+  bool IsLeader() const { return role_ == Role::kLeader && host_->up(); }
+  NodeId leader_hint() const { return leader_; }
+  Term term() const { return log_.term(); }
+  Index commit_index() const { return commit_; }
+  Index applied_index() const { return applied_; }
+  Index last_log_index() const { return log_.last_index(); }
+  Role role() const { return role_; }
+  LogStore& log() { return log_; }
+
+  // --- Transport entry points (called by RaftHost) ---
+  sim::Task<VoteResp> OnVote(VoteReq req);
+  sim::Task<AppendResp> OnAppend(AppendReq req);
+  sim::Task<InstallSnapshotResp> OnInstallSnapshot(InstallSnapshotReq req);
+  /// Returns true if the item is stale (heartbeat term < our term).
+  bool OnHeartbeat(const HeartbeatItem& item, NodeId from);
+
+  /// Leader-side: peer observed a higher term via heartbeat response.
+  void StepDownIfStale(Term observed);
+
+  /// Test hook: force an immediate election attempt.
+  void TriggerElection() { election_deadline_ = 0; }
+
+ private:
+  sim::Scheduler& sched() { return *net_->scheduler(); }
+  int Majority() const { return static_cast<int>(peers_.size() / 2 + 1); }
+  SimDuration RandomElectionTimeout();
+
+  sim::Task<void> ElectionLoop(uint64_t gen);
+  sim::Task<void> RunElection(uint64_t gen);
+  void BecomeFollower(Term term, NodeId leader);
+  void BecomeLeader();
+  sim::Task<void> PersistTerm(Term term, NodeId voted_for);
+
+  /// Ensure a replication pump is running toward `peer`.
+  void KickPeer(NodeId peer);
+  sim::Task<void> PeerPump(NodeId peer, Term my_term, uint64_t gen);
+  sim::Task<bool> SendSnapshotTo(NodeId peer, Term my_term);
+
+  void AdvanceCommit();
+  void KickApply();
+  sim::Task<void> ApplyLoop();
+  sim::Task<void> MaybeCompact();
+
+  void FailPendingProposals(const Status& status);
+
+  RaftOptions opts_;
+  GroupId gid_;
+  NodeId self_;
+  std::vector<NodeId> peers_;
+  sim::Network* net_;
+  sim::Host* host_;
+  StateMachine* sm_;
+  LogStore log_;
+
+  Role role_ = Role::kFollower;
+  NodeId leader_ = sim::kInvalidNode;
+  Index commit_ = 0;
+  Index applied_ = 0;
+  SimTime election_deadline_ = 0;
+
+  std::map<NodeId, Index> next_index_;
+  std::map<NodeId, Index> match_index_;
+  std::map<NodeId, bool> pump_active_;
+
+  /// index -> (term at proposal, completion)
+  std::map<Index, std::pair<Term, sim::Promise<Status>>> pending_;
+
+  bool apply_running_ = false;
+  bool compacting_ = false;
+  bool running_ = false;
+  uint64_t gen_ = 0;  // bumped on Stop/Recover; loops from old gens exit
+};
+
+}  // namespace cfs::raft

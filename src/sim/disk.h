@@ -1,0 +1,95 @@
+// Simulated SSD: a queued service-time model plus space accounting with
+// punch-hole support (stand-in for fallocate(FALLOC_FL_PUNCH_HOLE), §2.2.3).
+//
+// The disk does not store bytes — data contents live in the extent store —
+// but it charges virtual time for every read/write and tracks allocated
+// space, including ranges later released by hole punching.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/resource.h"
+
+namespace cfs::sim {
+
+struct DiskOptions {
+  /// Fixed per-op latencies (SSD-class defaults). Writes model synchronous
+  /// (fsync-grade) commits — raft logs and extent stores ack only after
+  /// durability, which on SATA-era SSDs costs a few hundred microseconds.
+  SimDuration read_latency_usec = 90;
+  SimDuration write_latency_usec = 200;
+  /// Sustained bandwidth in MiB/s.
+  uint64_t bandwidth_mib = 400;
+  /// Internal parallelism (NVMe/SATA queue lanes).
+  int queue_depth = 8;
+  /// Capacity in bytes (paper testbed: 960 GB per SSD).
+  uint64_t capacity_bytes = 960ull * kGiB;
+};
+
+class Disk {
+ public:
+  Disk(Scheduler* sched, const DiskOptions& opts = {})
+      : opts_(opts), queue_(sched, opts.queue_depth) {}
+
+  /// Charge time for reading `bytes`.
+  Task<Status> Read(uint64_t bytes) {
+    if (failed_) co_return Status::IOError("disk failed");
+    co_await queue_.Use(ServiceTime(bytes, opts_.read_latency_usec));
+    reads_++;
+    read_bytes_ += bytes;
+    co_return Status::OK();
+  }
+
+  /// Charge time for writing `bytes` and account the space.
+  Task<Status> Write(uint64_t bytes) {
+    if (failed_) co_return Status::IOError("disk failed");
+    if (used_ + bytes > opts_.capacity_bytes) co_return Status::NoSpace("disk full");
+    co_await queue_.Use(ServiceTime(bytes, opts_.write_latency_usec));
+    used_ += bytes;
+    writes_++;
+    write_bytes_ += bytes;
+    co_return Status::OK();
+  }
+
+  /// Release `bytes` of previously written space (punch hole / delete).
+  /// Asynchronous space reclamation is modelled as immediate accounting; the
+  /// caller is responsible for scheduling it off the foreground path.
+  void PunchHole(uint64_t bytes) {
+    punched_bytes_ += bytes;
+    used_ = used_ >= bytes ? used_ - bytes : 0;
+  }
+
+  void set_failed(bool failed) { failed_ = failed; }
+  bool failed() const { return failed_; }
+
+  uint64_t used_bytes() const { return used_; }
+  uint64_t capacity_bytes() const { return opts_.capacity_bytes; }
+  double utilization() const {
+    return static_cast<double>(used_) / static_cast<double>(opts_.capacity_bytes);
+  }
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t read_bytes() const { return read_bytes_; }
+  uint64_t write_bytes() const { return write_bytes_; }
+  uint64_t punched_bytes() const { return punched_bytes_; }
+
+  SimDuration QueueDelay() const { return queue_.QueueDelay(); }
+  void ResetQueue() { queue_.Reset(); }
+
+ private:
+  SimDuration ServiceTime(uint64_t bytes, SimDuration base) const {
+    return base + static_cast<SimDuration>(bytes * kSec / (opts_.bandwidth_mib * kMiB));
+  }
+
+  DiskOptions opts_;
+  Resource queue_;
+  bool failed_ = false;
+  uint64_t used_ = 0;
+  uint64_t reads_ = 0, writes_ = 0;
+  uint64_t read_bytes_ = 0, write_bytes_ = 0;
+  uint64_t punched_bytes_ = 0;
+};
+
+}  // namespace cfs::sim

@@ -1,0 +1,95 @@
+// Discrete-event scheduler: the heart of the simulation substrate.
+//
+// All cluster components (raft groups, meta/data nodes, clients) run as
+// C++20 coroutines scheduled on a single virtual-time event loop. Events at
+// the same timestamp execute in scheduling order, so runs are fully
+// deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace cfs::sim {
+
+class Scheduler {
+ public:
+  explicit Scheduler(uint64_t seed = 1) : rng_(seed) {}
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current virtual time in microseconds.
+  SimTime Now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute virtual time `t` (clamped to Now()).
+  void At(SimTime t, std::function<void()> fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` to run `d` microseconds from now.
+  void After(SimDuration d, std::function<void()> fn) { At(now_ + d, std::move(fn)); }
+
+  /// Run a single event. Returns false if the queue is empty.
+  bool RunOne() {
+    if (queue_.empty()) return false;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  /// Run until the queue is empty.
+  void Run() {
+    while (RunOne()) {
+    }
+  }
+
+  /// Run all events with time <= t, then set Now() to t. Events scheduled
+  /// after t remain queued (periodic timers keep the queue non-empty).
+  void RunUntil(SimTime t) {
+    while (!queue_.empty() && queue_.top().time <= t) RunOne();
+    if (now_ < t) now_ = t;
+  }
+
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+  /// Run until the queue is empty or `max_events` have been processed.
+  /// Returns the number of events processed (guards against livelock in
+  /// tests).
+  uint64_t RunBounded(uint64_t max_events) {
+    uint64_t n = 0;
+    while (n < max_events && RunOne()) n++;
+    return n;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+  /// The simulation-wide RNG: every stochastic decision draws from it.
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Rng rng_;
+};
+
+}  // namespace cfs::sim

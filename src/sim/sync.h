@@ -1,0 +1,46 @@
+// Coroutine notification primitive: many waiters, NotifyAll resumes them via
+// the scheduler at the current virtual time (no synchronization — the whole
+// simulation is single-threaded).
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace cfs::sim {
+
+class Notifier {
+ public:
+  explicit Notifier(Scheduler* sched) : sched_(sched) {}
+
+  /// Awaitable: suspend until the next NotifyAll().
+  auto Wait() {
+    struct Awaiter {
+      Notifier* n;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { n->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Resume all current waiters (scheduled, not inline, to bound recursion).
+  void NotifyAll() {
+    if (waiters_.empty()) return;
+    auto ws = std::move(waiters_);
+    waiters_.clear();
+    sched_->After(0, [ws = std::move(ws)] {
+      for (auto h : ws) h.resume();
+    });
+  }
+
+  size_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  Scheduler* sched_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace cfs::sim

@@ -1,0 +1,147 @@
+// The extent store (§2.2): the data-partition storage engine.
+//
+// Large files are stored as a sequence of private extents — a new file
+// always starts writing at offset zero of a fresh extent, the last extent is
+// never padded, and an extent never mixes files (§2.2.2). Small files (size
+// <= `small_file_threshold`, 128 KB by default) are aggregated into shared
+// "tiny" extents; the physical offset of each small file in the extent is
+// recorded at the meta node, and deletion frees the range asynchronously via
+// the punch-hole interface instead of a garbage collector (§2.2.3).
+//
+// Each extent's CRC is cached in memory to speed up integrity checks
+// (§2.2.1). Byte contents are retained only when `track_contents` is on
+// (tests); benchmarks run in accounting mode where sizes, CRCs and disk
+// timing are tracked without materializing gigabytes of payload.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/disk.h"
+#include "sim/task.h"
+
+namespace cfs::storage {
+
+using ExtentId = uint64_t;
+
+struct ExtentStoreOptions {
+  uint64_t extent_size_limit = 128 * kMiB;
+  uint64_t small_file_threshold = 128 * kKiB;  // the paper's threshold t
+  /// Keep real byte contents (tests) or account sizes/timing only (benches).
+  bool track_contents = true;
+};
+
+/// One storage unit. `size` is the logical end-of-extent offset; punched
+/// ranges release physical space without shrinking the logical size.
+struct Extent {
+  ExtentId id = 0;
+  uint64_t size = 0;
+  uint32_t crc = 0;  // cached in memory (rebuilt on recovery)
+  bool tiny = false;  // shared small-file extent
+  uint64_t punched_bytes = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> holes;  // (offset, len), sorted
+  std::string data;  // only when track_contents
+
+  /// Physical bytes still occupied on disk.
+  uint64_t PhysicalBytes() const { return size - punched_bytes; }
+  bool FullyPunched() const { return size > 0 && punched_bytes >= size; }
+};
+
+class ExtentStore {
+ public:
+  ExtentStore(sim::Disk* disk, const ExtentStoreOptions& opts = {})
+      : disk_(disk), opts_(opts) {}
+
+  const ExtentStoreOptions& options() const { return opts_; }
+
+  /// Allocate a fresh (large-file) extent and return its id.
+  ExtentId CreateExtent();
+
+  /// Replica path: create an extent with a leader-assigned id (the chain
+  /// replicates leader decisions, so ids must match across replicas).
+  Status CreateExtentWithId(ExtentId id, bool tiny);
+
+  /// Bench/test rig: materialize an extent of `size` logical bytes without
+  /// simulating the writes (stands in for fio's laydown phase, which the
+  /// paper's measurements exclude). Contents are zero in tracking mode.
+  Status ImportExtent(ExtentId id, uint64_t size, bool tiny);
+
+  /// Replica path: place bytes at an exact offset, which must equal the
+  /// extent's current size (the chain delivers placements in order; callers
+  /// buffer out-of-order arrivals).
+  sim::Task<Status> PlaceAt(ExtentId id, uint64_t offset, std::string_view data);
+
+  /// Visit (id, extent) pairs in id order.
+  template <typename F>
+  void ForEach(F fn) const {
+    for (const auto& [id, e] : extents_) fn(e);
+  }
+
+  // --- Synchronous variants for raft Apply (§2.2.4 overwrite path) ---
+  // Raft state machines apply commands synchronously; these validate and
+  // mutate inline and charge the disk time as a detached task.
+  Status OverwriteSync(ExtentId id, uint64_t offset, std::string_view data);
+  Status DeleteExtentSync(ExtentId id);
+  Status PunchHoleSync(ExtentId id, uint64_t offset, uint64_t len);
+
+  /// Sequential write: `offset` must equal the extent's current size.
+  /// Returns NoSpace once the extent reaches its size limit.
+  sim::Task<Status> Append(ExtentId id, uint64_t offset, std::string_view data);
+
+  /// In-place overwrite of already-written bytes (§2.7.2: random writes in
+  /// CFS are in-place; the extent layout and file offsets do not change).
+  sim::Task<Status> Overwrite(ExtentId id, uint64_t offset, std::string_view data);
+
+  /// Read `len` bytes at `offset`; verifies the cached CRC when contents are
+  /// tracked. Reading a punched range is a caller bug -> InvalidArgument.
+  sim::Task<Result<std::string>> Read(ExtentId id, uint64_t offset, uint64_t len);
+
+  /// Small-file write: aggregate into the current tiny extent. Returns the
+  /// (extent id, physical offset) pair the meta node records.
+  sim::Task<Result<std::pair<ExtentId, uint64_t>>> WriteSmall(std::string_view data);
+
+  /// Release a small file's range via fallocate(PUNCH_HOLE). The extent is
+  /// removed entirely once every byte of it has been punched.
+  sim::Task<Status> PunchHole(ExtentId id, uint64_t offset, uint64_t len);
+
+  /// Large-file delete path: remove the whole extent from disk (§2.2.3:
+  /// "different from deleting large files, where the extents of the file can
+  /// be removed directly").
+  sim::Task<Status> DeleteExtent(ExtentId id);
+
+  /// Verify the cached CRC of an extent against its contents (tracking mode
+  /// only). Used by replica repair.
+  sim::Task<Status> VerifyExtent(ExtentId id);
+
+  /// Rebuild the in-memory CRC cache after a restart (charges a scan read).
+  sim::Task<Status> RebuildCrcCache();
+
+  const Extent* Find(ExtentId id) const;
+  bool Has(ExtentId id) const { return extents_.count(id) > 0; }
+  uint64_t ExtentSize(ExtentId id) const;
+
+  size_t num_extents() const { return extents_.size(); }
+  uint64_t logical_bytes() const { return logical_bytes_; }
+  uint64_t physical_bytes() const { return physical_bytes_; }
+
+ private:
+  Extent* FindMutable(ExtentId id);
+  bool RangeIsPunched(const Extent& e, uint64_t offset, uint64_t len) const;
+
+  sim::Disk* disk_;
+  ExtentStoreOptions opts_;
+  std::map<ExtentId, Extent> extents_;
+  ExtentId next_id_ = 1;
+  /// Current tiny extent receiving small-file appends (0 = none yet).
+  ExtentId active_tiny_ = 0;
+  uint64_t logical_bytes_ = 0;
+  uint64_t physical_bytes_ = 0;
+};
+
+}  // namespace cfs::storage

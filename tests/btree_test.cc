@@ -1,0 +1,205 @@
+// B-tree unit + randomized property tests (checked against std::map).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "meta/btree.h"
+
+namespace cfs::meta {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BTree<int, int> t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Find(1), nullptr);
+  EXPECT_FALSE(t.Erase(1));
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BTreeTest, InsertFindSingle) {
+  BTree<int, std::string> t;
+  EXPECT_TRUE(t.Insert(5, "five"));
+  ASSERT_NE(t.Find(5), nullptr);
+  EXPECT_EQ(*t.Find(5), "five");
+  EXPECT_EQ(t.Find(4), nullptr);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, DuplicateInsertRejected) {
+  BTree<int, int> t;
+  EXPECT_TRUE(t.Insert(1, 10));
+  EXPECT_FALSE(t.Insert(1, 20));
+  EXPECT_EQ(*t.Find(1), 10);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, UpsertOverwrites) {
+  BTree<int, int> t;
+  t.Upsert(1, 10);
+  t.Upsert(1, 20);
+  EXPECT_EQ(*t.Find(1), 20);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, SequentialInsertCausesSplits) {
+  BTree<int, int, std::less<int>, 2> t;  // tiny degree: splits early
+  for (int i = 0; i < 1000; i++) EXPECT_TRUE(t.Insert(i, i * 2));
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_TRUE(t.CheckInvariants());
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_NE(t.Find(i), nullptr) << i;
+    EXPECT_EQ(*t.Find(i), i * 2);
+  }
+}
+
+TEST(BTreeTest, ReverseInsert) {
+  BTree<int, int, std::less<int>, 3> t;
+  for (int i = 999; i >= 0; i--) EXPECT_TRUE(t.Insert(i, i));
+  EXPECT_TRUE(t.CheckInvariants());
+  EXPECT_EQ(t.size(), 1000u);
+}
+
+TEST(BTreeTest, EraseLeafAndInternal) {
+  BTree<int, int, std::less<int>, 2> t;
+  for (int i = 0; i < 100; i++) t.Insert(i, i);
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(t.Erase(i));
+  EXPECT_TRUE(t.CheckInvariants());
+  EXPECT_EQ(t.size(), 50u);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(t.Find(i) != nullptr, i % 2 == 1) << i;
+  }
+}
+
+TEST(BTreeTest, EraseAllThenReuse) {
+  BTree<int, int, std::less<int>, 2> t;
+  for (int i = 0; i < 256; i++) t.Insert(i, i);
+  for (int i = 0; i < 256; i++) EXPECT_TRUE(t.Erase(i)) << i;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.CheckInvariants());
+  for (int i = 0; i < 64; i++) EXPECT_TRUE(t.Insert(i, -i));
+  EXPECT_EQ(t.size(), 64u);
+}
+
+TEST(BTreeTest, AscendVisitsInOrder) {
+  BTree<int, int, std::less<int>, 2> t;
+  for (int i : {5, 3, 8, 1, 9, 2, 7, 4, 6, 0}) t.Insert(i, i * i);
+  std::vector<int> seen;
+  t.Ascend([&](const int& k, const int& v) {
+    EXPECT_EQ(v, k * k);
+    seen.push_back(k);
+    return true;
+  });
+  for (int i = 0; i < 10; i++) EXPECT_EQ(seen[i], i);
+}
+
+TEST(BTreeTest, AscendFromStartsAtLowerBound) {
+  BTree<int, int, std::less<int>, 2> t;
+  for (int i = 0; i < 100; i += 2) t.Insert(i, i);  // evens only
+  std::vector<int> seen;
+  t.AscendFrom(31, [&](const int& k, const int&) {
+    seen.push_back(k);
+    return seen.size() < 5;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{32, 34, 36, 38, 40}));
+}
+
+TEST(BTreeTest, AscendEarlyStop) {
+  BTree<int, int> t;
+  for (int i = 0; i < 1000; i++) t.Insert(i, i);
+  int count = 0;
+  t.Ascend([&](const int&, const int&) { return ++count < 10; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(BTreeTest, StringKeysWithRangeScan) {
+  // Mirrors the dentryTree use: (parent, name) keys scanned per parent.
+  BTree<std::pair<uint64_t, std::string>, int> t;
+  t.Insert({1, "a"}, 1);
+  t.Insert({1, "b"}, 2);
+  t.Insert({2, "a"}, 3);
+  t.Insert({2, "z"}, 4);
+  t.Insert({3, "m"}, 5);
+  std::vector<int> parent2;
+  t.AscendFrom({2, ""}, [&](const auto& k, const int& v) {
+    if (k.first != 2) return false;
+    parent2.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(parent2, (std::vector<int>{3, 4}));
+}
+
+class BTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreePropertyTest, MatchesStdMapUnderRandomOps) {
+  Rng rng(GetParam());
+  BTree<uint64_t, uint64_t, std::less<uint64_t>, 3> tree;
+  std::map<uint64_t, uint64_t> model;
+  const uint64_t key_space = 500;
+  for (int step = 0; step < 20000; step++) {
+    uint64_t key = rng.Uniform(key_space);
+    switch (rng.Uniform(3)) {
+      case 0: {  // insert
+        bool inserted = tree.Insert(key, step);
+        bool model_inserted = model.emplace(key, step).second;
+        ASSERT_EQ(inserted, model_inserted) << "step " << step;
+        break;
+      }
+      case 1: {  // erase
+        ASSERT_EQ(tree.Erase(key), model.erase(key) > 0) << "step " << step;
+        break;
+      }
+      case 2: {  // find
+        const uint64_t* v = tree.Find(key);
+        auto it = model.find(key);
+        ASSERT_EQ(v != nullptr, it != model.end()) << "step " << step;
+        if (v) ASSERT_EQ(*v, it->second);
+        break;
+      }
+    }
+    if (step % 2000 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "step " << step;
+      ASSERT_EQ(tree.size(), model.size());
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.size(), model.size());
+  // Full-order comparison.
+  auto it = model.begin();
+  bool order_ok = true;
+  tree.Ascend([&](const uint64_t& k, const uint64_t& v) {
+    if (it == model.end() || it->first != k || it->second != v) {
+      order_ok = false;
+      return false;
+    }
+    ++it;
+    return true;
+  });
+  EXPECT_TRUE(order_ok);
+  EXPECT_EQ(it, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest, ::testing::Values(1, 2, 3, 7, 13, 99));
+
+TEST(BTreePropertyTest, LargeDegreeRandomChurn) {
+  Rng rng(4242);
+  BTree<uint64_t, uint64_t> tree;  // default degree 16
+  std::map<uint64_t, uint64_t> model;
+  for (int step = 0; step < 30000; step++) {
+    uint64_t key = rng.Uniform(2000);
+    if (rng.Chance(0.6)) {
+      tree.Insert(key, step);
+      model.emplace(key, step);
+    } else {
+      tree.Erase(key);
+      model.erase(key);
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), model.size());
+}
+
+}  // namespace
+}  // namespace cfs::meta

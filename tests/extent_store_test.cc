@@ -1,0 +1,234 @@
+// Extent store tests: large-file extents, small-file aggregation, punch
+// holes, CRC integrity, overwrite semantics, accounting mode.
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "storage/extent_store.h"
+
+namespace cfs::storage {
+namespace {
+
+using sim::Spawn;
+using sim::Task;
+
+class ExtentFixture : public ::testing::Test {
+ protected:
+  ExtentFixture() : net_(&sched_) {
+    host_ = net_.AddHost();
+    ExtentStoreOptions opts;
+    opts.extent_size_limit = 1 * kMiB;
+    opts.small_file_threshold = 128 * kKiB;
+    store_ = std::make_unique<ExtentStore>(host_->disk(0), opts);
+  }
+
+  template <typename F>
+  void Run(F f) {
+    Spawn(f());
+    sched_.Run();
+  }
+
+  sim::Scheduler sched_;
+  sim::Network net_;
+  sim::Host* host_;
+  std::unique_ptr<ExtentStore> store_;
+};
+
+TEST_F(ExtentFixture, AppendAndReadBack) {
+  Run([&]() -> Task<void> {
+    ExtentId id = store_->CreateExtent();
+    EXPECT_TRUE((co_await store_->Append(id, 0, "hello ")).ok());
+    EXPECT_TRUE((co_await store_->Append(id, 6, "world")).ok());
+    auto r = co_await store_->Read(id, 0, 11);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) EXPECT_EQ(*r, "hello world");
+    EXPECT_EQ(store_->ExtentSize(id), 11u);
+  });
+}
+
+TEST_F(ExtentFixture, AppendMustBeAtEnd) {
+  Run([&]() -> Task<void> {
+    ExtentId id = store_->CreateExtent();
+    (void)co_await store_->Append(id, 0, "abc");
+    Status st = co_await store_->Append(id, 1, "x");
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    st = co_await store_->Append(id, 10, "x");
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  });
+}
+
+TEST_F(ExtentFixture, ExtentSizeLimitEnforced) {
+  Run([&]() -> Task<void> {
+    ExtentId id = store_->CreateExtent();
+    std::string big(512 * kKiB, 'a');
+    EXPECT_TRUE((co_await store_->Append(id, 0, big)).ok());
+    EXPECT_TRUE((co_await store_->Append(id, big.size(), big)).ok());
+    Status st = co_await store_->Append(id, 2 * big.size(), "x");
+    EXPECT_TRUE(st.IsNoSpace());
+  });
+}
+
+TEST_F(ExtentFixture, OverwriteInPlace) {
+  Run([&]() -> Task<void> {
+    ExtentId id = store_->CreateExtent();
+    (void)co_await store_->Append(id, 0, "aaaaaaaaaa");
+    EXPECT_TRUE((co_await store_->Overwrite(id, 3, "XYZ")).ok());
+    auto r = co_await store_->Read(id, 0, 10);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) EXPECT_EQ(*r, "aaaXYZaaaa");
+    // Size unchanged: overwrite never extends (§2.7.2, offsets fixed).
+    EXPECT_EQ(store_->ExtentSize(id), 10u);
+  });
+}
+
+TEST_F(ExtentFixture, OverwriteBeyondEndRejected) {
+  Run([&]() -> Task<void> {
+    ExtentId id = store_->CreateExtent();
+    (void)co_await store_->Append(id, 0, "abc");
+    Status st = co_await store_->Overwrite(id, 2, "toolong");
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  });
+}
+
+TEST_F(ExtentFixture, CrcCaughtAfterOverwrite) {
+  Run([&]() -> Task<void> {
+    ExtentId id = store_->CreateExtent();
+    (void)co_await store_->Append(id, 0, "0123456789");
+    (void)co_await store_->Overwrite(id, 0, "9876543210");
+    // Whole-extent read verifies the recomputed CRC.
+    auto r = co_await store_->Read(id, 0, 10);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE((co_await store_->VerifyExtent(id)).ok());
+  });
+}
+
+TEST_F(ExtentFixture, SmallFilesAggregateIntoOneExtent) {
+  Run([&]() -> Task<void> {
+    std::string f1(4 * kKiB, 'a'), f2(8 * kKiB, 'b'), f3(100, 'c');
+    auto r1 = co_await store_->WriteSmall(f1);
+    auto r2 = co_await store_->WriteSmall(f2);
+    auto r3 = co_await store_->WriteSmall(f3);
+    EXPECT_TRUE(r1.ok());
+    EXPECT_TRUE(r2.ok());
+    EXPECT_TRUE(r3.ok());
+    if (!(r1.ok() && r2.ok() && r3.ok())) co_return;
+    // All in the same tiny extent, at consecutive physical offsets.
+    EXPECT_EQ(r1->first, r2->first);
+    EXPECT_EQ(r2->first, r3->first);
+    EXPECT_EQ(r1->second, 0u);
+    EXPECT_EQ(r2->second, f1.size());
+    EXPECT_EQ(r3->second, f1.size() + f2.size());
+    // Contents readable at the recorded offsets.
+    auto read = co_await store_->Read(r2->first, r2->second, f2.size());
+    EXPECT_TRUE(read.ok());
+    if (read.ok()) EXPECT_EQ(*read, f2);
+  });
+}
+
+TEST_F(ExtentFixture, TooLargeForSmallPathRejected) {
+  Run([&]() -> Task<void> {
+    std::string big(256 * kKiB, 'x');
+    auto r = co_await store_->WriteSmall(big);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  });
+}
+
+TEST_F(ExtentFixture, PunchHoleFreesSpaceAndBlocksReads) {
+  Run([&]() -> Task<void> {
+    std::string f1(16 * kKiB, 'a'), f2(16 * kKiB, 'b');
+    auto r1 = co_await store_->WriteSmall(f1);
+    auto r2 = co_await store_->WriteSmall(f2);
+    uint64_t before = store_->physical_bytes();
+    EXPECT_TRUE((co_await store_->PunchHole(r1->first, r1->second, f1.size())).ok());
+    EXPECT_EQ(store_->physical_bytes(), before - f1.size());
+    // Reading the punched file fails; the neighbour is intact.
+    auto bad = co_await store_->Read(r1->first, r1->second, f1.size());
+    EXPECT_FALSE(bad.ok());
+    auto good = co_await store_->Read(r2->first, r2->second, f2.size());
+    EXPECT_TRUE(good.ok());
+    if (good.ok()) EXPECT_EQ(*good, f2);
+  });
+}
+
+TEST_F(ExtentFixture, DoublePunchRejected) {
+  Run([&]() -> Task<void> {
+    auto r = co_await store_->WriteSmall(std::string(1024, 'x'));
+    EXPECT_TRUE((co_await store_->PunchHole(r->first, r->second, 1024)).ok());
+    // A second punch of the same (now gone or punched) range fails cleanly.
+    Status st = co_await store_->PunchHole(r->first, r->second, 1024);
+    EXPECT_FALSE(st.ok());
+  });
+}
+
+TEST_F(ExtentFixture, FullyPunchedTinyExtentIsRemoved) {
+  Run([&]() -> Task<void> {
+    auto r1 = co_await store_->WriteSmall(std::string(512, 'a'));
+    auto r2 = co_await store_->WriteSmall(std::string(512, 'b'));
+    size_t extents_before = store_->num_extents();
+    (void)co_await store_->PunchHole(r1->first, r1->second, 512);
+    EXPECT_EQ(store_->num_extents(), extents_before);  // half punched: stays
+    (void)co_await store_->PunchHole(r2->first, r2->second, 512);
+    EXPECT_EQ(store_->num_extents(), extents_before - 1);  // all punched: gone
+  });
+}
+
+TEST_F(ExtentFixture, DeleteLargeExtentDirectly) {
+  Run([&]() -> Task<void> {
+    ExtentId id = store_->CreateExtent();
+    (void)co_await store_->Append(id, 0, std::string(64 * kKiB, 'z'));
+    uint64_t before = store_->physical_bytes();
+    EXPECT_TRUE((co_await store_->DeleteExtent(id)).ok());
+    EXPECT_EQ(store_->physical_bytes(), before - 64 * kKiB);
+    EXPECT_FALSE(store_->Has(id));
+  });
+}
+
+TEST_F(ExtentFixture, DeleteTinyExtentRejected) {
+  Run([&]() -> Task<void> {
+    auto r = co_await store_->WriteSmall("tiny");
+    Status st = co_await store_->DeleteExtent(r->first);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  });
+}
+
+TEST_F(ExtentFixture, NewTinyExtentWhenActiveFills) {
+  Run([&]() -> Task<void> {
+    // 1 MiB limit; 128 KiB files fill one tiny extent after 8 writes.
+    std::string f(128 * kKiB, 'q');
+    ExtentId first = 0;
+    for (int i = 0; i < 9; i++) {
+      auto r = co_await store_->WriteSmall(f);
+      EXPECT_TRUE(r.ok());
+      if (i == 0) first = r->first;
+      if (i == 8) EXPECT_NE(r->first, first);  // rolled over to a new extent
+    }
+  });
+}
+
+TEST_F(ExtentFixture, AccountingModeTracksSizesWithoutContents) {
+  ExtentStoreOptions opts;
+  opts.track_contents = false;
+  ExtentStore store(host_->disk(1), opts);
+  Run([&]() -> Task<void> {
+    ExtentId id = store.CreateExtent();
+    (void)co_await store.Append(id, 0, std::string(1 * kMiB, 'a'));
+    EXPECT_EQ(store.ExtentSize(id), 1 * kMiB);
+    EXPECT_EQ(store.Find(id)->data.size(), 0u);  // no bytes materialized
+    auto r = co_await store.Read(id, 0, 1024);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) EXPECT_EQ(r->size(), 1024u);
+  });
+  EXPECT_EQ(store.logical_bytes(), 1 * kMiB);
+}
+
+TEST_F(ExtentFixture, RebuildCrcCacheAfterRestart) {
+  Run([&]() -> Task<void> {
+    ExtentId id = store_->CreateExtent();
+    (void)co_await store_->Append(id, 0, "data-to-check");
+    EXPECT_TRUE((co_await store_->RebuildCrcCache()).ok());
+    EXPECT_TRUE((co_await store_->VerifyExtent(id)).ok());
+  });
+}
+
+}  // namespace
+}  // namespace cfs::storage

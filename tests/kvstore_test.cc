@@ -1,0 +1,161 @@
+// KvStore tests: WAL recovery, batch atomicity, checkpointing, scans.
+#include <gtest/gtest.h>
+
+#include "kv/kvstore.h"
+#include "sim/network.h"
+
+namespace cfs::kv {
+namespace {
+
+using sim::Spawn;
+using sim::Task;
+
+class KvFixture : public ::testing::Test {
+ protected:
+  KvFixture() : net_(&sched_) { host_ = net_.AddHost(); }
+
+  std::unique_ptr<KvStore> Make(const KvOptions& opts = {}) {
+    auto kv = std::make_unique<KvStore>(&host_->storage(), host_->disk(0), "test", opts);
+    Run([&]() -> Task<void> { EXPECT_TRUE((co_await kv->Open()).ok()); });
+    return kv;
+  }
+
+  template <typename F>
+  void Run(F f) {
+    Spawn(f());
+    sched_.Run();
+  }
+
+  sim::Scheduler sched_;
+  sim::Network net_;
+  sim::Host* host_;
+};
+
+TEST_F(KvFixture, PutGetDelete) {
+  auto kv = Make();
+  Run([&]() -> Task<void> {
+    EXPECT_TRUE((co_await kv->Put("a", "1")).ok());
+    EXPECT_TRUE((co_await kv->Put("b", "2")).ok());
+    std::string v;
+    EXPECT_TRUE(kv->Get("a", &v));
+    EXPECT_EQ(v, "1");
+    EXPECT_TRUE((co_await kv->Delete("a")).ok());
+    EXPECT_FALSE(kv->Get("a", &v));
+    EXPECT_TRUE(kv->Get("b", &v));
+  });
+}
+
+TEST_F(KvFixture, AccessBeforeOpenFails) {
+  KvStore kv(&host_->storage(), host_->disk(0), "unopened");
+  Run([&]() -> Task<void> {
+    Status st = co_await kv.Put("a", "1");
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  });
+}
+
+TEST_F(KvFixture, OverwriteKeepsLatest) {
+  auto kv = Make();
+  Run([&]() -> Task<void> {
+    (void)co_await kv->Put("k", "v1");
+    (void)co_await kv->Put("k", "v2");
+    std::string v;
+    EXPECT_TRUE(kv->Get("k", &v));
+    EXPECT_EQ(v, "v2");
+    EXPECT_EQ(kv->size(), 1u);
+  });
+}
+
+TEST_F(KvFixture, RecoveryFromWal) {
+  auto kv = Make();
+  Run([&]() -> Task<void> {
+    for (int i = 0; i < 50; i++) {
+      (void)co_await kv->Put("key" + std::to_string(i), "val" + std::to_string(i));
+    }
+    (void)co_await kv->Delete("key7");
+  });
+  // Re-open a fresh store over the same stable storage (simulated restart).
+  KvStore kv2(&host_->storage(), host_->disk(0), "test");
+  Run([&]() -> Task<void> { EXPECT_TRUE((co_await kv2.Open()).ok()); });
+  EXPECT_EQ(kv2.size(), 49u);
+  std::string v;
+  EXPECT_TRUE(kv2.Get("key33", &v));
+  EXPECT_EQ(v, "val33");
+  EXPECT_FALSE(kv2.Get("key7", &v));
+}
+
+TEST_F(KvFixture, BatchIsAtomicInWal) {
+  auto kv = Make();
+  Run([&]() -> Task<void> {
+    WriteBatch b;
+    b.Put("x", "1");
+    b.Put("y", "2");
+    b.Delete("x");
+    EXPECT_TRUE((co_await kv->Write(std::move(b))).ok());
+  });
+  EXPECT_FALSE(kv->Has("x"));
+  EXPECT_TRUE(kv->Has("y"));
+  // One WAL record for the whole batch.
+  EXPECT_EQ(kv->wal_records(), 1u);
+}
+
+TEST_F(KvFixture, CheckpointTruncatesWalAndRecovers) {
+  KvOptions opts;
+  opts.checkpoint_threshold = 10;
+  auto kv = Make(opts);
+  Run([&]() -> Task<void> {
+    for (int i = 0; i < 25; i++) {
+      (void)co_await kv->Put("k" + std::to_string(i), std::to_string(i));
+    }
+  });
+  EXPECT_GE(kv->checkpoints_taken(), 2u);
+  EXPECT_LT(kv->wal_records(), 10u);
+  KvStore kv2(&host_->storage(), host_->disk(0), "test", opts);
+  Run([&]() -> Task<void> { EXPECT_TRUE((co_await kv2.Open()).ok()); });
+  EXPECT_EQ(kv2.size(), 25u);
+  std::string v;
+  EXPECT_TRUE(kv2.Get("k24", &v));
+  EXPECT_EQ(v, "24");
+}
+
+TEST_F(KvFixture, ScanPrefix) {
+  auto kv = Make();
+  Run([&]() -> Task<void> {
+    (void)co_await kv->Put("vol/a", "1");
+    (void)co_await kv->Put("vol/b", "2");
+    (void)co_await kv->Put("node/1", "3");
+    (void)co_await kv->Put("vol/c", "4");
+    (void)co_await kv->Put("volx", "5");
+  });
+  auto rows = kv->Scan("vol/");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "vol/a");
+  EXPECT_EQ(rows[2].first, "vol/c");
+  EXPECT_EQ(kv->Scan("zzz").size(), 0u);
+}
+
+TEST_F(KvFixture, EmptyBatchIsNoop) {
+  auto kv = Make();
+  Run([&]() -> Task<void> {
+    EXPECT_TRUE((co_await kv->Write(WriteBatch{})).ok());
+  });
+  EXPECT_EQ(kv->wal_records(), 0u);
+}
+
+TEST_F(KvFixture, SeparateNamesDoNotCollide) {
+  auto a = std::make_unique<KvStore>(&host_->storage(), host_->disk(0), "a");
+  auto b = std::make_unique<KvStore>(&host_->storage(), host_->disk(0), "b");
+  Run([&]() -> Task<void> {
+    (void)co_await a->Open();
+    (void)co_await b->Open();
+    (void)co_await a->Put("k", "from-a");
+    (void)co_await b->Put("k", "from-b");
+  });
+  std::string v;
+  EXPECT_TRUE(a->Get("k", &v));
+  EXPECT_EQ(v, "from-a");
+  EXPECT_TRUE(b->Get("k", &v));
+  EXPECT_EQ(v, "from-b");
+}
+
+}  // namespace
+}  // namespace cfs::kv

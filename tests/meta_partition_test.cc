@@ -1,0 +1,256 @@
+// MetaPartition state-machine tests: command apply semantics, inode id
+// allocation, nlink thresholds, free list, snapshot round-trip, range
+// splitting (Algorithm 1), memory accounting, fsck orphan detection.
+#include <gtest/gtest.h>
+
+#include "meta/meta_partition.h"
+#include "sim/network.h"
+
+namespace cfs::meta {
+namespace {
+
+class MetaPartitionFixture : public ::testing::Test {
+ protected:
+  MetaPartitionFixture() : net_(&sched_) {
+    host_ = net_.AddHost();
+    MetaPartitionConfig cfg;
+    cfg.id = 1;
+    cfg.volume = 1;
+    cfg.start = 1;
+    mp_ = std::make_unique<MetaPartition>(cfg, host_);
+  }
+
+  ApplyResult Apply(std::string cmd) {
+    mp_->Apply(++index_, cmd);
+    auto res = mp_->TakeResult(index_);
+    EXPECT_TRUE(res.has_value());
+    return res.value_or(ApplyResult{});
+  }
+
+  Inode CreateFile() {
+    auto res = Apply(MetaPartition::EncodeCreateInode(FileType::kFile, "", 0));
+    EXPECT_TRUE(res.status.ok());
+    return res.inode;
+  }
+
+  sim::Scheduler sched_;
+  sim::Network net_;
+  sim::Host* host_;
+  std::unique_ptr<MetaPartition> mp_;
+  raft::Index index_ = 0;
+};
+
+TEST_F(MetaPartitionFixture, CreateInodeAllocatesSmallestUnusedId) {
+  Inode a = CreateFile();
+  Inode b = CreateFile();
+  EXPECT_EQ(a.id, 1u);
+  EXPECT_EQ(b.id, 2u);
+  EXPECT_EQ(mp_->max_inode_id(), 2u);
+  EXPECT_EQ(a.nlink, 1u);
+}
+
+TEST_F(MetaPartitionFixture, DirectoryStartsWithNlinkTwo) {
+  auto res = Apply(MetaPartition::EncodeCreateInode(FileType::kDir, "", 0));
+  EXPECT_EQ(res.inode.nlink, 2u);
+  EXPECT_TRUE(res.inode.IsDir());
+}
+
+TEST_F(MetaPartitionFixture, SymlinkKeepsTarget) {
+  auto res = Apply(MetaPartition::EncodeCreateInode(FileType::kSymlink, "/target/path", 0));
+  EXPECT_EQ(res.inode.link_target, "/target/path");
+}
+
+TEST_F(MetaPartitionFixture, UnlinkFileMarksDeletedAtZero) {
+  Inode f = CreateFile();
+  auto res = Apply(MetaPartition::EncodeUnlinkInode(f.id));
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_EQ(res.value, 0u);
+  EXPECT_TRUE(res.inode.IsDeleted());
+  ASSERT_EQ(mp_->free_list().size(), 1u);
+  EXPECT_EQ(mp_->free_list().front(), f.id);
+}
+
+TEST_F(MetaPartitionFixture, LinkedFileSurvivesOneUnlink) {
+  Inode f = CreateFile();
+  EXPECT_TRUE(Apply(MetaPartition::EncodeLinkInode(f.id)).status.ok());  // nlink=2
+  auto res = Apply(MetaPartition::EncodeUnlinkInode(f.id));
+  EXPECT_EQ(res.value, 1u);
+  EXPECT_FALSE(res.inode.IsDeleted());
+  EXPECT_TRUE(mp_->free_list().empty());
+}
+
+TEST_F(MetaPartitionFixture, DirectoryDeletedAtNlinkTwo) {
+  auto dir = Apply(MetaPartition::EncodeCreateInode(FileType::kDir, "", 0)).inode;
+  // One unlink takes a fresh dir (nlink=2) to 1 <= threshold 2 -> deleted.
+  auto res = Apply(MetaPartition::EncodeUnlinkInode(dir.id));
+  EXPECT_TRUE(res.inode.IsDeleted());
+}
+
+TEST_F(MetaPartitionFixture, LinkToDeletedInodeFails) {
+  Inode f = CreateFile();
+  (void)Apply(MetaPartition::EncodeUnlinkInode(f.id));
+  auto res = Apply(MetaPartition::EncodeLinkInode(f.id));
+  EXPECT_TRUE(res.status.IsNotFound());
+}
+
+TEST_F(MetaPartitionFixture, EvictRemovesInodeAndFreeListEntry) {
+  Inode f = CreateFile();
+  (void)Apply(MetaPartition::EncodeUnlinkInode(f.id));
+  auto res = Apply(MetaPartition::EncodeEvictInode(f.id));
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_EQ(mp_->GetInode(f.id), nullptr);
+  EXPECT_TRUE(mp_->free_list().empty());
+  // Idempotent.
+  EXPECT_TRUE(Apply(MetaPartition::EncodeEvictInode(f.id)).status.ok());
+}
+
+TEST_F(MetaPartitionFixture, DentryCreateLookupDelete) {
+  Inode f = CreateFile();
+  Dentry d{kRootInode, "file.txt", f.id, FileType::kFile};
+  EXPECT_TRUE(Apply(MetaPartition::EncodeCreateDentry(d)).status.ok());
+  const Dentry* found = mp_->Lookup(kRootInode, "file.txt");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->inode, f.id);
+  // Duplicate create rejected.
+  EXPECT_TRUE(Apply(MetaPartition::EncodeCreateDentry(d)).status.IsAlreadyExists());
+  auto res = Apply(MetaPartition::EncodeDeleteDentry(kRootInode, "file.txt"));
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_EQ(res.dentry.inode, f.id);  // returned for the follow-up unlink
+  EXPECT_EQ(mp_->Lookup(kRootInode, "file.txt"), nullptr);
+}
+
+TEST_F(MetaPartitionFixture, DeleteMissingDentryIsNotFound) {
+  EXPECT_TRUE(Apply(MetaPartition::EncodeDeleteDentry(kRootInode, "nope")).status.IsNotFound());
+}
+
+TEST_F(MetaPartitionFixture, ReadDirReturnsOnlyThatParent) {
+  for (int i = 0; i < 5; i++) {
+    Inode f = CreateFile();
+    Dentry d{kRootInode, "a" + std::to_string(i), f.id, FileType::kFile};
+    (void)Apply(MetaPartition::EncodeCreateDentry(d));
+  }
+  Inode sub = Apply(MetaPartition::EncodeCreateInode(FileType::kDir, "", 0)).inode;
+  Dentry d{sub.id, "inner", CreateFile().id, FileType::kFile};
+  (void)Apply(MetaPartition::EncodeCreateDentry(d));
+
+  auto root_list = mp_->ReadDir(kRootInode);
+  EXPECT_EQ(root_list.size(), 5u);
+  auto sub_list = mp_->ReadDir(sub.id);
+  ASSERT_EQ(sub_list.size(), 1u);
+  EXPECT_EQ(sub_list[0].name, "inner");
+}
+
+TEST_F(MetaPartitionFixture, BatchInodeGetSkipsMissing) {
+  Inode a = CreateFile(), b = CreateFile();
+  auto got = mp_->BatchInodeGet({a.id, 999, b.id});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].id, a.id);
+  EXPECT_EQ(got[1].id, b.id);
+}
+
+TEST_F(MetaPartitionFixture, AppendExtentRecordsLocationAndSize) {
+  Inode f = CreateFile();
+  ExtentKey key{0, 7, 42, 0, 1024};
+  auto res = Apply(MetaPartition::EncodeAppendExtent(f.id, key, 1024));
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_EQ(res.inode.size, 1024u);
+  ASSERT_EQ(res.inode.extents.size(), 1u);
+  EXPECT_EQ(res.inode.extents[0], key);
+  // Retried command (same key) is idempotent.
+  res = Apply(MetaPartition::EncodeAppendExtent(f.id, key, 1024));
+  EXPECT_EQ(res.inode.extents.size(), 1u);
+}
+
+TEST_F(MetaPartitionFixture, TruncateDropsExtentsBeyondSize) {
+  Inode f = CreateFile();
+  (void)Apply(MetaPartition::EncodeAppendExtent(f.id, ExtentKey{0, 1, 1, 0, 1000}, 1000));
+  (void)Apply(MetaPartition::EncodeAppendExtent(f.id, ExtentKey{1000, 1, 2, 0, 1000}, 2000));
+  auto res = Apply(MetaPartition::EncodeTruncate(f.id, 500));
+  EXPECT_TRUE(res.status.ok());
+  const Inode* ino = mp_->GetInode(f.id);
+  ASSERT_NE(ino, nullptr);
+  EXPECT_EQ(ino->size, 500u);
+  ASSERT_EQ(ino->extents.size(), 1u);
+  EXPECT_EQ(ino->extents[0].extent_id, 1u);
+}
+
+TEST_F(MetaPartitionFixture, SetEndCutsInodeRange) {
+  CreateFile();  // id 1
+  CreateFile();  // id 2
+  auto res = Apply(MetaPartition::EncodeSetEnd(100));
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_EQ(mp_->config().end, 100u);
+  // Below maxInodeID: rejected.
+  res = Apply(MetaPartition::EncodeSetEnd(1));
+  EXPECT_FALSE(res.status.ok());
+}
+
+TEST_F(MetaPartitionFixture, RangeExhaustionStopsAllocation) {
+  (void)Apply(MetaPartition::EncodeSetEnd(3));
+  CreateFile();  // 1
+  CreateFile();  // 2
+  CreateFile();  // 3
+  auto res = Apply(MetaPartition::EncodeCreateInode(FileType::kFile, "", 0));
+  EXPECT_TRUE(res.status.IsNoSpace());
+  EXPECT_TRUE(mp_->IsFull());
+}
+
+TEST_F(MetaPartitionFixture, SnapshotRoundTripPreservesEverything) {
+  for (int i = 0; i < 20; i++) {
+    Inode f = CreateFile();
+    Dentry d{kRootInode, "f" + std::to_string(i), f.id, FileType::kFile};
+    (void)Apply(MetaPartition::EncodeCreateDentry(d));
+  }
+  (void)Apply(MetaPartition::EncodeUnlinkInode(3));
+  (void)Apply(MetaPartition::EncodeSetEnd(1000));
+  std::string snap = mp_->TakeSnapshot();
+
+  MetaPartitionConfig cfg;
+  cfg.id = 1;
+  MetaPartition copy(cfg, host_);
+  copy.Restore(snap);
+  EXPECT_EQ(copy.inode_count(), 20u);
+  EXPECT_EQ(copy.dentry_count(), 20u);
+  EXPECT_EQ(copy.max_inode_id(), 20u);
+  EXPECT_EQ(copy.config().end, 1000u);
+  ASSERT_EQ(copy.free_list().size(), 1u);
+  EXPECT_EQ(copy.free_list().front(), 3u);
+  const Dentry* d = copy.Lookup(kRootInode, "f7");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->inode, 8u);
+  // New allocations continue after the snapshot's maxInodeID.
+  copy.Apply(1, MetaPartition::EncodeCreateInode(FileType::kFile, "", 0));
+  auto res = copy.TakeResult(1);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->inode.id, 21u);
+}
+
+TEST_F(MetaPartitionFixture, MemoryAccountingTracksHostUsage) {
+  uint64_t before = host_->memory_used();
+  Inode f = CreateFile();
+  EXPECT_GT(host_->memory_used(), before);
+  (void)Apply(MetaPartition::EncodeUnlinkInode(f.id));
+  (void)Apply(MetaPartition::EncodeEvictInode(f.id));
+  EXPECT_EQ(host_->memory_used(), before);
+}
+
+TEST_F(MetaPartitionFixture, FsckFindsOrphanInodes) {
+  Inode linked = CreateFile();
+  Dentry d{kRootInode, "linked", linked.id, FileType::kFile};
+  (void)Apply(MetaPartition::EncodeCreateDentry(d));
+  Inode orphan = CreateFile();  // no dentry ever created: orphan
+  auto orphans = mp_->FindOrphanInodes();
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0], orphan.id);
+}
+
+TEST_F(MetaPartitionFixture, ResultsPrunedBeyondCapacity) {
+  for (int i = 0; i < 5000; i++) {
+    mp_->Apply(++index_, MetaPartition::EncodeCreateInode(FileType::kFile, "", 0));
+  }
+  EXPECT_FALSE(mp_->TakeResult(1).has_value());         // pruned
+  EXPECT_TRUE(mp_->TakeResult(index_).has_value());     // recent
+}
+
+}  // namespace
+}  // namespace cfs::meta
