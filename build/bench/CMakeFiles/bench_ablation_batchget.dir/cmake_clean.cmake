@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_batchget.dir/bench_ablation_batchget.cc.o"
+  "CMakeFiles/bench_ablation_batchget.dir/bench_ablation_batchget.cc.o.d"
+  "bench_ablation_batchget"
+  "bench_ablation_batchget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_batchget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

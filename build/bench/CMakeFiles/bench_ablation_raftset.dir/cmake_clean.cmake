@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_raftset.dir/bench_ablation_raftset.cc.o"
+  "CMakeFiles/bench_ablation_raftset.dir/bench_ablation_raftset.cc.o.d"
+  "bench_ablation_raftset"
+  "bench_ablation_raftset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_raftset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

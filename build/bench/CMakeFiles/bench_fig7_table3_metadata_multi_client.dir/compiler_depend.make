@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_table3_metadata_multi_client.
+# This may be replaced when dependencies are built.

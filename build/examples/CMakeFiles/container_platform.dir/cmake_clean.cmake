@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_platform.dir/container_platform.cpp.o"
+  "CMakeFiles/container_platform.dir/container_platform.cpp.o.d"
+  "container_platform"
+  "container_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

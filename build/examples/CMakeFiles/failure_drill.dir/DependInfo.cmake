@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/failure_drill.cpp" "examples/CMakeFiles/failure_drill.dir/failure_drill.cpp.o" "gcc" "examples/CMakeFiles/failure_drill.dir/failure_drill.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cfs_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/cfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceph/CMakeFiles/cfs_ceph.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/cfs_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/master/CMakeFiles/cfs_master.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/cfs_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/cfs_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/datanode/CMakeFiles/cfs_datanode.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/cfs_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_file_store.dir/small_file_store.cpp.o"
+  "CMakeFiles/small_file_store.dir/small_file_store.cpp.o.d"
+  "small_file_store"
+  "small_file_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_file_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

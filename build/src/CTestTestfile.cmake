@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("raft")
+subdirs("kv")
+subdirs("storage")
+subdirs("meta")
+subdirs("datanode")
+subdirs("master")
+subdirs("client")
+subdirs("vfs")
+subdirs("ceph")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_ceph.dir/ceph.cc.o"
+  "CMakeFiles/cfs_ceph.dir/ceph.cc.o.d"
+  "libcfs_ceph.a"
+  "libcfs_ceph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_ceph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_client.dir/client.cc.o"
+  "CMakeFiles/cfs_client.dir/client.cc.o.d"
+  "libcfs_client.a"
+  "libcfs_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datanode/data_node.cc" "src/datanode/CMakeFiles/cfs_datanode.dir/data_node.cc.o" "gcc" "src/datanode/CMakeFiles/cfs_datanode.dir/data_node.cc.o.d"
+  "/root/repo/src/datanode/data_partition.cc" "src/datanode/CMakeFiles/cfs_datanode.dir/data_partition.cc.o" "gcc" "src/datanode/CMakeFiles/cfs_datanode.dir/data_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/cfs_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cfs_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_datanode.dir/data_node.cc.o"
+  "CMakeFiles/cfs_datanode.dir/data_node.cc.o.d"
+  "CMakeFiles/cfs_datanode.dir/data_partition.cc.o"
+  "CMakeFiles/cfs_datanode.dir/data_partition.cc.o.d"
+  "libcfs_datanode.a"
+  "libcfs_datanode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_datanode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_harness.dir/cluster.cc.o"
+  "CMakeFiles/cfs_harness.dir/cluster.cc.o.d"
+  "CMakeFiles/cfs_harness.dir/workloads.cc.o"
+  "CMakeFiles/cfs_harness.dir/workloads.cc.o.d"
+  "libcfs_harness.a"
+  "libcfs_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

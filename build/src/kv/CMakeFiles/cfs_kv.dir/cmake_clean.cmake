@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_kv.dir/kvstore.cc.o"
+  "CMakeFiles/cfs_kv.dir/kvstore.cc.o.d"
+  "libcfs_kv.a"
+  "libcfs_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_master.dir/master.cc.o"
+  "CMakeFiles/cfs_master.dir/master.cc.o.d"
+  "libcfs_master.a"
+  "libcfs_master.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

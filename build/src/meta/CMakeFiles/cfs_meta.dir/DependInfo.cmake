@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/meta_node.cc" "src/meta/CMakeFiles/cfs_meta.dir/meta_node.cc.o" "gcc" "src/meta/CMakeFiles/cfs_meta.dir/meta_node.cc.o.d"
+  "/root/repo/src/meta/meta_partition.cc" "src/meta/CMakeFiles/cfs_meta.dir/meta_partition.cc.o" "gcc" "src/meta/CMakeFiles/cfs_meta.dir/meta_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/cfs_raft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_meta.dir/meta_node.cc.o"
+  "CMakeFiles/cfs_meta.dir/meta_node.cc.o.d"
+  "CMakeFiles/cfs_meta.dir/meta_partition.cc.o"
+  "CMakeFiles/cfs_meta.dir/meta_partition.cc.o.d"
+  "libcfs_meta.a"
+  "libcfs_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_raft.dir/log_store.cc.o"
+  "CMakeFiles/cfs_raft.dir/log_store.cc.o.d"
+  "CMakeFiles/cfs_raft.dir/raft_node.cc.o"
+  "CMakeFiles/cfs_raft.dir/raft_node.cc.o.d"
+  "libcfs_raft.a"
+  "libcfs_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

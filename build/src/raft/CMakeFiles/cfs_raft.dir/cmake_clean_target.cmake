@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcfs_raft.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_storage.dir/extent_store.cc.o"
+  "CMakeFiles/cfs_storage.dir/extent_store.cc.o.d"
+  "libcfs_storage.a"
+  "libcfs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_vfs.dir/vfs.cc.o"
+  "CMakeFiles/cfs_vfs.dir/vfs.cc.o.d"
+  "libcfs_vfs.a"
+  "libcfs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceph_test.dir/ceph_test.cc.o"
+  "CMakeFiles/ceph_test.dir/ceph_test.cc.o.d"
+  "ceph_test"
+  "ceph_test.pdb"
+  "ceph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

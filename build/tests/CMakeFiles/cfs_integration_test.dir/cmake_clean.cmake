@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_integration_test.dir/cfs_integration_test.cc.o"
+  "CMakeFiles/cfs_integration_test.dir/cfs_integration_test.cc.o.d"
+  "cfs_integration_test"
+  "cfs_integration_test.pdb"
+  "cfs_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extent_store_test.dir/extent_store_test.cc.o"
+  "CMakeFiles/extent_store_test.dir/extent_store_test.cc.o.d"
+  "extent_store_test"
+  "extent_store_test.pdb"
+  "extent_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extent_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_model_test.dir/vfs_model_test.cc.o"
+  "CMakeFiles/vfs_model_test.dir/vfs_model_test.cc.o.d"
+  "vfs_model_test"
+  "vfs_model_test.pdb"
+  "vfs_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
