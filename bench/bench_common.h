@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,12 +30,14 @@ struct CfsBench {
 
 inline CfsBench MakeCfsBench(int num_clients, uint64_t seed = 1,
                              uint32_t meta_partitions = 30, uint32_t data_partitions = 40,
-                             uint64_t nic_mib = 0) {
+                             uint64_t nic_mib = 0,
+                             std::optional<client::ClientOptions> client_opts = std::nullopt) {
   CfsBench b;
   harness::ClusterOptions opts;
   opts.num_nodes = 10;  // paper testbed
   opts.seed = seed;
   opts.track_contents = false;
+  if (client_opts) opts.client = *client_opts;
   opts.host.disk.capacity_bytes = 960ull * kGiB;
   // Data-path benches scale the wire rate up so the storage stack (not the
   // NIC) is the binding resource, matching the regime the paper's absolute

@@ -93,14 +93,23 @@ MetaPartitionView* Client::PickWritableMetaView() {
   return writable[sched().rng().Uniform(writable.size())];
 }
 
-DataPartitionView* Client::PickWritableDataView() {
+DataPartitionView* Client::PickWritableDataView(PartitionId avoid) {
+  // `avoid` is the partition a windowed append just failed on (§2.2.5: the
+  // suffix is resent "to the extents in different data partitions/nodes");
+  // it is only reused when it is the sole writable choice left.
   std::vector<DataPartitionView*> writable;
+  DataPartitionView* avoided = nullptr;
   for (auto& v : data_views_) {
     auto it = unwritable_until_.find(v.pid);
     if (it != unwritable_until_.end() && it->second > sched().Now()) continue;
-    if (v.writable) writable.push_back(&v);
+    if (!v.writable) continue;
+    if (v.pid == avoid) {
+      avoided = &v;
+      continue;
+    }
+    writable.push_back(&v);
   }
-  if (writable.empty()) return nullptr;
+  if (writable.empty()) return avoided;
   return writable[sched().rng().Uniform(writable.size())];
 }
 
@@ -593,17 +602,78 @@ sim::Task<Status> Client::WriteSmallFile(OpenFile& of, std::string_view data) {
   co_return last;
 }
 
+namespace {
+
+// Shared state of one window "session": all the packets streamed to a single
+// extent between two drain points of the sliding-window append pipeline.
+struct WindowCtl {
+  sim::Semaphore sem;     // in-flight packet slots
+  sim::Notifier drained;  // fires when inflight drops to zero
+  int inflight = 0;
+  bool failed = false;    // some packet was rejected or its RPC was lost
+  bool rpc_lost = false;  // at least one failure carried no leader response
+  // Largest committed offset the leader reported across all delivered
+  // responses (recovers commits whose own acks were lost in flight).
+  uint64_t leader_committed = 0;
+  // Contiguous prefix of OK-acked bytes, plus out-of-order acked ranges
+  // (begin -> end) ahead of it.
+  uint64_t acked_prefix = 0;
+  std::map<uint64_t, uint64_t> acked;
+
+  WindowCtl(sim::Scheduler* sched, int permits, uint64_t base)
+      : sem(sched, permits), drained(sched), acked_prefix(base) {}
+};
+
+// Detached per-packet sender: occupies one window slot until its ack (or
+// timeout) comes back, then releases the slot to the writer.
+Task<void> SendWindowPacket(sim::Network* net, sim::NodeId self, sim::NodeId target,
+                            SimDuration timeout, std::shared_ptr<WindowCtl> ctl,
+                            data::WritePacketReq pkt) {
+  const uint64_t begin = pkt.offset;
+  const uint64_t end = begin + pkt.data.size();
+  auto r = co_await net->Call<data::WritePacketReq, data::WritePacketResp>(
+      self, target, std::move(pkt), timeout);
+  if (r.ok()) {
+    ctl->leader_committed = std::max(ctl->leader_committed, r->committed_offset);
+  }
+  if (r.ok() && r->status.ok()) {
+    // A success ack means [begin, end) is durable on every replica even if a
+    // predecessor is still in flight; fold it into the acked ranges.
+    auto [it, inserted] = ctl->acked.emplace(begin, end);
+    if (!inserted) it->second = std::max(it->second, end);
+    while (!ctl->acked.empty() && ctl->acked.begin()->first <= ctl->acked_prefix) {
+      ctl->acked_prefix = std::max(ctl->acked_prefix, ctl->acked.begin()->second);
+      ctl->acked.erase(ctl->acked.begin());
+    }
+  } else {
+    ctl->failed = true;
+    if (!r.ok()) ctl->rpc_lost = true;
+  }
+  ctl->inflight--;
+  ctl->sem.Release();
+  if (ctl->inflight == 0) ctl->drained.NotifyAll();
+}
+
+}  // namespace
+
 sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
                                      std::string_view data) {
+  // Sliding-window pipeline: up to write_window_packets WritePacketReqs in
+  // flight against the active extent; the committed prefix (and with it
+  // pending_keys / append_extent_size) only advances over bytes the leader
+  // confirmed contiguously. window=1 degenerates to the paper's stop-and-wait
+  // packet train.
   uint64_t remaining = data.size();
-  uint64_t pos = 0;
+  uint64_t pos = 0;  // bytes of `data` committed so far
   const uint64_t extent_limit = 128 * kMiB;
+  const int window = std::max(1, opts_.write_window_packets);
+  PartitionId avoid_pid = 0;  // partition the previous session failed on
   while (remaining > 0) {
     // Ensure an active extent with room.
     if (of.append_pid == 0 || of.append_extent_size >= extent_limit) {
       Status alloc = Status::Unavailable("no writable data partition");
       for (int attempt = 0; attempt < opts_.max_retries + 2; attempt++) {
-        DataPartitionView* view = PickWritableDataView();
+        DataPartitionView* view = PickWritableDataView(avoid_pid);
         if (!view) {
           (void)co_await RefreshVolume();
           continue;
@@ -633,23 +703,45 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
       CFS_CO_RETURN_IF_ERROR(alloc);
     }
 
-    uint64_t chunk = std::min({remaining, opts_.packet_size,
-                               extent_limit - of.append_extent_size});
-    uint64_t extent_off = of.append_extent_size;
     DataPartitionView* view = DataView(of.append_pid);
     if (!view) co_return Status::NotFound("data partition vanished");
-    stats_.data_rpcs++;
-    data::WritePacketReq packet{of.append_pid, of.append_extent, extent_off,
-                                std::string(data.substr(pos, chunk))};
-    auto r = co_await net_->Call<data::WritePacketReq, data::WritePacketResp>(
-        host_->id(), view->replicas[0], std::move(packet), opts_.rpc_timeout);
-    bool ok = r.ok() && r->status.ok();
-    uint64_t committed_now = ok ? extent_off + chunk
-                                : (r.ok() ? std::min(r->committed_offset, extent_off + chunk)
-                                          : extent_off);
-    uint64_t advanced = committed_now > extent_off ? committed_now - extent_off : 0;
+    const sim::NodeId target = view->replicas[0];
+
+    // --- One window session against the active extent ---
+    const uint64_t base = of.append_extent_size;
+    auto ctl = std::make_shared<WindowCtl>(&sched(), window, base);
+    uint64_t next_off = base;   // extent offset of the next packet
+    uint64_t send_pos = pos;    // data position of the next packet
+    while (send_pos < data.size() && next_off < extent_limit && !ctl->failed) {
+      if (co_await ctl->sem.Acquire()) stats_.window_stalls++;
+      if (ctl->failed) {
+        ctl->sem.Release();
+        break;
+      }
+      uint64_t chunk = std::min({data.size() - send_pos, opts_.packet_size,
+                                 extent_limit - next_off});
+      data::WritePacketReq pkt;
+      pkt.pid = of.append_pid;
+      pkt.extent_id = of.append_extent;
+      pkt.offset = next_off;
+      pkt.data = std::string(data.substr(send_pos, chunk));
+      ctl->inflight++;
+      stats_.max_inflight_packets =
+          std::max<uint64_t>(stats_.max_inflight_packets, ctl->inflight);
+      stats_.data_rpcs++;
+      Spawn(SendWindowPacket(net_, host_->id(), target, opts_.rpc_timeout, ctl,
+                             std::move(pkt)));
+      next_off += chunk;
+      send_pos += chunk;
+    }
+    // Drain the window before touching the commit bookkeeping.
+    while (ctl->inflight > 0) co_await ctl->drained.Wait();
+
+    uint64_t committed_end =
+        std::clamp(std::max(ctl->acked_prefix, ctl->leader_committed), base, next_off);
+    uint64_t advanced = committed_end - base;
     if (advanced > 0) {
-      // Record/extend the pending extent key for the committed portion.
+      // Record/extend the pending extent key for the committed prefix.
       bool merged = false;
       for (auto& key : of.pending_keys) {
         if (key.partition_id == of.append_pid && key.extent_id == of.append_extent &&
@@ -661,28 +753,31 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
       }
       if (!merged) {
         ExtentKey key;
-        key.file_offset = file_offset + pos - extent_off;  // where this extent begins
+        key.file_offset = file_offset + pos - base;  // where this extent begins
         key.partition_id = of.append_pid;
         key.extent_id = of.append_extent;
         key.extent_offset = 0;
-        key.size = extent_off + advanced;
+        key.size = base + advanced;
         of.pending_keys.push_back(key);
       }
-      of.append_extent_size = committed_now;
+      of.append_extent_size = committed_end;
       pos += advanced;
       remaining -= advanced;
       of.pending_size = std::max(of.pending_size, file_offset + pos);
       of.dirty = true;
     }
-    if (!ok) {
+    if (ctl->failed) {
       // §2.2.5: "the client will resend a write request for the remaining
       // k−p MB data to the extents in different data partitions/nodes."
       stats_.resends++;
+      stats_.suffix_resend_bytes += next_off - committed_end;
+      avoid_pid = of.append_pid;
       of.append_pid = 0;
       of.append_extent = 0;
       of.append_extent_size = 0;
-      if (!r.ok()) (void)co_await RefreshVolume();
-      if (remaining == 0) break;
+      if (ctl->rpc_lost) (void)co_await RefreshVolume();
+    } else {
+      avoid_pid = 0;
     }
   }
   co_return Status::OK();
@@ -769,18 +864,66 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
   len = std::min(len, size - offset);
   std::string out(len, '\0');
   uint64_t end = offset + len;
+
+  // Collect the covering pieces up front. Keys are copied by value: the
+  // fan-out below suspends, and pending_keys can reallocate under a
+  // concurrent writer on the same file.
+  struct Piece {
+    ExtentKey key;
+    uint64_t begin;
+    uint64_t end;
+  };
+  std::vector<Piece> pieces;
   for (const ExtentKey* k : keys) {
     uint64_t k_end = k->file_offset + k->size;
     if (k_end <= offset || k->file_offset >= end) continue;
-    uint64_t piece_begin = std::max(offset, k->file_offset);
-    uint64_t piece_end = std::min(end, k_end);
-    uint64_t extent_off = k->extent_offset + (piece_begin - k->file_offset);
+    Piece pc{*k, std::max(offset, k->file_offset), std::min(end, k_end)};
+    pieces.push_back(std::move(pc));
+  }
+
+  if (pieces.size() == 1) {
+    // Single extent (the common random-read case): stay inline.
+    const Piece& pc = pieces[0];
+    uint64_t extent_off = pc.key.extent_offset + (pc.begin - pc.key.file_offset);
+    data::ReadExtentReq req{pc.key.partition_id, pc.key.extent_id, extent_off,
+                            pc.end - pc.begin};
     auto r = co_await DataLeaderCall<data::ReadExtentReq, data::ReadExtentResp>(
-        k->partition_id, data::ReadExtentReq{k->partition_id, k->extent_id, extent_off,
-                                             piece_end - piece_begin});
+        pc.key.partition_id, std::move(req));
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
-    out.replace(piece_begin - offset, r->data.size(), r->data);
+    out.replace(pc.begin - offset, r->data.size(), r->data);
+    co_return out;
+  }
+
+  // Multi-extent read: fan the per-extent ReadExtentReqs out concurrently and
+  // stitch the pieces into `out` (alive across the join — this frame owns it).
+  if (!pieces.empty()) {
+    stats_.parallel_read_fanouts++;
+    std::vector<Status> piece_status(pieces.size(), Status::OK());
+    sim::Join join(&sched(), static_cast<int>(pieces.size()));
+    for (size_t i = 0; i < pieces.size(); i++) {
+      Piece pc = pieces[i];
+      Spawn([](Client* self, Piece pc, uint64_t offset, std::string* out, Status* st,
+               std::function<void()> done) -> Task<void> {
+        uint64_t extent_off = pc.key.extent_offset + (pc.begin - pc.key.file_offset);
+        data::ReadExtentReq req{pc.key.partition_id, pc.key.extent_id, extent_off,
+                                pc.end - pc.begin};
+        auto r = co_await self->DataLeaderCall<data::ReadExtentReq, data::ReadExtentResp>(
+            pc.key.partition_id, std::move(req));
+        if (!r.ok()) {
+          *st = r.status();
+        } else if (!r->status.ok()) {
+          *st = r->status;
+        } else {
+          out->replace(pc.begin - offset, r->data.size(), r->data);
+        }
+        done();
+      }(this, std::move(pc), offset, &out, &piece_status[i], join.Arrive()));
+    }
+    co_await join.Wait();
+    for (const Status& st : piece_status) {
+      if (!st.ok()) co_return st;  // fail the read on the first piece error
+    }
   }
   co_return out;
 }

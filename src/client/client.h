@@ -24,6 +24,7 @@
 #include "master/messages.h"
 #include "meta/messages.h"
 #include "sim/network.h"
+#include "sim/sync.h"
 
 namespace cfs::client {
 
@@ -43,6 +44,11 @@ struct ClientOptions {
   /// small-file threshold t, §2.2.1).
   uint64_t packet_size = 128 * kKiB;
   uint64_t small_file_threshold = 128 * kKiB;
+  /// Sliding-window depth of the sequential-write pipeline: how many
+  /// WritePacketReqs may be in flight per open file before the writer
+  /// blocks. 1 degenerates to stop-and-wait (one full
+  /// client→primary→backups→ack round-trip per packet).
+  int write_window_packets = 4;
   /// Periodic re-sync of the cached partition views with the master (§2.4).
   SimDuration volume_refresh_interval = 5 * kSec;
   /// TTL of cached inodes/dentries/readdir results.
@@ -66,6 +72,11 @@ struct ClientStats {
   uint64_t leader_probes = 0;
   uint64_t resends = 0;           // §2.2.5 suffix resends
   uint64_t orphans_created = 0;   // create workflows that failed after inode
+  // --- Write-pipeline observability ---
+  uint64_t window_stalls = 0;         // writer blocked on a full window
+  uint64_t max_inflight_packets = 0;  // high-watermark of in-flight packets
+  uint64_t suffix_resend_bytes = 0;   // bytes re-sent to a fresh extent (§2.2.5)
+  uint64_t parallel_read_fanouts = 0; // reads that fanned out to >1 extent
 };
 
 class Client {
@@ -143,6 +154,13 @@ class Client {
   /// Force-refresh the partition views now.
   sim::Task<Status> RefreshVolume();
 
+  /// Test/bench introspection: the data partition currently receiving this
+  /// file's appends (0 if no append stream is active).
+  PartitionId append_partition(InodeId ino) const {
+    auto it = open_files_.find(ino);
+    return it == open_files_.end() ? 0 : it->second.append_pid;
+  }
+
   /// Bench/test rig: register already-materialized extents of a file with
   /// this client's open-file state (pairs with ExtentStore::ImportExtent;
   /// stands in for the excluded fio laydown phase).
@@ -156,7 +174,7 @@ class Client {
   // Routing.
   MetaPartitionView* MetaViewForInode(InodeId ino);
   MetaPartitionView* PickWritableMetaView();
-  DataPartitionView* PickWritableDataView();
+  DataPartitionView* PickWritableDataView(PartitionId avoid = 0);
   DataPartitionView* DataView(PartitionId pid);
 
   // NOTE: the *Call helpers are thin non-coroutine wrappers around the

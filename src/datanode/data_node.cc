@@ -105,8 +105,8 @@ Task<Status> DataNode::ForwardChainImpl(DataPartition* p, ChainAppendReq req) {
   if (next >= p->config().replicas.size()) co_return Status::OK();
   req.chain_index = next;
   sim::NodeId target = p->config().replicas[next];
-  auto r = co_await net_->Call<ChainAppendReq, ChainAppendResp>(host_->id(), target, req,
-                                                                opts_.chain_rpc_timeout);
+  auto r = co_await net_->Call<ChainAppendReq, ChainAppendResp>(
+      host_->id(), target, std::move(req), opts_.chain_rpc_timeout);
   if (!r.ok()) co_return r.status();
   co_return r->status;
 }
@@ -168,8 +168,12 @@ void DataNode::RegisterHandlers() {
         co_return ChainCreateExtentResp{st};
       });
 
-  // Sequential write packet (Fig. 4): primary appends, chains to followers,
-  // then advances the committed offset and acks the client.
+  // Sequential write packet (Fig. 4): the primary overlaps its local append
+  // with the chain forward — both must succeed before the committed offset
+  // advances ("committed by all the replicas", §2.2.5) — then acks the
+  // client with the contiguous committed offset. Pipelined clients keep
+  // several packets in flight, so completions can arrive out of order; the
+  // durable-range tracker in DataPartition keeps the commit contiguous.
   host_->Register<WritePacketReq, WritePacketResp>(
       [this](WritePacketReq req, sim::NodeId) -> Task<WritePacketResp> {
         ops_++;
@@ -190,19 +194,58 @@ void DataNode::RegisterHandlers() {
           co_return resp;
         }
         uint64_t end_offset = req.offset + req.data.size();
-        Status st = co_await p->store().PlaceAt(req.extent_id, req.offset, req.data);
-        if (st.ok()) {
-          ChainAppendReq fwd{req.pid, req.extent_id, req.offset, false,
-                             std::move(req.data), 0};
-          st = co_await ForwardChain(p, std::move(fwd));
+        if (end_offset > p->store().options().extent_size_limit) {
+          resp.status = Status::NoSpace("extent full");
+          resp.committed_offset = p->committed(req.extent_id);
+          co_return resp;
         }
-        if (st.ok()) {
-          // "The leader always returns the largest offset that has been
-          // committed by all the replicas" (§2.2.5).
-          p->set_committed(req.extent_id, end_offset);
+        // A packet can (rarely) overtake its predecessor on the wire when the
+        // trailing packet is much smaller than the jitter window. Wait
+        // briefly for the gap to fill instead of failing the whole window;
+        // the wakeup timer bounds the wait if the predecessor was lost.
+        for (int spin = 0; spin < 3 && p->store().Has(req.extent_id) &&
+                           p->store().ExtentSize(req.extent_id) < req.offset;
+             spin++) {
+          sim::Notifier* gate = &p->placement_gate();
+          net_->scheduler()->After(opts_.chain_rpc_timeout, [gate] { gate->NotifyAll(); });
+          co_await gate->Wait();
+        }
+        if (p->store().ExtentSize(req.extent_id) != req.offset) {
+          // Missing extent, lost predecessor, or an overlapping retry: report
+          // the committed offset so the client resends the suffix elsewhere.
+          resp.status = Status::Unavailable("packet out of order");
+          resp.committed_offset = p->committed(req.extent_id);
+          co_return resp;
+        }
+        // Overlap the local placement with the chain replication; the
+        // request frame outlives both (we join below), so the local path
+        // reads the payload in place and only the forward hop copies it.
+        Status local_st, fwd_st;
+        sim::Join join(net_->scheduler(), 2);
+        Spawn([](DataPartition* p, ExtentId extent, uint64_t offset, std::string_view data,
+                 Status* out, std::function<void()> done) -> Task<void> {
+          *out = co_await p->store().PlaceAt(extent, offset, data);
+          if (out->ok()) p->placement_gate().NotifyAll();
+          done();
+        }(p, req.extent_id, req.offset, req.data, &local_st, join.Arrive()));
+        ChainAppendReq fwd;
+        fwd.pid = req.pid;
+        fwd.extent_id = req.extent_id;
+        fwd.offset = req.offset;
+        fwd.tiny = false;
+        fwd.data = req.data;
+        fwd.chain_index = 0;
+        Spawn([](DataNode* self, DataPartition* p, ChainAppendReq fwd, Status* out,
+                 std::function<void()> done) -> Task<void> {
+          *out = co_await self->ForwardChain(p, std::move(fwd));
+          done();
+        }(this, p, std::move(fwd), &fwd_st, join.Arrive()));
+        co_await join.Wait();
+        if (local_st.ok() && fwd_st.ok()) {
+          p->MarkDurable(req.extent_id, req.offset, end_offset);
           resp.status = Status::OK();
         } else {
-          resp.status = std::move(st);
+          resp.status = local_st.ok() ? std::move(fwd_st) : std::move(local_st);
         }
         resp.committed_offset = p->committed(req.extent_id);
         co_return resp;
@@ -213,8 +256,10 @@ void DataNode::RegisterHandlers() {
         co_await host_->cpu().Use(OpCost(req.data.size()));
         DataPartition* p = GetPartition(req.pid);
         if (!p) co_return ChainAppendResp{Status::NotFound("data partition")};
-        std::string data = req.data;  // keep a copy to forward
-        Status st = co_await p->ApplyChainAppend(req.extent_id, req.offset, std::move(data),
+        // Apply from a view of the request payload, then forward the same
+        // buffer downstream: one buffer per hop (the apply only copies when
+        // it has to park an out-of-order arrival).
+        Status st = co_await p->ApplyChainAppend(req.extent_id, req.offset, req.data,
                                                  req.tiny);
         if (st.ok()) st = co_await ForwardChain(p, std::move(req));
         co_return ChainAppendResp{st};
@@ -249,7 +294,9 @@ void DataNode::RegisterHandlers() {
         uint64_t len = req.data.size();
         ChainAppendReq fwd{req.pid, extent, offset, true, std::move(req.data), 0};
         Status st = co_await ForwardChain(p, std::move(fwd));
-        if (st.ok()) p->set_committed(extent, offset + len);
+        // Durable-range commit (not a blind max): concurrent small writes
+        // into the shared tiny extent can complete out of slot order.
+        if (st.ok()) p->MarkDurable(extent, offset, offset + len);
         resp.status = st;
         resp.extent_id = extent;
         resp.extent_offset = offset;

@@ -7,7 +7,7 @@ using sim::Task;
 
 DataPartition::DataPartition(const DataPartitionConfig& config, sim::Network* net,
                              sim::Host* host, raft::RaftHost* raft)
-    : config_(config), net_(net), host_(host) {
+    : config_(config), net_(net), host_(host), placement_gate_(net->scheduler()) {
   store_ = std::make_unique<storage::ExtentStore>(host_->disk(config.disk_index),
                                                   config.store);
   raft_node_ = raft->CreateGroup(RaftGid(config.id), config.replicas, this,
@@ -21,8 +21,23 @@ uint32_t DataPartition::ChainIndexOf(sim::NodeId node) const {
   return UINT32_MAX;
 }
 
+void DataPartition::MarkDurable(storage::ExtentId id, uint64_t begin, uint64_t end) {
+  if (end <= begin) return;
+  uint64_t& c = committed_[id];
+  if (end <= c) return;  // already inside the committed prefix
+  auto& ranges = durable_[id];
+  auto [it, inserted] = ranges.emplace(begin, end);
+  if (!inserted) it->second = std::max(it->second, end);
+  // Advance across the contiguous prefix (ranges may abut or overlap).
+  while (!ranges.empty() && ranges.begin()->first <= c) {
+    c = std::max(c, ranges.begin()->second);
+    ranges.erase(ranges.begin());
+  }
+  if (ranges.empty()) durable_.erase(id);
+}
+
 Task<Status> DataPartition::ApplyChainAppend(storage::ExtentId extent, uint64_t offset,
-                                             std::string data, bool tiny) {
+                                             std::string_view data, bool tiny) {
   if (!store_->Has(extent)) {
     // Tiny extents materialize lazily on replicas the first time a
     // placement arrives; large extents were created by the chained create.
@@ -35,8 +50,8 @@ Task<Status> DataPartition::ApplyChainAppend(storage::ExtentId extent, uint64_t 
   uint64_t cur = store_->ExtentSize(extent);
   if (offset < cur) co_return Status::OK();  // duplicate (client retry)
   if (offset > cur) {
-    // Out of order: buffer until the gap fills.
-    pending_[extent].emplace(offset, std::move(data));
+    // Out of order: buffer until the gap fills (the only path that copies).
+    pending_[extent].emplace(offset, std::string(data));
     co_return Status::OK();
   }
   CFS_CO_RETURN_IF_ERROR(co_await store_->PlaceAt(extent, offset, data));
@@ -114,6 +129,7 @@ void DataPartition::Apply(raft::Index index, std::string_view cmd) {
         if (st.ok()) {
           st = store_->DeleteExtentSync(id);
           committed_.erase(id);
+          durable_.erase(id);
         }
         break;
       }
@@ -165,6 +181,7 @@ void DataPartition::ReinitAfterRecovery() {
   // Committed offsets are re-derived conservatively from local sizes; the
   // alignment phase then raises them to the cluster-wide values.
   committed_.clear();
+  durable_.clear();
   store_->ForEach([&](const storage::Extent& e) { committed_[e.id] = e.size; });
 }
 

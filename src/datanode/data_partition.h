@@ -14,6 +14,7 @@
 
 #include "datanode/messages.h"
 #include "raft/multiraft.h"
+#include "sim/sync.h"
 #include "storage/extent_store.h"
 
 namespace cfs::data {
@@ -54,12 +55,35 @@ class DataPartition : public raft::StateMachine {
   void set_committed(storage::ExtentId id, uint64_t offset) {
     uint64_t& c = committed_[id];
     c = std::max(c, offset);
+    // A forced baseline (recovery/import) supersedes finer-grained ranges.
+    auto it = durable_.find(id);
+    if (it != durable_.end()) {
+      while (!it->second.empty() && it->second.begin()->second <= c) {
+        it->second.erase(it->second.begin());
+      }
+      if (it->second.empty()) durable_.erase(it);
+    }
   }
 
+  /// Pipelined-commit bookkeeping (§2.2.5): record that [begin, end) of an
+  /// extent is durable on ALL replicas, and advance the committed offset only
+  /// across the contiguous durable prefix. With a write window > 1, packet
+  /// k+1 can finish replication before packet k; the leader must still
+  /// "return the largest offset that has been committed by all the
+  /// replicas", which is the contiguous one.
+  void MarkDurable(storage::ExtentId id, uint64_t begin, uint64_t end);
+
+  /// Notified after every successful local placement; lets a (rare)
+  /// out-of-order packet at the primary wait for its predecessor instead of
+  /// failing the whole window.
+  sim::Notifier& placement_gate() { return placement_gate_; }
+
   /// Replica-side chain placement with buffering of out-of-order arrivals
-  /// (shared tiny extents interleave placements from many clients).
+  /// (shared tiny extents interleave placements from many clients). Takes a
+  /// view so the in-order fast path applies and forwards one buffer per hop;
+  /// only an out-of-order arrival copies (into the pending buffer).
   sim::Task<Status> ApplyChainAppend(storage::ExtentId extent, uint64_t offset,
-                                     std::string data, bool tiny);
+                                     std::string_view data, bool tiny);
 
   // --- Raft state machine (overwrite/purge path) ---
   void Apply(raft::Index index, std::string_view data) override;
@@ -92,6 +116,10 @@ class DataPartition : public raft::StateMachine {
 
   storage::ExtentId next_extent_id_ = 1;
   std::map<storage::ExtentId, uint64_t> committed_;
+  /// extent -> begin -> end: all-replica durable ranges beyond the
+  /// contiguous committed prefix (out-of-order completions in the window).
+  std::map<storage::ExtentId, std::map<uint64_t, uint64_t>> durable_;
+  sim::Notifier placement_gate_;
   bool read_only_ = false;
 
   /// extent -> offset -> (data, tiny): buffered until contiguous.

@@ -1,9 +1,12 @@
-// Coroutine notification primitive: many waiters, NotifyAll resumes them via
-// the scheduler at the current virtual time (no synchronization — the whole
-// simulation is single-threaded).
+// Coroutine synchronization primitives: Notifier (many waiters, NotifyAll
+// resumes them via the scheduler at the current virtual time) and Semaphore
+// (bounded counter, FIFO waiters). No synchronization anywhere — the whole
+// simulation is single-threaded.
 #pragma once
 
 #include <coroutine>
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -41,6 +44,67 @@ class Notifier {
  private:
   Scheduler* sched_;
   std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Bounded-counter awaitable: the window gate of the pipelined write path.
+/// Acquire() consumes a permit, suspending FIFO when none are available;
+/// Release() returns one, handing it to the oldest waiter directly (no
+/// barging: a release with queued waiters never lets a fresh Acquire() jump
+/// the line). Waiters resume via the scheduler to bound recursion.
+class Semaphore {
+ public:
+  Semaphore(Scheduler* sched, int64_t permits) : sched_(sched), permits_(permits) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Awaitable. Resumes with `true` if the acquire had to suspend (a window
+  /// stall) and `false` if a permit was free immediately.
+  auto Acquire() {
+    struct Awaiter {
+      Semaphore* s;
+      bool stalled = false;
+      bool await_ready() noexcept {
+        if (s->waiters_.empty() && s->permits_ > 0) {
+          s->permits_--;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        stalled = true;
+        s->waiters_.push_back(h);
+      }
+      bool await_resume() const noexcept { return stalled; }
+    };
+    return Awaiter{this};
+  }
+
+  /// Non-blocking acquire; returns false instead of suspending.
+  bool TryAcquire() {
+    if (!waiters_.empty() || permits_ <= 0) return false;
+    permits_--;
+    return true;
+  }
+
+  /// Return `n` permits, resuming up to `n` queued waiters in FIFO order.
+  void Release(int64_t n = 1) {
+    permits_ += n;
+    while (!waiters_.empty() && permits_ > 0) {
+      permits_--;  // the permit is handed to the waiter, not pooled
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sched_->After(0, [h] { h.resume(); });
+    }
+  }
+
+  int64_t available() const { return permits_; }
+  size_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  Scheduler* sched_;
+  int64_t permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
 };
 
 }  // namespace cfs::sim

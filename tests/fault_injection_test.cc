@@ -115,6 +115,73 @@ TEST_F(FaultFixture, ChainLeaderCrashMidStreamResendsToNewExtent) {
   EXPECT_EQ(*read, first + second);
 }
 
+TEST_F(FaultFixture, WindowedAppendSurvivesChainReplicaCrash) {
+  // Kill a chain *backup* while a windowed append has packets in flight, for
+  // every interesting window depth. The committed-prefix rule must leave no
+  // holes, duplicates, or torn suffix: the read-back equals the written bytes
+  // exactly, and the client resent the uncommitted suffix at least once.
+  for (int w : {1, 4, 8}) {
+    SCOPED_TRACE("window=" + std::to_string(w));
+    ClusterOptions opts;
+    opts.num_nodes = 5;
+    opts.seed = 77 + w;
+    opts.client.rpc_timeout = 300 * kMsec;
+    opts.client.write_window_packets = w;
+    cluster_ = std::make_unique<Cluster>(opts);
+    ASSERT_TRUE(RunTask(cluster_->sched(), cluster_->Start())->ok());
+    ASSERT_TRUE(RunTask(cluster_->sched(), cluster_->CreateVolume("v", 3, 8))->ok());
+    auto c = RunTask(cluster_->sched(), cluster_->MountClient("v"));
+    ASSERT_TRUE(c->ok());
+    client_ = **c;
+
+    auto f = Run(client_->Create(kRootInode, "windowed.bin", FileType::kFile));
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(Run(client_->Open(f->id)).ok());
+
+    std::string content(4 * kMiB, '\0');
+    for (size_t i = 0; i < content.size(); i++) {
+      content[i] = static_cast<char>((i * 31 + w) % 251);
+    }
+    // Establish the append stream so the crash targets the active partition.
+    std::string head = content.substr(0, 256 * kKiB);
+    ASSERT_TRUE(Run(client_->Write(f->id, 0, head)).ok());
+
+    // 5 ms into the big write: crash a backup replica of the extent's chain.
+    bool crashed = false;
+    meta::InodeId ino = f->id;
+    cluster_->sched().After(5 * kMsec, [this, ino, &crashed] {
+      client::PartitionId pid = client_->append_partition(ino);
+      if (pid == 0) return;
+      auto replicas = cluster_->DataPartitionReplicas(pid);
+      if (replicas.size() < 2) return;
+      for (int i = 0; i < cluster_->num_nodes(); i++) {
+        if (cluster_->node_host(i)->id() == replicas[1]) {
+          cluster_->CrashNode(i);
+          crashed = true;
+          return;
+        }
+      }
+    });
+    Status st = Run(client_->Write(f->id, head.size(), content.substr(head.size())));
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_TRUE(crashed);
+    ASSERT_TRUE(Run(client_->Close(f->id)).ok());
+
+    cluster_->sched().RunFor(2 * kSec);
+    auto read = Run(client_->Read(f->id, 0, content.size()));
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    ASSERT_EQ(read->size(), content.size());
+    EXPECT_EQ(*read, content);
+    EXPECT_GE(client_->stats().resends, 1u);
+    EXPECT_GT(client_->stats().suffix_resend_bytes, 0u);
+    if (w > 1) {
+      EXPECT_GT(client_->stats().max_inflight_packets, 1u);
+    } else {
+      EXPECT_EQ(client_->stats().max_inflight_packets, 1u);
+    }
+  }
+}
+
 TEST_F(FaultFixture, RollingCrashesOfAllStorageNodes) {
   Boot();
   // Build some state.

@@ -6,6 +6,7 @@
 #include "sim/network.h"
 #include "sim/resource.h"
 #include "sim/scheduler.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 
 namespace cfs::sim {
@@ -167,6 +168,83 @@ TEST(JoinTest, WaitsForAllSubtasks) {
   }(s, j, done));
   s.Run();
   EXPECT_TRUE(done);
+}
+
+TEST(SemaphoreTest, AcquireReportsStall) {
+  Scheduler s;
+  Semaphore sem(&s, 2);
+  std::vector<bool> stalled;
+  for (int i = 0; i < 3; i++) {
+    Spawn([](Scheduler& s, Semaphore& sem, std::vector<bool>& stalled) -> Task<void> {
+      bool st = co_await sem.Acquire();
+      stalled.push_back(st);
+      co_await SleepFor{s, 10};
+      sem.Release();
+    }(s, sem, stalled));
+  }
+  s.Run();
+  ASSERT_EQ(stalled.size(), 3u);
+  EXPECT_FALSE(stalled[0]);  // two free permits
+  EXPECT_FALSE(stalled[1]);
+  EXPECT_TRUE(stalled[2]);  // window full: had to wait for a release
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(SemaphoreTest, WaitersResumeFifo) {
+  Scheduler s;
+  Semaphore sem(&s, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; i++) {
+    Spawn([](Scheduler& s, Semaphore& sem, int i, std::vector<int>& order) -> Task<void> {
+      (void)co_await sem.Acquire();
+      order.push_back(i);
+      co_await SleepFor{s, 5};
+      sem.Release();
+    }(s, sem, i, order));
+  }
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SemaphoreTest, NoBargingPastQueuedWaiters) {
+  Scheduler s;
+  Semaphore sem(&s, 1);
+  EXPECT_TRUE(sem.TryAcquire());
+  bool waiter_got_it = false;
+  Spawn([](Semaphore& sem, bool& got) -> Task<void> {
+    (void)co_await sem.Acquire();
+    got = true;
+  }(sem, waiter_got_it));
+  s.Run();
+  EXPECT_FALSE(waiter_got_it);  // still held
+  // A release with a queued waiter hands the permit over: TryAcquire must
+  // not steal it even though it runs before the waiter's scheduled resume.
+  sem.Release();
+  EXPECT_FALSE(sem.TryAcquire());
+  s.Run();
+  EXPECT_TRUE(waiter_got_it);
+}
+
+TEST(SemaphoreTest, ReleaseManyResumesMany) {
+  Scheduler s;
+  Semaphore sem(&s, 0);
+  int resumed = 0;
+  for (int i = 0; i < 3; i++) {
+    Spawn([](Semaphore& sem, int& resumed) -> Task<void> {
+      (void)co_await sem.Acquire();
+      resumed++;
+    }(sem, resumed));
+  }
+  s.Run();
+  EXPECT_EQ(resumed, 0);
+  EXPECT_EQ(sem.num_waiters(), 3u);
+  sem.Release(2);
+  s.Run();
+  EXPECT_EQ(resumed, 2);
+  sem.Release();
+  s.Run();
+  EXPECT_EQ(resumed, 3);
+  EXPECT_EQ(sem.available(), 0);
 }
 
 TEST(ResourceTest, SingleServerQueues) {
