@@ -39,11 +39,11 @@ int main() {
 
   // Deployment writes the shared config once.
   vfs::FileSystem* deployer = containers[0];
-  run(deployer->Mkdir("/cfg"));
-  run(deployer->Mkdir("/logs"));
+  (void)run(deployer->Mkdir("/cfg"));
+  (void)run(deployer->Mkdir("/logs"));
   vfs::Fd cfg = *run(deployer->Open("/cfg/service.toml", vfs::kCreate | vfs::kWrite));
-  run(deployer->Write(cfg, "workers = 8\nregion = \"eu\"\n"));
-  run(deployer->Close(cfg));
+  (void)run(deployer->Write(cfg, "workers = 8\nregion = \"eu\"\n"));
+  (void)run(deployer->Close(cfg));
   std::printf("deployer wrote /cfg/service.toml\n");
 
   // Every container reads the config and appends to its own log,

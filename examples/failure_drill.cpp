@@ -35,8 +35,8 @@ int main() {
   std::string payload;
   for (int i = 0; i < 512; i++) payload += std::string(1024, static_cast<char>('a' + i % 26));
   vfs::Fd fd = *run(fs.Open("/victim.bin", vfs::kCreate | vfs::kWrite));
-  run(fs.Write(fd, payload));
-  run(fs.Close(fd));
+  (void)run(fs.Write(fd, payload));
+  (void)run(fs.Close(fd));
   std::printf("wrote /victim.bin (%zu KiB)\n", payload.size() / kKiB);
 
   // 2. Crash a storage node that hosts data partitions.
@@ -52,7 +52,7 @@ int main() {
   cluster.sched().RunFor(2 * kSec);  // raft failovers on affected partitions
   vfs::Fd rd = *run(fs.Open("/victim.bin", vfs::kRead));
   auto got = *run(fs.Read(rd, payload.size()));
-  run(fs.Close(rd));
+  (void)run(fs.Close(rd));
   std::printf("read with node down: %zu bytes, %s\n", got.size(),
               got == payload ? "content INTACT" : "CONTENT MISMATCH");
 
@@ -75,7 +75,7 @@ int main() {
 
   vfs::Fd rd2 = *run(fs.Open("/victim.bin", vfs::kRead));
   auto got2 = *run(fs.Read(rd2, payload.size()));
-  run(fs.Close(rd2));
+  (void)run(fs.Close(rd2));
   std::printf("read after recovery: %s\n",
               got2 == payload ? "content INTACT" : "CONTENT MISMATCH");
 
@@ -93,8 +93,8 @@ int main() {
 
   // The file system still works end to end.
   vfs::Fd fd3 = *run(fs.Open("/after-failover.txt", vfs::kCreate | vfs::kWrite));
-  run(fs.Write(fd3, "business as usual\n"));
-  run(fs.Close(fd3));
+  (void)run(fs.Write(fd3, "business as usual\n"));
+  (void)run(fs.Close(fd3));
   std::printf("post-failover create+write OK\nfailure drill complete\n");
   return 0;
 }

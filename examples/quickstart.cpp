@@ -43,18 +43,18 @@ int main() {
   vfs::FileSystem fs(client);
 
   // 4. Files and directories.
-  run(fs.Mkdir("/app"));
-  run(fs.Mkdir("/app/logs"));
+  (void)run(fs.Mkdir("/app"));
+  (void)run(fs.Mkdir("/app/logs"));
 
   vfs::Fd fd = *run(fs.Open("/app/logs/boot.log", vfs::kCreate | vfs::kWrite));
   std::string line = "service started; cfs mounted rw\n";
-  run(fs.Write(fd, line));
-  run(fs.Write(fd, line));
-  run(fs.Close(fd));
+  (void)run(fs.Write(fd, line));
+  (void)run(fs.Write(fd, line));
+  (void)run(fs.Close(fd));
 
   vfs::Fd rd = *run(fs.Open("/app/logs/boot.log", vfs::kRead));
   std::string content = *run(fs.Read(rd, 4096));
-  run(fs.Close(rd));
+  (void)run(fs.Close(rd));
   std::printf("read back %zu bytes:\n%s", content.size(), content.c_str());
 
   auto entries = *run(fs.ListDir("/app/logs"));

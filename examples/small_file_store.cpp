@@ -52,7 +52,7 @@ int main() {
   }
   client::Client* client = *run(cluster.MountClient("images"));
   vfs::FileSystem fs(client);
-  run(fs.Mkdir("/products"));
+  (void)run(fs.Mkdir("/products"));
 
   // Upload a catalog of small images (4-96 KB).
   const int kImages = 60;
@@ -64,8 +64,8 @@ int main() {
     uint64_t size = (4 + rng.Uniform(93)) * kKiB;
     std::string payload(size, static_cast<char>('A' + i % 26));
     vfs::Fd fd = *run(fs.Open(path, vfs::kCreate | vfs::kWrite));
-    run(fs.Write(fd, payload));
-    run(fs.Close(fd));
+    (void)run(fs.Write(fd, payload));
+    (void)run(fs.Close(fd));
     paths.push_back(path);
     uploaded_bytes += size;
   }
@@ -83,7 +83,7 @@ int main() {
       vfs::Fd fd = *run(fs.Open(path, vfs::kRead));
       auto bytes = *run(fs.Read(fd, 128 * kKiB));
       served += bytes.size();
-      run(fs.Close(fd));
+      (void)run(fs.Close(fd));
     }
   }
   std::printf("served %llu KiB across %d reads\n",
@@ -92,7 +92,7 @@ int main() {
   // Retire a third of the catalog: asynchronous delete -> punch hole.
   int removed = 0;
   for (size_t i = 0; i < paths.size(); i += 3) {
-    run(fs.Unlink(paths[i]));
+    (void)run(fs.Unlink(paths[i]));
     removed++;
   }
   std::printf("deleted %d images; waiting for the async purge (§2.7.3)...\n", removed);
@@ -109,7 +109,7 @@ int main() {
   vfs::Fd fd = *run(fs.Open(paths[1], vfs::kRead));
   auto bytes = *run(fs.Read(fd, 128 * kKiB));
   std::printf("post-delete read of %s: %zu bytes OK\n", paths[1].c_str(), bytes.size());
-  run(fs.Close(fd));
+  (void)run(fs.Close(fd));
   std::printf("small-file store scenario OK\n");
   return 0;
 }

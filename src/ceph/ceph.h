@@ -26,7 +26,6 @@
 #include <memory>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -189,9 +188,11 @@ class Mds {
   std::map<InodeId, std::map<std::string, InodeId>> dirs_;
   std::map<InodeId, CephInode> inodes_;  // the "on-disk" metadata pool view
 
-  /// LRU inode cache (bounded; §4.3).
+  /// LRU inode cache (bounded; §4.3). Ordered map: the residency index is
+  /// point-queried on the hot path, and keeping it ordered guarantees any
+  /// future iteration (debug dumps, deep checks) is deterministic.
   std::list<InodeId> lru_;
-  std::unordered_map<InodeId, std::list<InodeId>::iterator> resident_;
+  std::map<InodeId, std::list<InodeId>::iterator> resident_;
 
   sim::Resource journal_;
   sim::Resource dispatch_;
@@ -243,10 +244,11 @@ class CephCluster {
   /// Per (node, shard-pool) op queues: osd_op_num_shards * threads_per_shard.
   std::vector<std::unique_ptr<sim::Resource>> osd_queues_;
   std::vector<std::unique_ptr<sim::Resource>> kv_lanes_;
-  /// Per-node onode LRU (object metadata cache).
+  /// Per-node onode LRU (object metadata cache). Ordered for the same
+  /// determinism reason as the MDS inode cache above.
   struct OnodeCache {
     std::list<ObjectId> lru;
-    std::unordered_map<ObjectId, std::list<ObjectId>::iterator> resident;
+    std::map<ObjectId, std::list<ObjectId>::iterator> resident;
   };
   std::vector<OnodeCache> onode_caches_;
   /// Touch; returns true on miss.

@@ -1,0 +1,14 @@
+#include "common/check.h"
+
+#include <cstdio>
+
+namespace cfs::internal {
+
+void CheckFailed(const char* file, int line, const char* cond, const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: CHECK failed: %s%s%s\n", file, line, cond,
+               msg.empty() ? "" : ": ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cfs::internal

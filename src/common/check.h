@@ -1,0 +1,101 @@
+// Invariant-checking layer: CFS_CHECK / CFS_INVARIANT macros plus the
+// InvariantReport collector used by every subsystem's deep-check function.
+//
+// Two tiers:
+//  * CFS_CHECK / CFS_INVARIANT: inline assertions on protocol state. In
+//    Debug and sanitizer builds (or with -DCFS_FORCE_CHECKS) they abort with
+//    file:line context; in Release builds they compile to nothing, so the
+//    hot path pays zero cost. CFS_CHECK is for cheap conditions;
+//    CFS_INVARIANT marks expensive predicates (tree walks, cross-replica
+//    scans) that should never run in a benchmark build.
+//  * Deep-check functions (raft/invariants.h, ExtentStore::CheckInvariants,
+//    DataPartition::CheckInvariants, MetaPartition::CheckInvariants,
+//    harness::Cluster::CheckInvariants): always compiled, collect violations
+//    into an InvariantReport instead of aborting, and are invoked from the
+//    harness at scenario checkpoints and at the end of integration and
+//    fault-injection tests. See DESIGN.md "Invariant catalog".
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cfs {
+
+#if !defined(NDEBUG) || defined(CFS_FORCE_CHECKS)
+#define CFS_CHECKS_ENABLED 1
+#else
+#define CFS_CHECKS_ENABLED 0
+#endif
+
+namespace internal {
+/// Prints "<file>:<line>: CHECK failed: <cond>: <msg>" and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* cond,
+                              const std::string& msg);
+
+template <typename... Args>
+std::string CheckMsg(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace internal
+
+/// Collects invariant violations instead of aborting, so a deep check can
+/// report every broken invariant of a snapshot at once and tests can assert
+/// on the full list.
+class InvariantReport {
+ public:
+  /// Record a violation. `subsystem` tags the origin ("raft", "extent",
+  /// "data", "meta", "cluster").
+  void Violation(std::string subsystem, std::string msg) {
+    violations_.push_back(std::move(subsystem) + ": " + std::move(msg));
+  }
+
+  bool ok() const { return violations_.empty(); }
+  size_t size() const { return violations_.size(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  /// One violation per line ("" when clean). Gtest-friendly.
+  std::string ToString() const {
+    std::string out;
+    for (const auto& v : violations_) {
+      out += v;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> violations_;
+};
+
+}  // namespace cfs
+
+#if CFS_CHECKS_ENABLED
+/// Abort with context if `cond` is false. Cheap conditions only.
+#define CFS_CHECK(cond, ...)                                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::cfs::internal::CheckFailed(__FILE__, __LINE__, #cond,                \
+                                   ::cfs::internal::CheckMsg(__VA_ARGS__));  \
+    }                                                                        \
+  } while (0)
+/// Like CFS_CHECK, for expensive predicates (tree walks, full scans).
+#define CFS_INVARIANT(cond, ...) CFS_CHECK(cond, __VA_ARGS__)
+#else
+#define CFS_CHECK(cond, ...) \
+  do {                       \
+  } while (0)
+#define CFS_INVARIANT(cond, ...) \
+  do {                           \
+  } while (0)
+#endif
+
+/// Abort with the status message if `expr` is not OK (Debug/sanitizer only).
+#define CFS_CHECK_OK(expr)                                       \
+  do {                                                           \
+    const ::cfs::Status& _cfs_chk_st = (expr);                   \
+    CFS_CHECK(_cfs_chk_st.ok(), _cfs_chk_st.ToString());         \
+  } while (0)

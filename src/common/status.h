@@ -31,7 +31,10 @@ enum class StatusCode : int {
 std::string_view StatusCodeName(StatusCode code);
 
 /// A cheap value type carrying success or an error code plus message.
-class Status {
+/// [[nodiscard]] on the class makes every ignored Status-returning call a
+/// warning (an error under -Werror=unused-result in CI); deliberate
+/// fire-and-forget call sites must spell out the (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
@@ -73,8 +76,9 @@ class Status {
 };
 
 /// Result<T>: either a value or an error Status (never kOk with no value).
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}          // NOLINT implicit
   Result(Status status) : v_(std::move(status)) {    // NOLINT implicit

@@ -39,6 +39,14 @@ class DataNode {
   DataPartition* GetPartition(PartitionId pid);
   size_t num_partitions() const { return partitions_.size(); }
 
+  /// Partition ids hosted here, in id order (deep checks).
+  std::vector<PartitionId> PartitionIds() const {
+    std::vector<PartitionId> ids;
+    ids.reserve(partitions_.size());
+    for (const auto& [pid, p] : partitions_) ids.push_back(pid);
+    return ids;
+  }
+
   std::vector<DataPartitionReport> Reports() const;
 
   /// Restart recovery: primary-backup alignment of every partition's

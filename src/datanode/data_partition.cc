@@ -174,6 +174,69 @@ void DataPartition::Restore(std::string_view snapshot) {
   }
 }
 
+void DataPartition::CheckInvariants(InvariantReport* report,
+                                    const std::string& label) const {
+  std::string prefix = label.empty() ? "partition " + std::to_string(config_.id)
+                                     : label;
+  store_->CheckInvariants(report, prefix);
+  for (const auto& [id, off] : committed_) {
+    if (!store_->Has(id)) continue;  // delete can race a stale committed entry
+    if (off > store_->ExtentSize(id)) {
+      report->Violation("data", prefix + " extent " + std::to_string(id) +
+                                    ": committed offset " + std::to_string(off) +
+                                    " beyond local size " +
+                                    std::to_string(store_->ExtentSize(id)));
+    }
+  }
+  for (const auto& [id, ranges] : durable_) {
+    if (ranges.empty()) {
+      report->Violation("data", prefix + " extent " + std::to_string(id) +
+                                    ": empty durable-range map left behind");
+      continue;
+    }
+    uint64_t c = committed(id);
+    for (const auto& [begin, end] : ranges) {
+      if (end <= begin) {
+        report->Violation("data", prefix + " extent " + std::to_string(id) +
+                                      ": empty durable range at " +
+                                      std::to_string(begin));
+      }
+      if (begin <= c) {
+        report->Violation("data", prefix + " extent " + std::to_string(id) +
+                                      ": durable range [" + std::to_string(begin) +
+                                      ", " + std::to_string(end) +
+                                      ") not merged into committed prefix " +
+                                      std::to_string(c));
+      }
+      if (store_->Has(id) && end > store_->ExtentSize(id)) {
+        report->Violation("data", prefix + " extent " + std::to_string(id) +
+                                      ": durable range ends beyond local size");
+      }
+    }
+  }
+  for (const auto& [id, waiting] : pending_) {
+    if (waiting.empty()) {
+      report->Violation("data", prefix + " extent " + std::to_string(id) +
+                                    ": empty placement buffer left behind");
+    }
+  }
+  if (IsChainLeader()) {
+    // The effective allocator is the max of the partition-level counter and
+    // the store-level one (tiny extents come from the latter); the next id it
+    // hands out must not collide with any resident extent.
+    storage::ExtentId max_id = 0;
+    store_->ForEach(
+        [&](const storage::Extent& e) { max_id = std::max(max_id, e.id); });
+    storage::ExtentId next = std::max(next_extent_id_, store_->peek_next_id());
+    if (max_id != 0 && next <= max_id) {
+      report->Violation("data", prefix + ": extent-id allocator " +
+                                    std::to_string(next) +
+                                    " not past max allocated id " +
+                                    std::to_string(max_id));
+    }
+  }
+}
+
 void DataPartition::ReinitAfterRecovery() {
   storage::ExtentId max_id = 0;
   store_->ForEach([&](const storage::Extent& e) { max_id = std::max(max_id, e.id); });

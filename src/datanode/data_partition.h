@@ -47,7 +47,14 @@ class DataPartition : public raft::StateMachine {
   bool IsFull() const { return store_->num_extents() >= config_.max_extents; }
 
   // --- Chain-leader bookkeeping ---
-  storage::ExtentId AllocExtentId() { return next_extent_id_++; }
+  /// Tiny extents are allocated store-side (WriteSmall) in the same id
+  /// namespace, so fold the store's allocator in before handing out an id —
+  /// otherwise a partition that served a small-file write first would hand a
+  /// chained create a colliding id (AlreadyExists -> wasted client retry).
+  storage::ExtentId AllocExtentId() {
+    next_extent_id_ = std::max(next_extent_id_, store_->peek_next_id());
+    return next_extent_id_++;
+  }
   uint64_t committed(storage::ExtentId id) const {
     auto it = committed_.find(id);
     return it == committed_.end() ? 0 : it->second;
@@ -102,6 +109,14 @@ class DataPartition : public raft::StateMachine {
 
   /// Post-restart: bump the extent-id allocator past everything on disk.
   void ReinitAfterRecovery();
+
+  /// Deep check (see common/check.h): delegates to the extent store, then
+  /// verifies chain-commit bookkeeping — every committed offset is within the
+  /// local extent, durable ranges sit strictly beyond the committed prefix
+  /// (MarkDurable merges anything touching it), and the id allocator on the
+  /// chain leader is past every allocated extent. Violations are tagged
+  /// "data" and prefixed with `label`.
+  void CheckInvariants(InvariantReport* report, const std::string& label = "") const;
 
   static raft::GroupId RaftGid(PartitionId pid) { return 0x4400000000000000ull | pid; }
 

@@ -1,6 +1,9 @@
 #include "harness/cluster.h"
 
+#include <sstream>
+
 #include "common/logging.h"
+#include "raft/invariants.h"
 
 namespace cfs::harness {
 
@@ -167,6 +170,189 @@ std::vector<sim::NodeId> Cluster::DataPartitionReplicas(data::PartitionId pid) {
     if (it != m->state().data_partitions().end()) return it->second.replicas;
   }
   return {};
+}
+
+InvariantReport Cluster::CheckInvariants() {
+  InvariantReport report;
+
+  // 1. Raft protocol invariants, per group, across all up replicas (master
+  // group included). Down hosts are skipped: their in-memory raft state is
+  // stale by design and is rebuilt from stable storage on restart.
+  std::map<raft::GroupId, std::vector<raft::ReplicaSnapshot>> groups;
+  for (auto& rh : raft_hosts_) {
+    if (!rh->host()->up()) continue;
+    for (raft::GroupId gid : rh->GroupIds()) {
+      groups[gid].push_back(raft::SnapshotReplica(*rh->Get(gid)));
+    }
+  }
+  for (const auto& [gid, replicas] : groups) {
+    std::ostringstream os;
+    os << "group 0x" << std::hex << gid;
+    raft::CheckRaftGroup(replicas, &report, os.str());
+  }
+
+  // 2. Per-partition local checks, collecting replicas by partition id.
+  std::map<data::PartitionId, std::vector<data::DataPartition*>> dparts;
+  std::map<meta::PartitionId, std::vector<std::pair<int, meta::MetaPartition*>>> mparts;
+  for (int i = 0; i < num_nodes(); i++) {
+    if (!node_hosts_[i]->up()) continue;
+    for (data::PartitionId pid : data_nodes_[i]->PartitionIds()) {
+      data::DataPartition* p = data_nodes_[i]->GetPartition(pid);
+      p->CheckInvariants(&report, "node " + std::to_string(i) + " data partition " +
+                                      std::to_string(pid));
+      dparts[pid].push_back(p);
+    }
+    for (meta::PartitionId pid : meta_nodes_[i]->PartitionIds()) {
+      meta::MetaPartition* p = meta_nodes_[i]->GetPartition(pid);
+      p->CheckInvariants(&report, "node " + std::to_string(i) + " meta partition " +
+                                      std::to_string(pid));
+      mparts[pid].emplace_back(i, p);
+    }
+  }
+
+  // 3. Cross-replica data-partition agreement: "the leader returns the
+  // largest offset that has been committed by all the replicas" (§2.2.5), so
+  // every up replica must hold at least the chain leader's committed prefix
+  // of every extent; and two replicas whose raft state machines are equally
+  // applied must agree byte-for-byte (CRC) on equally-sized extents.
+  for (const auto& [pid, replicas] : dparts) {
+    const std::string where = "data partition " + std::to_string(pid);
+    data::DataPartition* leader = nullptr;
+    for (data::DataPartition* p : replicas) {
+      if (p->IsChainLeader()) leader = p;
+    }
+    if (leader) {
+      leader->store().ForEach([&](const storage::Extent& e) {
+        uint64_t c = leader->committed(e.id);
+        if (c == 0) return;
+        for (data::DataPartition* p : replicas) {
+          if (p == leader) continue;
+          // Deletes and punches flow through raft and the chain leader need
+          // not be the raft leader, so a replica ahead in raft apply may
+          // already have dropped an extent the chain leader still holds.
+          // The committed-prefix guarantee is only checkable when both
+          // replicas have applied the same raft prefix.
+          if (p->raft_node()->applied_index() !=
+              leader->raft_node()->applied_index()) {
+            continue;
+          }
+          if (!p->store().Has(e.id)) {
+            report.Violation("cluster", where + " extent " + std::to_string(e.id) +
+                                            ": replica missing an extent with " +
+                                            std::to_string(c) + " committed bytes");
+          } else if (p->store().ExtentSize(e.id) < c) {
+            report.Violation("cluster", where + " extent " + std::to_string(e.id) +
+                                            ": replica holds " +
+                                            std::to_string(p->store().ExtentSize(e.id)) +
+                                            " bytes, below the committed offset " +
+                                            std::to_string(c));
+          }
+        }
+      });
+    }
+    if (opts_.track_contents) {
+      for (size_t a = 0; a < replicas.size(); a++) {
+        for (size_t b = a + 1; b < replicas.size(); b++) {
+          data::DataPartition* x = replicas[a];
+          data::DataPartition* y = replicas[b];
+          // Chain placements are deterministic and overwrites/punches flow
+          // through raft, so equal applied indices + equal sizes => equal
+          // bytes. Unequal sizes just mean in-flight chain traffic.
+          if (x->raft_node()->applied_index() != y->raft_node()->applied_index()) {
+            continue;
+          }
+          x->store().ForEach([&](const storage::Extent& ex) {
+            const storage::Extent* ey = y->store().Find(ex.id);
+            if (!ey || ey->size != ex.size || ey->punched_bytes != ex.punched_bytes) {
+              return;
+            }
+            if (ex.crc != ey->crc) {
+              report.Violation("cluster", where + " extent " + std::to_string(ex.id) +
+                                              ": equally-applied replicas disagree on CRC");
+            }
+          });
+        }
+      }
+    }
+  }
+
+  // 4. Volume-wide metadata referential integrity. A file's dentry and inode
+  // may live on different partitions (§2.6), so dentries are resolved
+  // through the raft-leader replica of the inode's owning id range. Client
+  // workflows order mutations so a dentry always points at a live inode
+  // (Fig. 3: inode before dentry on create, dentry removal before unlink),
+  // and nlink is incremented before a link's dentry exists — hence
+  // refs <= nlink for files, with refs == 0 marking an orphan that fsck
+  // evicts later. A volume is only checked when every one of its partitions
+  // has an up leader replica (otherwise the authoritative view is offline).
+  std::map<meta::VolumeId, std::vector<meta::MetaPartition*>> volumes;
+  std::map<meta::VolumeId, bool> volume_complete;
+  for (const auto& [pid, replicas] : mparts) {
+    meta::MetaPartition* leader = nullptr;
+    for (const auto& [node_index, p] : replicas) {
+      raft::RaftNode* rn = meta_nodes_[node_index]->GetRaft(pid);
+      if (rn && rn->IsLeader()) leader = p;
+    }
+    meta::VolumeId vol = replicas.front().second->config().volume;
+    if (leader) {
+      volumes[vol].push_back(leader);
+      volume_complete.try_emplace(vol, true);
+    } else {
+      volume_complete[vol] = false;
+    }
+  }
+  for (const auto& [vol, parts] : volumes) {
+    if (!volume_complete[vol]) continue;
+    const std::string where = "volume " + std::to_string(vol);
+    auto owner_of = [&](meta::InodeId id) -> meta::MetaPartition* {
+      for (meta::MetaPartition* p : parts) {
+        if (id >= p->config().start && id <= p->config().end) return p;
+      }
+      return nullptr;
+    };
+    std::map<meta::InodeId, uint32_t> refs;
+    for (meta::MetaPartition* p : parts) {
+      p->ForEachDentry([&](const meta::DentryKey& key, const meta::Dentry& d) {
+        refs[d.inode]++;
+        meta::MetaPartition* owner = owner_of(d.inode);
+        if (!owner) return true;  // id range split mid-migration; unresolvable
+        const meta::Inode* ino = owner->GetInode(d.inode);
+        if (!ino) {
+          report.Violation("cluster", where + ": dentry (" + std::to_string(key.parent) +
+                                          ", " + key.name + ") dangles: inode " +
+                                          std::to_string(d.inode) + " does not exist");
+        } else if (ino->IsDeleted()) {
+          report.Violation("cluster", where + ": dentry (" + std::to_string(key.parent) +
+                                          ", " + key.name +
+                                          ") references delete-marked inode " +
+                                          std::to_string(d.inode));
+        }
+        return true;
+      });
+    }
+    for (meta::MetaPartition* p : parts) {
+      p->ForEachInode([&](const meta::InodeId& id, const meta::Inode& ino) {
+        if (ino.IsDeleted()) return true;
+        auto it = refs.find(id);
+        uint32_t r = it == refs.end() ? 0 : it->second;
+        if (ino.IsDir()) {
+          if (r > 1) {
+            report.Violation("cluster", where + ": directory inode " + std::to_string(id) +
+                                            " referenced by " + std::to_string(r) +
+                                            " dentries");
+          }
+        } else if (r > ino.nlink) {
+          report.Violation("cluster", where + ": inode " + std::to_string(id) +
+                                          " has nlink " + std::to_string(ino.nlink) +
+                                          " but " + std::to_string(r) +
+                                          " referencing dentries");
+        }
+        return true;
+      });
+    }
+  }
+
+  return report;
 }
 
 meta::MetaNode::ExtentPurger Cluster::MakePurger(int node_index) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "client/client.h"
+#include "common/check.h"
 #include "datanode/data_node.h"
 #include "master/master.h"
 #include "meta/meta_node.h"
@@ -72,6 +73,18 @@ class Cluster {
   std::vector<sim::NodeId> DataPartitionReplicas(data::PartitionId pid);
   bool AllPartitionsHaveLeaders();
 
+  /// Deep check of every machine-checkable invariant in the cluster (see
+  /// common/check.h and DESIGN.md "Invariant catalog"): per-group raft
+  /// invariants across replicas, per-partition local checks (extent store,
+  /// chain bookkeeping, meta trees), cross-replica data agreement (every
+  /// replica holds at least the chain leader's committed prefix; byte-level
+  /// CRC agreement when two replicas are equally applied), and volume-wide
+  /// dentry->inode referential integrity with nlink accounting. Replicas on
+  /// crashed hosts are skipped — their in-memory state is stale by design
+  /// and is rebuilt on restart. Call between scheduler events at scenario
+  /// checkpoints and at the end of every integration/fault test.
+  InvariantReport CheckInvariants();
+
   // Convenience for tests: run the scheduler until `pred` is true or the
   // step budget runs out. Returns pred().
   template <typename Pred>
@@ -101,6 +114,26 @@ class Cluster {
   std::vector<std::unique_ptr<client::Client>> clients_;
   std::vector<std::string> volumes_;
 };
+
+/// Determinism-auditor harness mode: run `scenario` twice against freshly
+/// constructed clusters with identical options (hence identical seeds) and
+/// return both trace hashes. The scenario owns the whole run — boot, client
+/// traffic, crashes — and the caller fails the test when the hashes diverge,
+/// which pins down iteration-order or wall-clock nondeterminism the moment a
+/// change introduces it. Hashes are only comparable within one process (see
+/// sim/scheduler.h), which holds here because both runs share it.
+template <typename Scenario>
+std::pair<uint64_t, uint64_t> AuditDeterminism(const ClusterOptions& opts,
+                                               Scenario scenario) {
+  auto once = [&]() {
+    Cluster cluster(opts);
+    scenario(cluster);
+    return cluster.sched().trace_hash();
+  };
+  uint64_t first = once();
+  uint64_t second = once();
+  return {first, second};
+}
 
 /// Run a coroutine to completion on the scheduler (test helper). The
 /// scheduler may have periodic background events; we bound the event count.

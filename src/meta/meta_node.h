@@ -46,6 +46,14 @@ class MetaNode {
   raft::RaftNode* GetRaft(PartitionId pid) { return raft_->Get(RaftGid(pid)); }
   size_t num_partitions() const { return partitions_.size(); }
 
+  /// Partition ids hosted here, in id order (deep checks).
+  std::vector<PartitionId> PartitionIds() const {
+    std::vector<PartitionId> ids;
+    ids.reserve(partitions_.size());
+    for (const auto& [pid, p] : partitions_) ids.push_back(pid);
+    return ids;
+  }
+
   void set_extent_purger(ExtentPurger purger) { purger_ = std::move(purger); }
 
   /// Reports for the resource-manager heartbeat (§2.3.2: maxInodeID flows to

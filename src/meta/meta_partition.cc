@@ -409,6 +409,86 @@ std::vector<InodeId> MetaPartition::LiveFileInodes() const {
   return out;
 }
 
+void MetaPartition::CheckInvariants(InvariantReport* report,
+                                    const std::string& label) const {
+  std::string prefix = label.empty() ? "partition " + std::to_string(config_.id)
+                                     : label;
+  if (!inode_tree_.CheckInvariants()) {
+    report->Violation("meta", prefix + ": inodeTree structural invariant broken");
+  }
+  if (!dentry_tree_.CheckInvariants()) {
+    report->Violation("meta", prefix + ": dentryTree structural invariant broken");
+  }
+  uint64_t footprint = 0;
+  std::set<InodeId> deleted;
+  inode_tree_.Ascend([&](const InodeId& id, const Inode& ino) {
+    footprint += ino.MemoryFootprint();
+    if (ino.id != id) {
+      report->Violation("meta", prefix + ": inode " + std::to_string(id) +
+                                    " stores mismatched id " + std::to_string(ino.id));
+    }
+    if (id < config_.start || id >= next_inode_) {
+      report->Violation("meta", prefix + ": inode " + std::to_string(id) +
+                                    " outside allocated range [" +
+                                    std::to_string(config_.start) + ", " +
+                                    std::to_string(next_inode_) + ")");
+    }
+    if (ino.IsDeleted()) {
+      deleted.insert(id);
+    } else if (ino.nlink < UnlinkThreshold(ino.type) + (ino.IsDir() ? 0u : 1u)) {
+      // Live floors: dirs carry "." and ".." (nlink >= 2); files and
+      // symlinks are born with nlink 1.
+      report->Violation("meta", prefix + ": live inode " + std::to_string(id) +
+                                    " has nlink " + std::to_string(ino.nlink) +
+                                    " below its floor");
+    }
+    return true;
+  });
+  dentry_tree_.Ascend([&](const DentryKey& key, const Dentry& d) {
+    footprint += d.MemoryFootprint();
+    if (d.parent != key.parent || d.name != key.name) {
+      report->Violation("meta", prefix + ": dentry key (" +
+                                    std::to_string(key.parent) + ", " + key.name +
+                                    ") disagrees with stored fields (" +
+                                    std::to_string(d.parent) + ", " + d.name + ")");
+    }
+    if (d.inode == 0) {
+      report->Violation("meta", prefix + ": dentry (" + std::to_string(key.parent) +
+                                    ", " + key.name + ") references inode 0");
+    }
+    return true;
+  });
+  if (footprint != memory_bytes_) {
+    report->Violation("meta", prefix + ": memory accounting " +
+                                  std::to_string(memory_bytes_) +
+                                  " != recomputed footprint " +
+                                  std::to_string(footprint));
+  }
+  // Free list <-> delete mark agreement, both directions, no duplicates.
+  std::set<InodeId> freed;
+  for (InodeId id : free_list_) {
+    if (!freed.insert(id).second) {
+      report->Violation("meta", prefix + ": inode " + std::to_string(id) +
+                                    " appears twice in the free list");
+      continue;
+    }
+    const Inode* ino = inode_tree_.Find(id);
+    if (!ino) {
+      report->Violation("meta", prefix + ": free-list inode " + std::to_string(id) +
+                                    " not in the inodeTree");
+    } else if (!ino->IsDeleted()) {
+      report->Violation("meta", prefix + ": free-list inode " + std::to_string(id) +
+                                    " not marked deleted");
+    }
+  }
+  for (InodeId id : deleted) {
+    if (!freed.count(id)) {
+      report->Violation("meta", prefix + ": deleted inode " + std::to_string(id) +
+                                    " missing from the free list");
+    }
+  }
+}
+
 std::vector<InodeId> MetaPartition::FindOrphanInodes() const {
   std::set<InodeId> referenced;
   dentry_tree_.Ascend([&](const DentryKey&, const Dentry& d) {

@@ -14,6 +14,7 @@
 #include <optional>
 #include <set>
 
+#include "common/check.h"
 #include "meta/btree.h"
 #include "meta/types.h"
 #include "raft/types.h"
@@ -119,6 +120,32 @@ class MetaPartition : public raft::StateMachine {
 
   /// All live (non-deleted) file inode ids stored on this partition.
   std::vector<InodeId> LiveFileInodes() const;
+
+  /// Deep checks / fsck: visit every inode or dentry on this partition in
+  /// key order. `fn(key, value)` returns false to stop.
+  template <typename F>
+  void ForEachInode(F fn) const {
+    inode_tree_.Ascend(fn);
+  }
+  template <typename F>
+  void ForEachDentry(F fn) const {
+    dentry_tree_.Ascend(fn);
+  }
+
+  /// Negative-test hook: direct mutable access so tests can seed a
+  /// deliberate corruption (bad nlink, wrong id) and assert CheckInvariants
+  /// fires. Not for production paths.
+  Inode* MutableInodeForTest(InodeId id) { return inode_tree_.FindMutable(id); }
+
+  /// Deep check (see common/check.h): B-tree structure of both trees, inode
+  /// ids within the partition's allocated range, dentry key/value agreement,
+  /// memory accounting, free-list <-> delete-mark agreement, and local nlink
+  /// floors (live dirs >= 2, live files/symlinks >= 1). Cross-partition
+  /// dentry->inode referential integrity lives in
+  /// harness::Cluster::CheckInvariants, because a file's dentry and inode may
+  /// sit on different partitions (§2.6). Violations are tagged "meta" and
+  /// prefixed with `label`.
+  void CheckInvariants(InvariantReport* report, const std::string& label = "") const;
 
  private:
   void ApplyCreateInode(Decoder* dec, ApplyResult* res);

@@ -1,0 +1,49 @@
+// Machine-checked raft protocol invariants (deep checks; see common/check.h).
+//
+// The checker operates on ReplicaSnapshot values — a cheap, copyable capture
+// of one replica's externally visible protocol state — so that (a) the
+// harness can snapshot a live group between scheduler steps and (b) negative
+// tests can construct violating states directly without reaching into
+// RaftNode internals.
+//
+// Invariant catalog (per group):
+//  * election safety: at most one leader per term;
+//  * log matching: if two replicas hold an entry with the same index and
+//    term, the entries carry identical data;
+//  * committed-prefix agreement: entries at or below both replicas' commit
+//    indices agree on term (and therefore, by log matching, on data);
+//  * per-replica sanity: commit index <= last log index, applied index <=
+//    commit index, entry indices are dense, and entry terms are monotone
+//    non-decreasing and never exceed the replica's current term.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "raft/raft_node.h"
+#include "raft/types.h"
+
+namespace cfs::raft {
+
+/// Externally visible protocol state of one replica at a point in time.
+struct ReplicaSnapshot {
+  NodeId node = 0;
+  bool is_leader = false;
+  Term term = 0;           ///< current (hard-state) term
+  Index commit = 0;
+  Index applied = 0;
+  Index first_index = 1;   ///< first index still in the log (post-compaction)
+  Index snap_index = 0;    ///< snapshot boundary (0 = none)
+  Term snap_term = 0;
+  std::vector<LogEntry> entries;  ///< entries[i] has index first_index + i
+};
+
+/// Capture a replica's state. Safe to call between scheduler events.
+ReplicaSnapshot SnapshotReplica(const RaftNode& node);
+
+/// Check the invariant catalog over one group's replicas. Violations are
+/// appended to `report` tagged "raft"; `label` names the group in messages.
+void CheckRaftGroup(const std::vector<ReplicaSnapshot>& replicas, InvariantReport* report,
+                    const std::string& label = "");
+
+}  // namespace cfs::raft

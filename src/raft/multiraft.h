@@ -57,6 +57,15 @@ class RaftHost {
 
   size_t num_groups() const { return groups_.size(); }
 
+  /// Group ids of every replica hosted here, in id order (deep checks gather
+  /// per-group replica snapshots across hosts with this).
+  std::vector<GroupId> GroupIds() const {
+    std::vector<GroupId> ids;
+    ids.reserve(groups_.size());
+    for (const auto& [gid, node] : groups_) ids.push_back(gid);
+    return ids;
+  }
+
   /// Recover every group from stable storage (host restart).
   sim::Task<void> RecoverAll() {
     for (auto& [gid, node] : groups_) {

@@ -63,6 +63,7 @@ class RaftNode {
   Index last_log_index() const { return log_.last_index(); }
   Role role() const { return role_; }
   LogStore& log() { return log_; }
+  const LogStore& log() const { return log_; }
 
   // --- Transport entry points (called by RaftHost) ---
   sim::Task<VoteResp> OnVote(VoteReq req);

@@ -12,11 +12,11 @@
 #include <any>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <typeindex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -50,7 +50,9 @@ size_t WireBytesOf(const T& v) {
 }
 
 /// Durable per-node blob store: stands in for the node's local file system
-/// (raft logs, snapshots, extent files survive a crash).
+/// (raft logs, snapshots, extent files survive a crash). Backed by an
+/// ordered map so List() enumerates in name order — recovery paths iterate
+/// the listing, and their scheduling order must not depend on hash layout.
 class StableStorage {
  public:
   void Put(const std::string& name, std::string data) { blobs_[name] = std::move(data); }
@@ -79,7 +81,7 @@ class StableStorage {
   }
 
  private:
-  std::unordered_map<std::string, std::string> blobs_;
+  std::map<std::string, std::string> blobs_;
 };
 
 struct HostOptions {
@@ -194,7 +196,9 @@ class Host {
   std::vector<std::unique_ptr<Disk>> disks_;
   StableStorage storage_;
   uint64_t memory_used_ = 0;
-  std::unordered_map<std::type_index, RawHandler> handlers_;
+  /// Ordered by type_index so the registry itself is iteration-safe; all
+  /// lookups are point queries either way.
+  std::map<std::type_index, RawHandler> handlers_;
 };
 
 struct NetworkOptions {
@@ -281,6 +285,7 @@ class Network {
                 [this, prom, to, from](std::any resp, size_t resp_bytes) {
                   // Reply path: charge the reverse transfer.
                   SimTime at = TransferFinish(to, from, resp_bytes);
+                  MixTrace(to, from, resp_bytes, std::type_index(typeid(Resp)), at);
                   if (ShouldDrop(to, from)) return;
                   sched_->At(at, [prom, resp = std::move(resp)]() mutable {
                     prom.Set(std::any_cast<Resp>(std::move(resp)));
@@ -290,6 +295,19 @@ class Network {
   }
 
  private:
+  /// Determinism auditor: fold one message into the trace hash. The type
+  /// name (not the type_index hash) feeds the digest so iteration-order or
+  /// wall-clock bugs change the hash while ASLR does not.
+  void MixTrace(NodeId from, NodeId to, size_t bytes, std::type_index type, SimTime at) {
+    TraceHasher& t = sched_->trace();
+    t.Mix(from);
+    t.Mix(to);
+    t.Mix(bytes);
+    t.Mix(at);
+    const char* name = type.name();
+    t.MixBytes(name, std::char_traits<char>::length(name));
+  }
+
   bool ShouldDrop(NodeId from, NodeId to) {
     if (IsPartitioned(from, to)) return true;
     if (drop_prob_ > 0 && sched_->rng().Chance(drop_prob_)) return true;
@@ -316,6 +334,7 @@ class Network {
                    Host::ReplyFn reply) {
     if (ShouldDrop(from, to)) return;
     SimTime at = TransferFinish(from, to, bytes);
+    MixTrace(from, to, bytes, type, at);
     sched_->At(at, [this, to, from, req = std::move(req), type, reply = std::move(reply)]() mutable {
       Host* h = host(to);
       if (!h->up()) return;  // dead node: request vanishes, caller times out

@@ -4,6 +4,14 @@
 // C++20 coroutines scheduled on a single virtual-time event loop. Events at
 // the same timestamp execute in scheduling order, so runs are fully
 // deterministic given a seed.
+//
+// The determinism contract is audited, not assumed: the scheduler folds
+// every executed event into a running FNV-1a trace hash, and the network
+// folds in every message (sender, receiver, size, payload type, delivery
+// time). Two runs of the same scenario with the same seed must produce
+// identical trace hashes; see DESIGN.md "Determinism contract" and
+// tests/determinism_test.cc. Hashes are comparable within one process only
+// (type names feed the digest via pointers into process-local RTTI).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +23,30 @@
 #include "common/units.h"
 
 namespace cfs::sim {
+
+/// Incremental FNV-1a over 64-bit words and byte strings; the determinism
+/// auditor's digest.
+class TraceHasher {
+ public:
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; i++) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= kPrime;
+    }
+  }
+  void MixBytes(const char* data, size_t n) {
+    for (size_t i = 0; i < n; i++) {
+      hash_ ^= static_cast<unsigned char>(data[i]);
+      hash_ *= kPrime;
+    }
+  }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  static constexpr uint64_t kOffset = 1469598103934665603ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t hash_ = kOffset;
+};
 
 class Scheduler {
  public:
@@ -41,6 +73,8 @@ class Scheduler {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.time;
+    trace_.Mix(ev.time);
+    trace_.Mix(ev.seq);
     ev.fn();
     return true;
   }
@@ -75,6 +109,12 @@ class Scheduler {
   /// The simulation-wide RNG: every stochastic decision draws from it.
   Rng& rng() { return rng_; }
 
+  /// Determinism auditor digest: folds every executed event (time, seq) plus
+  /// whatever components Mix in (the network adds per-message digests). Two
+  /// same-seed runs of one scenario must end with equal hashes.
+  TraceHasher& trace() { return trace_; }
+  uint64_t trace_hash() const { return trace_.hash(); }
+
  private:
   struct Event {
     SimTime time;
@@ -90,6 +130,7 @@ class Scheduler {
   uint64_t seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   Rng rng_;
+  TraceHasher trace_;
 };
 
 }  // namespace cfs::sim

@@ -84,8 +84,11 @@ Status ExtentStore::ImportExtent(ExtentId id, uint64_t size, bool tiny) {
   CFS_RETURN_IF_ERROR(CreateExtentWithId(id, tiny));
   Extent* e = FindMutable(id);
   e->size = size;
-  if (opts_.track_contents) e->data.assign(size, '\0');
   e->crc = 0;
+  if (opts_.track_contents) {
+    e->data.assign(size, '\0');
+    e->crc = Crc32c(e->data);  // cached CRC must agree with the laid-down bytes
+  }
   logical_bytes_ += size;
   physical_bytes_ += size;
   return Status::OK();
@@ -258,6 +261,89 @@ sim::Task<Status> ExtentStore::VerifyExtent(ExtentId id) {
     co_return Status::Corruption("extent " + std::to_string(id) + " crc mismatch");
   }
   co_return Status::OK();
+}
+
+void ExtentStore::CheckInvariants(InvariantReport* report, const std::string& label) const {
+  auto where = [&](ExtentId id) {
+    return (label.empty() ? std::string() : label + " ") + "extent " + std::to_string(id);
+  };
+  uint64_t logical = 0, physical = 0;
+  ExtentId max_id = 0;
+  for (const auto& [id, e] : extents_) {
+    max_id = std::max(max_id, id);
+    if (e.id != id) {
+      report->Violation("extent", where(id) + ": stored id " + std::to_string(e.id) +
+                                      " disagrees with map key");
+    }
+    // Punch-hole bookkeeping: holes sorted, disjoint, inside the extent, and
+    // their total length equals punched_bytes.
+    uint64_t hole_total = 0, prev_end = 0;
+    bool holes_ok = true;
+    for (const auto& [ho, hl] : e.holes) {
+      if (ho < prev_end) {
+        report->Violation("extent", where(id) + ": holes overlap or are unsorted at offset " +
+                                        std::to_string(ho));
+        holes_ok = false;
+        break;
+      }
+      if (ho + hl > e.size) {
+        report->Violation("extent", where(id) + ": hole [" + std::to_string(ho) + ", " +
+                                        std::to_string(ho + hl) + ") beyond size " +
+                                        std::to_string(e.size));
+        holes_ok = false;
+        break;
+      }
+      hole_total += hl;
+      prev_end = ho + hl;
+    }
+    if (holes_ok && hole_total != e.punched_bytes) {
+      report->Violation("extent", where(id) + ": punched_bytes " +
+                                      std::to_string(e.punched_bytes) +
+                                      " != sum of hole lengths " + std::to_string(hole_total));
+    }
+    if (e.punched_bytes > e.size) {
+      report->Violation("extent", where(id) + ": punched_bytes exceeds size");
+    }
+    if (e.FullyPunched()) {
+      report->Violation("extent", where(id) + ": fully punched extent still resident");
+    }
+    if (opts_.track_contents) {
+      if (e.data.size() != e.size) {
+        report->Violation("extent", where(id) + ": data size " +
+                                        std::to_string(e.data.size()) +
+                                        " != logical size " + std::to_string(e.size));
+      } else if (e.punched_bytes == 0 && Crc32c(e.data) != e.crc) {
+        report->Violation("extent", where(id) + ": cached CRC disagrees with contents");
+      }
+    }
+    logical += e.size;
+    physical += e.PhysicalBytes();
+  }
+  if (logical != logical_bytes_) {
+    report->Violation("extent", (label.empty() ? std::string("store") : label) +
+                                    ": logical_bytes " + std::to_string(logical_bytes_) +
+                                    " != sum of extent sizes " + std::to_string(logical));
+  }
+  if (physical != physical_bytes_) {
+    report->Violation("extent", (label.empty() ? std::string("store") : label) +
+                                    ": physical_bytes " + std::to_string(physical_bytes_) +
+                                    " != sum of resident bytes " + std::to_string(physical));
+  }
+  if (!extents_.empty() && next_id_ <= max_id) {
+    report->Violation("extent", (label.empty() ? std::string("store") : label) +
+                                    ": id allocator " + std::to_string(next_id_) +
+                                    " not past max extent id " + std::to_string(max_id));
+  }
+  if (active_tiny_ != 0) {
+    const Extent* t = Find(active_tiny_);
+    if (!t) {
+      report->Violation("extent", (label.empty() ? std::string("store") : label) +
+                                      ": active tiny extent " + std::to_string(active_tiny_) +
+                                      " does not exist");
+    } else if (!t->tiny) {
+      report->Violation("extent", where(active_tiny_) + ": active tiny extent not flagged tiny");
+    }
+  }
 }
 
 sim::Task<Status> ExtentStore::RebuildCrcCache() {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/crc32.h"
 #include "common/status.h"
 #include "common/units.h"
@@ -62,6 +63,12 @@ class ExtentStore {
 
   /// Allocate a fresh (large-file) extent and return its id.
   ExtentId CreateExtent();
+
+  /// Next id CreateExtent would hand out. Large-extent allocation at the
+  /// chain leader (DataPartition::AllocExtentId) folds this in so tiny
+  /// extents (allocated store-side by WriteSmall) and chained large extents
+  /// never collide in the shared id namespace.
+  ExtentId peek_next_id() const { return next_id_; }
 
   /// Replica path: create an extent with a leader-assigned id (the chain
   /// replicates leader decisions, so ids must match across replicas).
@@ -125,6 +132,17 @@ class ExtentStore {
   const Extent* Find(ExtentId id) const;
   bool Has(ExtentId id) const { return extents_.count(id) > 0; }
   uint64_t ExtentSize(ExtentId id) const;
+
+  /// Deep check (see common/check.h): per-extent hole/punch bookkeeping,
+  /// logical/physical byte aggregates, id-allocator high-water mark, and (in
+  /// tracking mode) cached-CRC agreement with the byte contents. Violations
+  /// are tagged "extent" and prefixed with `label`.
+  void CheckInvariants(InvariantReport* report, const std::string& label = "") const;
+
+  /// Negative-test hook: direct mutable access so tests can seed a
+  /// deliberate corruption and assert CheckInvariants fires. Not for
+  /// production paths.
+  Extent* MutableExtentForTest(ExtentId id) { return FindMutable(id); }
 
   size_t num_extents() const { return extents_.size(); }
   uint64_t logical_bytes() const { return logical_bytes_; }

@@ -37,6 +37,17 @@ class CfsCluster : public ::testing::Test {
     return std::move(*out);
   }
 
+  /// Deep-check every cluster invariant (common/check.h); call at scenario
+  /// checkpoints. Also runs from TearDown so every test ends with a sweep.
+  void ExpectInvariantsHold(const char* when) {
+    if (!cluster_) return;
+    InvariantReport report = cluster_->CheckInvariants();
+    EXPECT_TRUE(report.ok()) << "invariant violations " << when << ":\n"
+                             << report.ToString();
+  }
+
+  void TearDown() override { ExpectInvariantsHold("at test end"); }
+
   std::unique_ptr<Cluster> cluster_;
   Client* client_ = nullptr;
 };
@@ -78,6 +89,7 @@ TEST_F(CfsCluster, CreateManyFilesAcrossPartitions) {
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     EXPECT_TRUE(ids.insert(r->id).second) << "duplicate inode id " << r->id;
   }
+  ExpectInvariantsHold("after create batch");
   auto listed = Run(client_->ReadDir(kRootInode));
   ASSERT_TRUE(listed.ok());
   EXPECT_EQ(listed->size(), 60u);
@@ -371,6 +383,7 @@ TEST_F(CfsCluster, DataNodeCrashDoesNotLoseCommittedData) {
   }(cluster_.get()));
   ASSERT_TRUE(done.has_value());
   cluster_->sched().RunFor(3 * kSec);
+  ExpectInvariantsHold("after crash/restart recovery");
   auto read2 = Run(client_->Read(f->id, 0, content.size()));
   ASSERT_TRUE(read2.ok());
   EXPECT_EQ(*read2, content);

@@ -38,6 +38,18 @@ class FaultFixture : public ::testing::Test {
     return std::move(*out);
   }
 
+  /// Deep-check every cluster invariant (common/check.h). Runs from
+  /// TearDown so every fault scenario — loss, crashes, mid-write failures —
+  /// ends with a full sweep; call mid-test after recovery checkpoints too.
+  void ExpectInvariantsHold(const char* when) {
+    if (!cluster_) return;
+    InvariantReport report = cluster_->CheckInvariants();
+    EXPECT_TRUE(report.ok()) << "invariant violations " << when << ":\n"
+                             << report.ToString();
+  }
+
+  void TearDown() override { ExpectInvariantsHold("at test end"); }
+
   std::unique_ptr<Cluster> cluster_;
   Client* client_ = nullptr;
 };
@@ -199,6 +211,7 @@ TEST_F(FaultFixture, RollingCrashesOfAllStorageNodes) {
     cluster_->sched().RunFor(2 * kSec);
     ASSERT_TRUE(RunTaskVoid(cluster_->sched(), cluster_->RestartNode(i)));
     cluster_->sched().RunFor(2 * kSec);
+    ExpectInvariantsHold("after rolling recovery");
   }
   // All data still present and intact; metadata still serves.
   auto listed = Run(client_->ReadDir(kRootInode));

@@ -42,6 +42,44 @@ TEST(SchedulerTest, RunUntilLeavesFutureEvents) {
   EXPECT_EQ(s.pending(), 1u);
 }
 
+TEST(SchedulerTest, RunUntilRunsEventExactlyAtBoundary) {
+  // The contract is "run all events with time <= t": an event scheduled
+  // exactly at t fires, and the clock lands on t, not past it.
+  Scheduler s;
+  int fired = 0;
+  s.At(50, [&] { fired++; });
+  s.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.Now(), 50);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, RunUntilEmptyQueueAdvancesClock) {
+  // With nothing queued, RunUntil still moves Now() to t (virtual time is
+  // free); a later, smaller t must not move the clock backwards.
+  Scheduler s;
+  s.RunUntil(75);
+  EXPECT_EQ(s.Now(), 75);
+  s.RunUntil(10);
+  EXPECT_EQ(s.Now(), 75);
+}
+
+TEST(SchedulerTest, SameSeedRunsProduceEqualTraceHashes) {
+  // The determinism contract in one test: identical seeds must yield
+  // identical event traces, and the trace hash is sensitive to any extra
+  // event. Full-cluster versions of this live in determinism_test.cc.
+  auto run = [](uint64_t seed, int extra_events) {
+    Scheduler s(seed);
+    for (int i = 0; i < 5 + extra_events; i++) {
+      s.At(10 * (i + 1) + static_cast<SimTime>(s.rng().Uniform(5)), [] {});
+    }
+    s.Run();
+    return s.trace_hash();
+  };
+  EXPECT_EQ(run(42, 0), run(42, 0));
+  EXPECT_NE(run(42, 0), run(42, 1));
+}
+
 TEST(SchedulerTest, PastEventsClampToNow) {
   Scheduler s;
   s.At(100, [] {});

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the CFS reproduction.
+
+The simulator promises bit-identical replay from a seed (see
+src/sim/scheduler.h and DESIGN.md "Determinism contract"), and the error
+model routes every failure through cfs::Status. This script enforces the
+source-level rules that keep those promises true:
+
+  R1  no wall-clock or OS randomness inside src/: every time source must be
+      the scheduler's virtual clock and every random draw the seeded
+      cfs::Rng. Forbidden: rand()/srand(), std::random_device, <random>,
+      <chrono> clocks (system_clock/steady_clock/high_resolution_clock),
+      gettimeofday/clock_gettime/time(NULL).
+  R2  no unordered containers inside src/: hash-map iteration order varies
+      across libstdc++ versions and ASLR-seeded hashes, and has already
+      bitten deterministic paths (see PR history for src/ceph/ceph.h and
+      src/sim/network.h). Ordered std::map/std::set cost O(log n) and keep
+      replay stable.
+  R3  ignored-Status safety net: cfs::Status and cfs::Result must carry the
+      class-level [[nodiscard]] and the build must promote unused-result to
+      an error, so the compiler flags every ignored fallible call.
+
+A line may opt out of R1/R2 with a trailing `// lint:allow(<rule>)` comment
+naming the rule, e.g. `// lint:allow(unordered)` — the escape hatch exists
+for future code that can prove order-independence, and every use is visible
+in review.
+
+Usage: tools/lint.py [--root DIR]    (exit 0 = clean, 1 = findings)
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+SRC_SUFFIXES = {".h", ".cc", ".cpp"}
+
+# R1: each entry is (human name, compiled pattern, allow token).
+WALL_CLOCK_RULES = [
+    ("libc rand()/srand()", re.compile(r"\b(?:s?rand)\s*\("), "wall-clock"),
+    ("std::random_device", re.compile(r"\brandom_device\b"), "wall-clock"),
+    ("#include <random>", re.compile(r'#\s*include\s*[<"]random[>"]'), "wall-clock"),
+    ("chrono clock", re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+     "wall-clock"),
+    ("gettimeofday/clock_gettime", re.compile(r"\b(?:gettimeofday|clock_gettime)\s*\("),
+     "wall-clock"),
+    ("time(NULL)/time(nullptr)", re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+     "wall-clock"),
+]
+
+# R2: any unordered associative container.
+UNORDERED_RULE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
+
+
+def allowed(line: str, token: str) -> bool:
+    m = ALLOW_RE.search(line)
+    return bool(m) and m.group(1) == token
+
+
+def lint_file(path: pathlib.Path, findings: list) -> None:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        findings.append((path, 0, "file is not valid UTF-8"))
+        return
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for name, pattern, token in WALL_CLOCK_RULES:
+            if pattern.search(line) and not allowed(line, token):
+                findings.append((path, lineno, f"R1 nondeterministic source: {name}"))
+        if UNORDERED_RULE.search(line) and not allowed(line, "unordered"):
+            findings.append(
+                (path, lineno,
+                 "R2 unordered container (iteration order breaks replay); "
+                 "use std::map/std::set or add // lint:allow(unordered)"))
+
+
+def lint_nodiscard(root: pathlib.Path, findings: list) -> None:
+    status_h = root / "src" / "common" / "status.h"
+    if not status_h.is_file():
+        findings.append((status_h, 0, "R3 missing: src/common/status.h not found"))
+        return
+    text = status_h.read_text(encoding="utf-8")
+    for cls in ("Status", "Result"):
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls + r"\b", text):
+            findings.append(
+                (status_h, 0,
+                 f"R3 cfs::{cls} must be declared `class [[nodiscard]] {cls}`"))
+    cml = root / "CMakeLists.txt"
+    if cml.is_file() and "-Werror=unused-result" not in cml.read_text(encoding="utf-8"):
+        findings.append(
+            (cml, 0,
+             "R3 top-level CMakeLists.txt must pass -Werror=unused-result so "
+             "ignored Status/Result calls fail the build"))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script's directory)")
+    args = ap.parse_args()
+    root = pathlib.Path(args.root) if args.root else pathlib.Path(__file__).resolve().parent.parent
+
+    findings: list = []
+    src = root / "src"
+    for path in sorted(src.rglob("*")):
+        if path.suffix in SRC_SUFFIXES and path.is_file():
+            lint_file(path, findings)
+    lint_nodiscard(root, findings)
+
+    for path, lineno, msg in findings:
+        where = f"{path.relative_to(root)}:{lineno}" if lineno else str(path.relative_to(root))
+        print(f"{where}: {msg}")
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)")
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
