@@ -102,6 +102,23 @@ inline CephBench MakeCephBench(int num_clients, uint64_t seed = 1,
   return b;
 }
 
+/// Per-RPC metric accumulation across bench cells. Every cell constructs a
+/// fresh cluster, so its registries die with the cell: fold them into a
+/// main()-scoped registry before teardown, then dump once at the end.
+inline void AccumulateRpcMetrics(const CfsBench& b, rpc::MetricRegistry* into) {
+  into->MergeFrom(b.cluster->rpc_metrics());
+  for (client::Client* c : b.clients) into->MergeFrom(c->rpc_metrics());
+}
+
+inline void AccumulateRpcMetrics(const CephBench& b, rpc::MetricRegistry* into) {
+  into->MergeFrom(b.cluster->rpc_metrics());
+}
+
+/// One machine-readable line per system: `rpc_metrics <label> {json}`.
+inline void PrintRpcMetrics(const char* label, const rpc::MetricRegistry& reg) {
+  std::printf("rpc_metrics %s %s\n", label, reg.DumpJson().c_str());
+}
+
 /// procs_per_client copies of each client's adapter (mdtest processes on one
 /// client share the mount and its caches, §4.1).
 template <typename T>

@@ -24,6 +24,7 @@ int main() {
   std::printf("(IOPS in simulated time; paper shape: Ceph ahead at 1 proc in most tests,\n");
   std::printf(" CFS catches up and passes as processes increase)\n");
 
+  rpc::MetricRegistry cfs_rpc_metrics, ceph_rpc_metrics;
   for (MdTest test : kTests) {
     PrintHeader(std::string(MdTestName(test)) + " (1 client)",
                 {"procs=1", "procs=4", "procs=16", "procs=64"});
@@ -36,11 +37,13 @@ int main() {
         CfsBench b = MakeCfsBench(1, /*seed=*/7 + procs);
         auto ops = FanOutAs<MetaOps>(b.meta_adapters, tree ? 1 : procs);
         cfs_row.push_back(RunMdtest(&b.sched(), test, ops, params).Iops());
+        AccumulateRpcMetrics(b, &cfs_rpc_metrics);
       }
       {
         CephBench b = MakeCephBench(1, /*seed=*/7 + procs);
         auto ops = FanOutAs<MetaOps>(b.meta_adapters, tree ? 1 : procs);
         ceph_row.push_back(RunMdtest(&b.sched(), test, ops, params).Iops());
+        AccumulateRpcMetrics(b, &ceph_rpc_metrics);
       }
     }
     PrintRow("CFS", cfs_row);
@@ -51,5 +54,7 @@ int main() {
     }
     PrintRow("CFS/Ceph", ratio);
   }
+  PrintRpcMetrics("cfs", cfs_rpc_metrics);
+  PrintRpcMetrics("ceph", ceph_rpc_metrics);
   return 0;
 }

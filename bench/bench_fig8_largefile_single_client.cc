@@ -24,6 +24,7 @@ int main() {
   std::vector<std::string> cols;
   for (int p : kProcs) cols.push_back("p=" + std::to_string(p));
 
+  rpc::MetricRegistry cfs_rpc_metrics, ceph_rpc_metrics;
   for (FioPattern pattern : kPatterns) {
     PrintHeader(std::string(FioPatternName(pattern)) + " (1 client)", cols);
     bool rand = pattern == FioPattern::kRandWrite || pattern == FioPattern::kRandRead;
@@ -36,11 +37,13 @@ int main() {
         CfsBench b = MakeCfsBench(1, /*seed=*/23 + procs, 30, 40, /*nic_mib=*/1170);
         auto ops = FanOutAs<DataOps>(b.data_adapters, procs);
         cfs_row.push_back(RunFio(&b.sched(), pattern, ops, params).Iops());
+        AccumulateRpcMetrics(b, &cfs_rpc_metrics);
       }
       {
         CephBench b = MakeCephBench(1, /*seed=*/23 + procs, {}, /*nic_mib=*/1170);
         auto ops = FanOutAs<DataOps>(b.data_adapters, procs);
         ceph_row.push_back(RunFio(&b.sched(), pattern, ops, params).Iops());
+        AccumulateRpcMetrics(b, &ceph_rpc_metrics);
       }
     }
     PrintRow("CFS", cfs_row);
@@ -51,5 +54,7 @@ int main() {
     }
     PrintRow("CFS/Ceph", ratio);
   }
+  PrintRpcMetrics("cfs", cfs_rpc_metrics);
+  PrintRpcMetrics("ceph", ceph_rpc_metrics);
   return 0;
 }

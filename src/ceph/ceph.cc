@@ -101,7 +101,7 @@ Task<MdsResp> Mds::Handle(MdsReq req) {
   if (authority != index_ && !req.internal) {
     MdsReq fwd = req;
     fwd.internal = true;
-    auto r = co_await cluster_->net()->Call<MdsReq, MdsResp>(
+    auto r = co_await cluster_->channel()->Unary<MdsReq, MdsResp>(
         host_->id(), cluster_->mds_host(authority)->id(), std::move(fwd), 2 * kSec);
     if (!r.ok()) {
       resp.status = r.status();
@@ -190,7 +190,7 @@ Task<MdsResp> Mds::Handle(MdsReq req) {
           probe.op = MetaOp::kReaddir;
           probe.dir = ino;
           probe.internal = true;
-          auto r = co_await cluster_->net()->Call<MdsReq, MdsResp>(
+          auto r = co_await cluster_->channel()->Unary<MdsReq, MdsResp>(
               host_->id(), cluster_->mds_host(child_auth)->id(), std::move(probe), 2 * kSec);
           if (!r.ok()) {
             resp.status = r.status();
@@ -230,7 +230,7 @@ Task<MdsResp> Mds::Handle(MdsReq req) {
 // --- CephCluster ------------------------------------------------------------------
 
 CephCluster::CephCluster(sim::Scheduler* sched, sim::Network* net, const CephOptions& opts)
-    : sched_(sched), net_(net), opts_(opts) {
+    : sched_(sched), net_(net), opts_(opts), channel_(net, &rpc_metrics_) {
   for (int i = 0; i < opts_.num_nodes; i++) {
     sim::HostOptions ho;
     ho.num_disks = opts_.osds_per_node;
@@ -333,8 +333,8 @@ void CephCluster::RegisterOsdHandlers(sim::Host* host, int node_index) {
             sub.fanout_index = i;
             Spawn([](CephCluster* c, sim::NodeId from, sim::NodeId to, OsdWriteReq sub,
                      std::function<void()> done) -> Task<void> {
-              (void)co_await c->net()->Call<OsdWriteReq, OsdWriteResp>(from, to,
-                                                                       std::move(sub), 5 * kSec);
+              (void)co_await c->channel()->Unary<OsdWriteReq, OsdWriteResp>(
+                  from, to, std::move(sub), 5 * kSec);
               done();
             }(this, host->id(), placement[i], std::move(sub), join.Arrive()));
           }
@@ -418,7 +418,7 @@ Task<Result<MdsResp>> CephClient::CallMds(InodeId dir, MdsReq req) {
   // balancer moved get forwarded by the hash MDS to the current authority —
   // the "proxy MDS" overhead of §4.2.
   int authority = cluster_->HashAuthority(dir);
-  auto r = co_await cluster_->net()->Call<MdsReq, MdsResp>(
+  auto r = co_await cluster_->channel()->Unary<MdsReq, MdsResp>(
       host_->id(), cluster_->mds_host(authority)->id(), std::move(req), 5 * kSec);
   if (!r.ok()) co_return r.status();
   co_return std::move(*r);
@@ -524,7 +524,7 @@ Task<Status> CephClient::Write(InodeId ino, InodeId parent_dir, uint64_t offset,
     req.offset = in_obj;
     req.len = piece;
     req.is_overwrite = is_overwrite;
-    auto r = co_await cluster_->net()->Call<OsdWriteReq, OsdWriteResp>(
+    auto r = co_await cluster_->channel()->Unary<OsdWriteReq, OsdWriteResp>(
         host_->id(), placement[0], std::move(req), 10 * kSec);
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
@@ -560,7 +560,7 @@ Task<Status> CephClient::Read(InodeId ino, uint64_t offset, uint64_t len) {
     req.object = object;
     req.offset = in_obj;
     req.len = piece;
-    auto r = co_await cluster_->net()->Call<OsdReadReq, OsdReadResp>(
+    auto r = co_await cluster_->channel()->Unary<OsdReadReq, OsdReadResp>(
         host_->id(), placement[0], std::move(req), 10 * kSec);
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;

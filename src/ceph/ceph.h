@@ -30,6 +30,8 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "rpc/channel.h"
+#include "rpc/metrics.h"
 #include "sim/network.h"
 #include "sim/task.h"
 
@@ -106,6 +108,7 @@ enum class MetaOp : uint8_t {
 };
 
 struct MdsReq {
+  static constexpr const char* kRpcName = "Mds";
   MetaOp op = MetaOp::kLookup;
   InodeId dir = 0;       // directory the op targets (authority routing key)
   std::string name;      // entry name (create/lookup/remove)
@@ -123,6 +126,7 @@ struct MdsResp {
 };
 
 struct OsdWriteReq {
+  static constexpr const char* kRpcName = "OsdWrite";
   ObjectId object = 0;
   uint64_t offset = 0;
   uint64_t len = 0;
@@ -134,6 +138,7 @@ struct OsdWriteResp {
   Status status;
 };
 struct OsdReadReq {
+  static constexpr const char* kRpcName = "OsdRead";
   ObjectId object = 0;
   uint64_t offset = 0;
   uint64_t len = 0;
@@ -212,6 +217,10 @@ class CephCluster {
   const CephOptions& options() const { return opts_; }
   sim::Network* net() { return net_; }
   sim::Scheduler* sched() { return sched_; }
+  /// Metered channel all Ceph-model RPC legs go through (MDS forwards, OSD
+  /// replication, client calls). One registry for the whole model cluster.
+  rpc::Channel* channel() { return &channel_; }
+  const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
 
   /// Authority MDS index for a directory (hash placement + rebalancing
   /// moves). Clients use this to route; stale routes get proxied.
@@ -239,6 +248,8 @@ class CephCluster {
   sim::Scheduler* sched_;
   sim::Network* net_;
   CephOptions opts_;
+  rpc::MetricRegistry rpc_metrics_;
+  rpc::Channel channel_;
   std::vector<sim::Host*> hosts_;
   std::vector<std::unique_ptr<Mds>> mds_;
   /// Per (node, shard-pool) op queues: osd_op_num_shards * threads_per_shard.

@@ -9,40 +9,41 @@ namespace cfs::client {
 using sim::Spawn;
 using sim::Task;
 
+namespace {
+
+rpc::RetryPolicy WithTimeout(rpc::RetryPolicy p, SimDuration timeout) {
+  p.rpc_timeout = timeout;
+  return p;
+}
+
+}  // namespace
+
 Client::Client(sim::Network* net, sim::Host* host, std::vector<sim::NodeId> masters,
                const ClientOptions& opts)
-    : net_(net), host_(host), masters_(std::move(masters)), opts_(opts) {}
-
-// --- Master communication (non-persistent connections, §2.5.2) --------------
-
-template <typename Req, typename Resp>
-Task<Result<Resp>> Client::MasterCallImpl(Req req) {
-  for (int attempt = 0; attempt < opts_.max_retries + static_cast<int>(masters_.size());
-       attempt++) {
-    sim::NodeId target = master_leader_cache_ != sim::kInvalidNode
-                             ? master_leader_cache_
-                             : masters_[attempt % masters_.size()];
-    stats_.master_rpcs++;
-    auto r = co_await net_->Call<Req, Resp>(host_->id(), target, req, opts_.rpc_timeout);
-    if (!r.ok()) {
-      master_leader_cache_ = sim::kInvalidNode;
-      continue;
-    }
-    if (r->status.IsNotLeader()) {
-      master_leader_cache_ = sim::kInvalidNode;
-      uint64_t hint = std::strtoull(r->status.message().c_str(), nullptr, 10);
-      if (hint != 0) {
-        master_leader_cache_ = static_cast<sim::NodeId>(hint);
-      } else {
-        co_await sim::SleepFor{sched(), 50 * kMsec};
-      }
-      continue;
-    }
-    master_leader_cache_ = target;
-    co_return std::move(*r);
-  }
-  co_return Status::TimedOut("no master leader reachable");
+    : net_(net),
+      host_(host),
+      opts_(opts),
+      router_(net->scheduler(), std::move(masters)),
+      master_svc_(net, host->id(), &router_, &rpc_metrics_,
+                  WithTimeout(opts.control_policy, opts.rpc_timeout)),
+      meta_svc_(net, host->id(), &router_, &rpc_metrics_,
+                WithTimeout(opts.control_policy, opts.rpc_timeout)),
+      data_svc_(net, host->id(), &router_, &rpc_metrics_,
+                WithTimeout(opts.data_policy, opts.rpc_timeout)),
+      channel_(net, &rpc_metrics_) {
+  master_svc_.set_rpc_counter(&stats_.master_rpcs);
+  meta_svc_.set_rpc_counter(&stats_.meta_rpcs);
+  data_svc_.set_rpc_counter(&stats_.data_rpcs);
+  meta_svc_.set_refresh([this] { return RefreshVolume(); });
+  data_svc_.set_refresh([this] { return RefreshVolume(); });
+  meta_svc_.set_timeout_report(
+      [this](PartitionId pid) { return ReportFailure(pid, /*is_meta=*/true); });
+  data_svc_.set_timeout_report(
+      [this](PartitionId pid) { return ReportFailure(pid, /*is_meta=*/false); });
+  router_.BindCounters(&stats_.leader_cache_hits, &stats_.leader_probes);
 }
+
+// --- Volume views (non-persistent master connections, §2.5.2) ----------------
 
 sim::Task<Status> Client::Mount(std::string volume) {
   volume_name_ = std::move(volume);
@@ -58,8 +59,7 @@ sim::Task<Status> Client::RefreshVolume() {
   auto r = co_await MasterCall<master::GetVolumeReq, master::GetVolumeResp>(std::move(req));
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
-  meta_views_ = std::move(r->meta_partitions);
-  data_views_ = std::move(r->data_partitions);
+  router_.InstallViews(std::move(r->meta_partitions), std::move(r->data_partitions));
   co_return Status::OK();
 }
 
@@ -71,160 +71,11 @@ Task<void> Client::RefreshLoop(uint64_t gen) {
   }
 }
 
-// --- Routing -----------------------------------------------------------------
-
-MetaPartitionView* Client::MetaViewForInode(InodeId ino) {
-  for (auto& v : meta_views_) {
-    if (ino >= v.start && ino <= v.end) return &v;
-  }
-  return nullptr;
-}
-
-MetaPartitionView* Client::PickWritableMetaView() {
-  // "The client simply selects the meta and data partitions in a random
-  // fashion from the ones allocated by the resource manager" (§2.3.1).
-  std::vector<MetaPartitionView*> writable;
-  for (auto& v : meta_views_) {
-    auto it = unwritable_until_.find(v.pid);
-    if (it != unwritable_until_.end() && it->second > sched().Now()) continue;
-    if (v.writable) writable.push_back(&v);
-  }
-  if (writable.empty()) return nullptr;
-  return writable[sched().rng().Uniform(writable.size())];
-}
-
-DataPartitionView* Client::PickWritableDataView(PartitionId avoid) {
-  // `avoid` is the partition a windowed append just failed on (§2.2.5: the
-  // suffix is resent "to the extents in different data partitions/nodes");
-  // it is only reused when it is the sole writable choice left.
-  std::vector<DataPartitionView*> writable;
-  DataPartitionView* avoided = nullptr;
-  for (auto& v : data_views_) {
-    auto it = unwritable_until_.find(v.pid);
-    if (it != unwritable_until_.end() && it->second > sched().Now()) continue;
-    if (!v.writable) continue;
-    if (v.pid == avoid) {
-      avoided = &v;
-      continue;
-    }
-    writable.push_back(&v);
-  }
-  if (writable.empty()) return avoided;
-  return writable[sched().rng().Uniform(writable.size())];
-}
-
-DataPartitionView* Client::DataView(PartitionId pid) {
-  for (auto& v : data_views_) {
-    if (v.pid == pid) return &v;
-  }
-  return nullptr;
-}
-
 sim::Task<Status> Client::ReportFailure(PartitionId pid, bool is_meta) {
   auto r = co_await MasterCall<master::ReportPartitionFailureReq,
                                master::ReportPartitionFailureResp>(
       master::ReportPartitionFailureReq{pid, is_meta});
   co_return r.ok() ? r->status : r.status();
-}
-
-template <typename Req, typename Resp>
-Task<Result<Resp>> Client::MetaCallImpl(PartitionId pid, Req req) {
-  int timeouts = 0;
-  for (int attempt = 0; attempt < opts_.max_retries + 3; attempt++) {
-    MetaPartitionView* view = nullptr;
-    for (auto& v : meta_views_) {
-      if (v.pid == pid) view = &v;
-    }
-    if (!view) {
-      (void)co_await RefreshVolume();
-      for (auto& v : meta_views_) {
-        if (v.pid == pid) view = &v;
-      }
-      if (!view) co_return Status::NotFound("meta partition " + std::to_string(pid));
-    }
-    sim::NodeId target;
-    auto cached = meta_leader_cache_.find(pid);
-    if (cached != meta_leader_cache_.end()) {
-      target = cached->second;
-    } else if (view->leader_hint != sim::kInvalidNode) {
-      target = view->leader_hint;
-    } else {
-      target = view->replicas[attempt % view->replicas.size()];
-    }
-    stats_.meta_rpcs++;
-    auto r = co_await net_->Call<Req, Resp>(host_->id(), target, req, opts_.rpc_timeout);
-    if (!r.ok()) {
-      meta_leader_cache_.erase(pid);
-      view->leader_hint = sim::kInvalidNode;
-      if (++timeouts >= opts_.max_retries) {
-        // §2.3.3: a timed-out partition is reported; the master marks the
-        // remaining replicas read-only.
-        (void)co_await ReportFailure(pid, true);
-        co_return r.status();
-      }
-      continue;
-    }
-    if (r->status.IsNotLeader()) {
-      uint64_t hint = std::strtoull(r->status.message().c_str(), nullptr, 10);
-      if (hint != 0) {
-        meta_leader_cache_[pid] = static_cast<sim::NodeId>(hint);
-      } else {
-        // No leader yet (election in progress): back off briefly.
-        meta_leader_cache_.erase(pid);
-        co_await sim::SleepFor{sched(), 50 * kMsec};
-      }
-      continue;
-    }
-    meta_leader_cache_[pid] = target;
-    co_return std::move(*r);
-  }
-  co_return Status::TimedOut("meta partition " + std::to_string(pid) + " unreachable");
-}
-
-template <typename Req, typename Resp>
-Task<Result<Resp>> Client::DataLeaderCallImpl(PartitionId pid, Req req) {
-  // "By caching the last identified leader, the client can have [a]
-  // minimized number of retries in most cases" (§2.4).
-  DataPartitionView* view = DataView(pid);
-  if (!view) {
-    (void)co_await RefreshVolume();
-    view = DataView(pid);
-    if (!view) co_return Status::NotFound("data partition " + std::to_string(pid));
-  }
-  std::vector<sim::NodeId> order;
-  auto cached = data_leader_cache_.find(pid);
-  if (cached != data_leader_cache_.end()) {
-    order.push_back(cached->second);
-    stats_.leader_cache_hits++;
-  } else if (view->raft_leader_hint != sim::kInvalidNode) {
-    order.push_back(view->raft_leader_hint);
-  }
-  for (sim::NodeId r : view->replicas) {
-    if (std::find(order.begin(), order.end(), r) == order.end()) order.push_back(r);
-  }
-  int timeouts = 0;
-  for (size_t i = 0; i < order.size() + 2; i++) {
-    sim::NodeId target = order[i % order.size()];
-    stats_.data_rpcs++;
-    if (i > 0) stats_.leader_probes++;
-    auto r = co_await net_->Call<Req, Resp>(host_->id(), target, req, opts_.rpc_timeout);
-    if (!r.ok()) {
-      data_leader_cache_.erase(pid);
-      if (++timeouts >= opts_.max_retries) {
-        (void)co_await ReportFailure(pid, false);
-        co_return r.status();
-      }
-      continue;
-    }
-    if (r->status.IsNotLeader()) {
-      data_leader_cache_.erase(pid);
-      if (i + 1 >= order.size()) co_await sim::SleepFor{sched(), 50 * kMsec};
-      continue;
-    }
-    data_leader_cache_[pid] = target;
-    co_return std::move(*r);
-  }
-  co_return Status::TimedOut("data partition " + std::to_string(pid) + " unreachable");
 }
 
 // --- Metadata cache ------------------------------------------------------------
@@ -250,30 +101,39 @@ const Inode* Client::CachedInode(InodeId ino) {
 sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
                                         FileType type, std::string symlink_target) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  const rpc::Deadline dl = OpDeadline();
   // Step 1: create the inode on an available (randomly chosen) partition.
+  // Placement retries ride the same backoff clock as the stubs.
   Inode inode;
   PartitionId ino_pid = 0;
   Status last = Status::Unavailable("no writable meta partition");
-  for (int attempt = 0; attempt < opts_.max_retries + 2; attempt++) {
+  rpc::Backoff backoff(&sched(), opts_.control_policy);
+  while (backoff.NextAttempt()) {
+    if (dl.Expired(sched().Now())) co_return Status::TimedOut("create deadline exceeded");
     MetaPartitionView* view = PickWritableMetaView();
     if (!view) {
       (void)co_await RefreshVolume();
-      continue;
+      view = PickWritableMetaView();
+      if (!view) {
+        co_await backoff.Delay();
+        continue;
+      }
     }
-    meta::MetaCreateInodeReq req{view->pid, type, symlink_target};
+    const PartitionId pid = view->pid;
+    meta::MetaCreateInodeReq req{pid, type, symlink_target};
     auto r = co_await MetaCall<meta::MetaCreateInodeReq, meta::MetaCreateInodeResp>(
-        view->pid, std::move(req));
+        pid, std::move(req), dl);
     if (!r.ok()) {
       last = r.status();
       continue;
     }
     if (r->status.IsNoSpace()) {
-      // Range cut off by a split or the partition is full: give the resource
-      // manager a beat to finish the split/expansion, then re-fetch views.
-      view->writable = false;
-      unwritable_until_[view->pid] = sched().Now() + 2 * kSec;
+      // Range cut off by a split or the partition is full: skip it locally,
+      // give the resource manager a beat to finish the split/expansion, then
+      // re-fetch views.
+      router_.MarkUnwritable(pid, sched().Now() + 2 * kSec);
       last = r->status;
-      co_await sim::SleepFor{sched(), 100 * kMsec};
+      co_await backoff.Delay();
       (void)co_await RefreshVolume();
       continue;
     }
@@ -282,7 +142,7 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
       continue;
     }
     inode = std::move(r->inode);
-    ino_pid = view->pid;
+    ino_pid = pid;
     break;
   }
   if (ino_pid == 0) co_return last;
@@ -295,14 +155,14 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
     Dentry d{parent, name, inode.id, type};
     meta::MetaCreateDentryReq req{pview->pid, std::move(d)};
     auto r = co_await MetaCall<meta::MetaCreateDentryReq, meta::MetaCreateDentryResp>(
-        pview->pid, std::move(req));
+        pview->pid, std::move(req), dl);
     dstatus = r.ok() ? r->status : r.status();
   }
   if (!dstatus.ok()) {
     // Fig. 3a failure path: unlink the fresh inode, park it on the local
     // orphan list, evict later.
     (void)co_await MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
-        ino_pid, meta::MetaUnlinkInodeReq{ino_pid, inode.id});
+        ino_pid, meta::MetaUnlinkInodeReq{ino_pid, inode.id}, dl);
     orphans_.emplace_back(ino_pid, inode.id);
     stats_.orphans_created++;
     co_return dstatus;
@@ -314,11 +174,12 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
 
 sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  const rpc::Deadline dl = OpDeadline();
   MetaPartitionView* iview = MetaViewForInode(ino);
   if (!iview) co_return Status::NotFound("inode partition");
   // Fig. 3b: nlink++ first...
   auto r = co_await MetaCall<meta::MetaLinkInodeReq, meta::MetaLinkInodeResp>(
-      iview->pid, meta::MetaLinkInodeReq{iview->pid, ino});
+      iview->pid, meta::MetaLinkInodeReq{iview->pid, ino}, dl);
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   // ...then the dentry on the target parent's partition.
@@ -328,13 +189,16 @@ sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
     Dentry d{parent, name, ino, r->inode.type};
     meta::MetaCreateDentryReq req{pview->pid, std::move(d)};
     auto r2 = co_await MetaCall<meta::MetaCreateDentryReq, meta::MetaCreateDentryResp>(
-        pview->pid, std::move(req));
+        pview->pid, std::move(req), dl);
     dstatus = r2.ok() ? r2->status : r2.status();
   }
   if (!dstatus.ok()) {
     // Failure path: undo the nlink increment.
-    (void)co_await MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
-        iview->pid, meta::MetaUnlinkInodeReq{iview->pid, ino});
+    iview = MetaViewForInode(ino);
+    if (iview) {
+      (void)co_await MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
+          iview->pid, meta::MetaUnlinkInodeReq{iview->pid, ino}, dl);
+    }
     co_return dstatus;
   }
   readdir_cache_.erase(parent);
@@ -344,13 +208,14 @@ sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
 
 sim::Task<Status> Client::Unlink(InodeId parent, std::string name) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  const rpc::Deadline dl = OpDeadline();
   MetaPartitionView* pview = MetaViewForInode(parent);
   if (!pview) co_return Status::NotFound("parent partition");
   // Fig. 3c: delete the dentry first; a dentry must always point at a live
   // inode, so the reverse order is never allowed.
   meta::MetaDeleteDentryReq req{pview->pid, parent, name};
   auto r = co_await MetaCall<meta::MetaDeleteDentryReq, meta::MetaDeleteDentryResp>(
-      pview->pid, std::move(req));
+      pview->pid, std::move(req), dl);
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   InodeId ino = r->dentry.inode;
@@ -366,11 +231,15 @@ sim::Task<Status> Client::Unlink(InodeId parent, std::string name) {
   if (!iview) co_return Status::OK();
   PartitionId ipid = iview->pid;
   auto decrement = [](Client* self, PartitionId pid, InodeId ino) -> sim::Task<void> {
-    for (int attempt = 0; attempt < self->opts_.max_retries; attempt++) {
+    // Back-to-back retries would all land inside the same failure window;
+    // space them out on the shared backoff clock instead.
+    rpc::Backoff backoff(&self->sched(), self->opts_.control_policy);
+    while (backoff.NextAttempt()) {
       meta::MetaUnlinkInodeReq req{pid, ino};
       auto r = co_await self->MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
           pid, std::move(req));
       if (r.ok() && (r->status.ok() || r->status.IsNotFound())) co_return;
+      if (!backoff.exhausted()) co_await backoff.Delay();
     }
     LOG_WARN("unlink of inode ", ino, " failed after retries; inode is now an orphan");
   };
@@ -409,8 +278,8 @@ sim::Task<Result<Dentry>> Client::Lookup(InodeId parent, std::string name) {
   MetaPartitionView* pview = MetaViewForInode(parent);
   if (!pview) co_return Status::NotFound("parent partition");
   meta::MetaLookupReq req{pview->pid, parent, name};
-  auto r = co_await MetaCall<meta::MetaLookupReq, meta::MetaLookupResp>(pview->pid,
-                                                                        std::move(req));
+  auto r = co_await MetaCall<meta::MetaLookupReq, meta::MetaLookupResp>(
+      pview->pid, std::move(req), OpDeadline());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   co_return r->dentry;
@@ -426,7 +295,7 @@ sim::Task<Result<Inode>> Client::GetInode(InodeId ino) {
   MetaPartitionView* view = MetaViewForInode(ino);
   if (!view) co_return Status::NotFound("inode partition");
   auto r = co_await MetaCall<meta::MetaGetInodeReq, meta::MetaGetInodeResp>(
-      view->pid, meta::MetaGetInodeReq{view->pid, ino});
+      view->pid, meta::MetaGetInodeReq{view->pid, ino}, OpDeadline());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   CacheInode(r->inode);
@@ -447,7 +316,7 @@ sim::Task<Result<std::vector<Dentry>>> Client::ReadDir(InodeId parent) {
   MetaPartitionView* pview = MetaViewForInode(parent);
   if (!pview) co_return Status::NotFound("parent partition");
   auto r = co_await MetaCall<meta::MetaReadDirReq, meta::MetaReadDirResp>(
-      pview->pid, meta::MetaReadDirReq{pview->pid, parent});
+      pview->pid, meta::MetaReadDirReq{pview->pid, parent}, OpDeadline());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   if (opts_.enable_metadata_cache) {
@@ -459,6 +328,7 @@ sim::Task<Result<std::vector<Dentry>>> Client::ReadDir(InodeId parent) {
 sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> Client::ReadDirPlus(InodeId parent) {
   // The DirStat path (§4.2): readdir, then ONE batchInodeGet per meta
   // partition instead of per-inode fetches, with client-side caching.
+  const rpc::Deadline dl = OpDeadline();
   auto dentries = co_await ReadDir(parent);
   if (!dentries.ok()) co_return dentries.status();
 
@@ -479,7 +349,7 @@ sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> Client::ReadDirPlus(Ino
     stats_.cache_misses++;
     meta::MetaBatchInodeGetReq req{pid, inos};
     auto r = co_await MetaCall<meta::MetaBatchInodeGetReq, meta::MetaBatchInodeGetResp>(
-        pid, std::move(req));
+        pid, std::move(req), dl);
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
     for (auto& ino : r->inodes) {
@@ -538,11 +408,13 @@ sim::Task<Status> Client::Fsync(InodeId ino) {
   if (it == open_files_.end()) co_return Status::OK();
   OpenFile& of = it->second;
   if (!of.dirty) co_return Status::OK();
+  const rpc::Deadline dl = OpDeadline();
   MetaPartitionView* view = MetaViewForInode(ino);
   if (!view) co_return Status::NotFound("inode partition");
+  const PartitionId pid = view->pid;
   for (const ExtentKey& key : of.pending_keys) {
     auto r = co_await MetaCall<meta::MetaAppendExtentReq, meta::MetaAppendExtentResp>(
-        view->pid, meta::MetaAppendExtentReq{view->pid, ino, key, of.pending_size});
+        pid, meta::MetaAppendExtentReq{pid, ino, key, of.pending_size}, dl);
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
   }
@@ -567,33 +439,40 @@ sim::Task<Status> Client::Fsync(InodeId ino) {
   co_return Status::OK();
 }
 
-sim::Task<Status> Client::WriteSmallFile(OpenFile& of, std::string_view data) {
+sim::Task<Status> Client::WriteSmallFile(OpenFile& of, std::string_view data,
+                                         rpc::Deadline dl) {
   // §4.4: "the CFS client does not need to ask the resource manager for new
   // extents; instead, it sends the write request to the data node directly."
   Status last = Status::Unavailable("no writable data partition");
-  for (int attempt = 0; attempt < opts_.max_retries + 2; attempt++) {
+  rpc::Backoff backoff(&sched(), opts_.control_policy);
+  while (backoff.NextAttempt()) {
+    if (dl.Expired(sched().Now())) co_return Status::TimedOut("write deadline exceeded");
     DataPartitionView* view = PickWritableDataView();
     if (!view) {
       (void)co_await RefreshVolume();
-      continue;
+      view = PickWritableDataView();
+      if (!view) {
+        co_await backoff.Delay();
+        continue;
+      }
     }
-    stats_.data_rpcs++;
-    data::WriteSmallReq req{view->pid, std::string(data)};
-    auto r = co_await net_->Call<data::WriteSmallReq, data::WriteSmallResp>(
-        host_->id(), view->replicas[0], std::move(req), opts_.rpc_timeout);
+    const PartitionId pid = view->pid;
+    data::WriteSmallReq req{pid, std::string(data)};
+    auto r = co_await data_svc_.ChainCall<data::WriteSmallReq, data::WriteSmallResp>(
+        pid, std::move(req), rpc::CallOptions{dl});
     if (!r.ok()) {
       last = r.status();
+      co_await backoff.Delay();
       continue;
     }
     if (!r->status.ok()) {
       if (r->status.IsNoSpace()) {
-        view->writable = false;
-        unwritable_until_[view->pid] = sched().Now() + 2 * kSec;
+        router_.MarkUnwritable(pid, sched().Now() + 2 * kSec);
       }
       last = r->status;
       continue;
     }
-    ExtentKey key{0, view->pid, r->extent_id, r->extent_offset, data.size()};
+    ExtentKey key{0, pid, r->extent_id, r->extent_offset, data.size()};
     of.pending_keys.push_back(key);
     of.pending_size = std::max(of.pending_size, static_cast<uint64_t>(data.size()));
     of.dirty = true;
@@ -625,13 +504,15 @@ struct WindowCtl {
 };
 
 // Detached per-packet sender: occupies one window slot until its ack (or
-// timeout) comes back, then releases the slot to the writer.
-Task<void> SendWindowPacket(sim::Network* net, sim::NodeId self, sim::NodeId target,
+// timeout) comes back, then releases the slot to the writer. Goes through
+// the client's metered channel so window packets show up in the per-RPC
+// metrics like every other leg.
+Task<void> SendWindowPacket(rpc::Channel* channel, sim::NodeId self, sim::NodeId target,
                             SimDuration timeout, std::shared_ptr<WindowCtl> ctl,
                             data::WritePacketReq pkt) {
   const uint64_t begin = pkt.offset;
   const uint64_t end = begin + pkt.data.size();
-  auto r = co_await net->Call<data::WritePacketReq, data::WritePacketResp>(
+  auto r = co_await channel->Unary<data::WritePacketReq, data::WritePacketResp>(
       self, target, std::move(pkt), timeout);
   if (r.ok()) {
     ctl->leader_committed = std::max(ctl->leader_committed, r->committed_offset);
@@ -657,7 +538,7 @@ Task<void> SendWindowPacket(sim::Network* net, sim::NodeId self, sim::NodeId tar
 }  // namespace
 
 sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
-                                     std::string_view data) {
+                                     std::string_view data, rpc::Deadline dl) {
   // Sliding-window pipeline: up to write_window_packets WritePacketReqs in
   // flight against the active extent; the committed prefix (and with it
   // pending_keys / append_extent_size) only advances over bytes the leader
@@ -669,38 +550,45 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
   const int window = std::max(1, opts_.write_window_packets);
   PartitionId avoid_pid = 0;  // partition the previous session failed on
   while (remaining > 0) {
+    if (dl.Expired(sched().Now())) co_return Status::TimedOut("write deadline exceeded");
     // Ensure an active extent with room.
     if (of.append_pid == 0 || of.append_extent_size >= extent_limit) {
       Status alloc = Status::Unavailable("no writable data partition");
-      for (int attempt = 0; attempt < opts_.max_retries + 2; attempt++) {
+      bool allocated = false;
+      rpc::Backoff backoff(&sched(), opts_.control_policy);
+      while (backoff.NextAttempt()) {
+        if (dl.Expired(sched().Now())) co_return Status::TimedOut("write deadline exceeded");
         DataPartitionView* view = PickWritableDataView(avoid_pid);
         if (!view) {
           (void)co_await RefreshVolume();
-          continue;
+          view = PickWritableDataView(avoid_pid);
+          if (!view) {
+            co_await backoff.Delay();
+            continue;
+          }
         }
-        stats_.data_rpcs++;
-        auto r = co_await net_->Call<data::CreateExtentReq, data::CreateExtentResp>(
-            host_->id(), view->replicas[0], data::CreateExtentReq{view->pid},
-            opts_.rpc_timeout);
+        const PartitionId pid = view->pid;
+        auto r = co_await data_svc_.ChainCall<data::CreateExtentReq, data::CreateExtentResp>(
+            pid, data::CreateExtentReq{pid}, rpc::CallOptions{dl});
         if (!r.ok()) {
           alloc = r.status();
+          co_await backoff.Delay();
           continue;
         }
         if (!r->status.ok()) {
           if (r->status.IsNoSpace()) {
-            view->writable = false;
-            unwritable_until_[view->pid] = sched().Now() + 2 * kSec;
+            router_.MarkUnwritable(pid, sched().Now() + 2 * kSec);
           }
           alloc = r->status;
           continue;
         }
-        of.append_pid = view->pid;
+        of.append_pid = pid;
         of.append_extent = r->extent_id;
         of.append_extent_size = 0;
-        alloc = Status::OK();
+        allocated = true;
         break;
       }
-      CFS_CO_RETURN_IF_ERROR(alloc);
+      if (!allocated) co_return alloc;
     }
 
     DataPartitionView* view = DataView(of.append_pid);
@@ -729,7 +617,8 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
       stats_.max_inflight_packets =
           std::max<uint64_t>(stats_.max_inflight_packets, ctl->inflight);
       stats_.data_rpcs++;
-      Spawn(SendWindowPacket(net_, host_->id(), target, opts_.rpc_timeout, ctl,
+      Spawn(SendWindowPacket(&channel_, host_->id(), target,
+                             dl.ClampTimeout(sched().Now(), opts_.rpc_timeout), ctl,
                              std::move(pkt)));
       next_off += chunk;
       send_pos += chunk;
@@ -784,7 +673,7 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
 }
 
 sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
-                                        std::string_view data) {
+                                        std::string_view data, rpc::Deadline dl) {
   // In-place (§2.7.2): locate the covering extent keys; offsets don't move;
   // NO metadata update is needed — the paper's key overwrite advantage.
   uint64_t end = offset + data.size();
@@ -801,7 +690,7 @@ sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
     uint64_t extent_off = k->extent_offset + (piece_begin - k->file_offset);
     data::OverwriteReq req{k->partition_id, k->extent_id, extent_off, std::move(piece)};
     auto r = co_await DataLeaderCall<data::OverwriteReq, data::OverwriteResp>(
-        k->partition_id, std::move(req));
+        k->partition_id, std::move(req), dl);
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
   }
@@ -810,6 +699,7 @@ sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
 
 sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, std::string data) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  const rpc::Deadline dl = OpDeadline();
   auto it = open_files_.find(ino);
   if (it == open_files_.end()) {
     CFS_CO_RETURN_IF_ERROR(co_await Open(ino));
@@ -822,24 +712,25 @@ sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, std::string data) 
   // Small-file fast path (§2.2.3): whole file fits under the threshold.
   if (offset == 0 && size == 0 && data.size() <= opts_.small_file_threshold &&
       of.inode.extents.empty() && of.pending_keys.empty()) {
-    co_return co_await WriteSmallFile(of, data);
+    co_return co_await WriteSmallFile(of, data, dl);
   }
 
   // §2.7.2: split into the overwritten portion and the appended portion.
   uint64_t overwrite_end = std::min<uint64_t>(offset + data.size(), size);
   if (offset < overwrite_end) {
-    CFS_CO_RETURN_IF_ERROR(
-        co_await OverwriteData(of, offset, std::string_view(data).substr(0, overwrite_end - offset)));
+    CFS_CO_RETURN_IF_ERROR(co_await OverwriteData(
+        of, offset, std::string_view(data).substr(0, overwrite_end - offset), dl));
   }
   if (overwrite_end < offset + data.size()) {
     CFS_CO_RETURN_IF_ERROR(co_await AppendData(
-        of, overwrite_end, std::string_view(data).substr(overwrite_end - offset)));
+        of, overwrite_end, std::string_view(data).substr(overwrite_end - offset), dl));
   }
   co_return Status::OK();
 }
 
 sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64_t len) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  const rpc::Deadline dl = OpDeadline();
   // Use open-file state if present (read-your-own-writes), else the cached
   // or fetched inode.
   const Inode* inode = nullptr;
@@ -888,7 +779,7 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
     data::ReadExtentReq req{pc.key.partition_id, pc.key.extent_id, extent_off,
                             pc.end - pc.begin};
     auto r = co_await DataLeaderCall<data::ReadExtentReq, data::ReadExtentResp>(
-        pc.key.partition_id, std::move(req));
+        pc.key.partition_id, std::move(req), dl);
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
     out.replace(pc.begin - offset, r->data.size(), r->data);
@@ -903,13 +794,13 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
     sim::Join join(&sched(), static_cast<int>(pieces.size()));
     for (size_t i = 0; i < pieces.size(); i++) {
       Piece pc = pieces[i];
-      Spawn([](Client* self, Piece pc, uint64_t offset, std::string* out, Status* st,
-               std::function<void()> done) -> Task<void> {
+      Spawn([](Client* self, Piece pc, uint64_t offset, rpc::Deadline dl, std::string* out,
+               Status* st, std::function<void()> done) -> Task<void> {
         uint64_t extent_off = pc.key.extent_offset + (pc.begin - pc.key.file_offset);
         data::ReadExtentReq req{pc.key.partition_id, pc.key.extent_id, extent_off,
                                 pc.end - pc.begin};
         auto r = co_await self->DataLeaderCall<data::ReadExtentReq, data::ReadExtentResp>(
-            pc.key.partition_id, std::move(req));
+            pc.key.partition_id, std::move(req), dl);
         if (!r.ok()) {
           *st = r.status();
         } else if (!r->status.ok()) {
@@ -918,7 +809,7 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
           out->replace(pc.begin - offset, r->data.size(), r->data);
         }
         done();
-      }(this, std::move(pc), offset, &out, &piece_status[i], join.Arrive()));
+      }(this, std::move(pc), offset, dl, &out, &piece_status[i], join.Arrive()));
     }
     co_await join.Wait();
     for (const Status& st : piece_status) {
@@ -945,7 +836,7 @@ sim::Task<Status> Client::Truncate(InodeId ino, uint64_t new_size) {
   MetaPartitionView* view = MetaViewForInode(ino);
   if (!view) co_return Status::NotFound("inode partition");
   auto r = co_await MetaCall<meta::MetaTruncateReq, meta::MetaTruncateResp>(
-      view->pid, meta::MetaTruncateReq{view->pid, ino, new_size});
+      view->pid, meta::MetaTruncateReq{view->pid, ino, new_size}, OpDeadline());
   if (!r.ok()) co_return r.status();
   inode_cache_.erase(ino);
   auto oit = open_files_.find(ino);

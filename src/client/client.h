@@ -9,6 +9,12 @@
 //  * the most recently identified raft leader of each data partition is
 //    cached so reads rarely probe replicas.
 //
+// All RPC goes through the typed stubs in src/rpc: routing and leader
+// caching live in rpc::Router, retries/backoff in rpc::RetryPolicy, and
+// every leg is metered into a per-client rpc::MetricRegistry. The client
+// itself only keeps the workflow logic: what to call, in what order, and
+// how to compensate on failure.
+//
 // Failure semantics: metadata workflows retry and fall back to the client's
 // orphan-inode list (§2.6.1); sequential writes that fail mid-stream resend
 // the uncommitted suffix to a new extent on a different partition (§2.2.5).
@@ -16,13 +22,17 @@
 
 #include <map>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "datanode/messages.h"
 #include "master/messages.h"
 #include "meta/messages.h"
+#include "rpc/deadline.h"
+#include "rpc/metrics.h"
+#include "rpc/retry_policy.h"
+#include "rpc/router.h"
+#include "rpc/service.h"
 #include "sim/network.h"
 #include "sim/sync.h"
 
@@ -38,8 +48,16 @@ using meta::InodeId;
 using meta::PartitionId;
 
 struct ClientOptions {
+  /// Per-leg RPC timeout, applied to both retry policies at construction.
   SimDuration rpc_timeout = 1 * kSec;
-  int max_retries = 3;
+  /// Retry budgets for the rpc service layer (see rpc/retry_policy.h):
+  /// control for master/meta traffic and placement loops, data for extent IO.
+  rpc::RetryPolicy control_policy = rpc::RetryPolicy::Control();
+  rpc::RetryPolicy data_policy = rpc::RetryPolicy::Data();
+  /// Upper bound on the virtual time one public operation may spend across
+  /// all of its nested RPC workflows (0 = unbounded). Propagated as an
+  /// rpc::Deadline through every meta/data leg underneath the op.
+  SimDuration op_deadline = 0;
   /// Fixed packet size for sequential writes (§2.7.1; also the default
   /// small-file threshold t, §2.2.1).
   uint64_t packet_size = 128 * kKiB;
@@ -94,6 +112,12 @@ class Client {
   const ClientStats& stats() const { return stats_; }
   ClientStats& mutable_stats() { return stats_; }
   const ClientOptions& options() const { return opts_; }
+
+  /// Per-RPC outcome/latency metrics for every leg this client issued.
+  const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
+  /// Leader-cache behaviour of this client's Router (hits, probes,
+  /// invalidations, redirects).
+  const rpc::RouterStats& router_stats() const { return router_.stats(); }
 
   // --- Metadata operations (Fig. 3 workflows) ---
 
@@ -171,42 +195,39 @@ class Client {
  private:
   sim::Scheduler& sched() { return *net_->scheduler(); }
 
-  // Routing.
-  MetaPartitionView* MetaViewForInode(InodeId ino);
-  MetaPartitionView* PickWritableMetaView();
-  DataPartitionView* PickWritableDataView(PartitionId avoid = 0);
-  DataPartitionView* DataView(PartitionId pid);
-
-  // NOTE: the *Call helpers are thin non-coroutine wrappers around the
-  // *CallImpl coroutines. gcc 12 double-destroys braced-init temporary
-  // arguments bound to coroutine parameters; routing every call through a
-  // plain function that std::moves into the coroutine sidesteps the bug for
-  // all call sites.
-
-  /// Meta RPC with NotLeader redirect + retry; updates the leader hint.
-  template <typename Req, typename Resp>
-  sim::Task<Result<Resp>> MetaCall(PartitionId pid, Req req) {
-    return MetaCallImpl<Req, Resp>(pid, std::move(req));
+  /// Deadline for one public operation (unbounded unless opts_.op_deadline
+  /// is set); threaded through every nested RPC of the op.
+  rpc::Deadline OpDeadline() {
+    return opts_.op_deadline > 0 ? rpc::Deadline::In(sched(), opts_.op_deadline)
+                                 : rpc::Deadline::None();
   }
-  template <typename Req, typename Resp>
-  sim::Task<Result<Resp>> MetaCallImpl(PartitionId pid, Req req);
 
-  /// Data RPC to the partition's raft leader, probing replicas one by one
-  /// and caching the last identified leader (§2.4).
-  template <typename Req, typename Resp>
-  sim::Task<Result<Resp>> DataLeaderCall(PartitionId pid, Req req) {
-    return DataLeaderCallImpl<Req, Resp>(pid, std::move(req));
+  // Routing state lives in router_; these stay as thin views for the
+  // workflow code.
+  MetaPartitionView* MetaViewForInode(InodeId ino) { return router_.MetaViewForInode(ino); }
+  MetaPartitionView* PickWritableMetaView() { return router_.PickWritableMetaView(); }
+  DataPartitionView* PickWritableDataView(PartitionId avoid = 0) {
+    return router_.PickWritableDataView(avoid);
   }
-  template <typename Req, typename Resp>
-  sim::Task<Result<Resp>> DataLeaderCallImpl(PartitionId pid, Req req);
+  DataPartitionView* DataView(PartitionId pid) { return router_.DataView(pid); }
 
-  /// Master RPC with leader probing across replicas.
+  /// Meta RPC with NotLeader redirect + retry (rpc::MetaService).
   template <typename Req, typename Resp>
-  sim::Task<Result<Resp>> MasterCall(Req req) {
-    return MasterCallImpl<Req, Resp>(std::move(req));
+  sim::Task<Result<Resp>> MetaCall(PartitionId pid, Req req, rpc::Deadline dl = {}) {
+    return meta_svc_.Call<Req, Resp>(pid, std::move(req), rpc::CallOptions{dl});
   }
+
+  /// Data RPC to the partition's raft leader (rpc::DataService).
   template <typename Req, typename Resp>
-  sim::Task<Result<Resp>> MasterCallImpl(Req req);
+  sim::Task<Result<Resp>> DataLeaderCall(PartitionId pid, Req req, rpc::Deadline dl = {}) {
+    return data_svc_.Call<Req, Resp>(pid, std::move(req), rpc::CallOptions{dl});
+  }
+
+  /// Master RPC with leader probing across replicas (rpc::MasterService).
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> MasterCall(Req req, rpc::Deadline dl = {}) {
+    return master_svc_.Call<Req, Resp>(std::move(req), rpc::CallOptions{dl});
+  }
 
   sim::Task<void> RefreshLoop(uint64_t gen);
   sim::Task<Status> ReportFailure(PartitionId pid, bool is_meta);
@@ -223,39 +244,39 @@ class Client {
     bool dirty = false;
   };
 
-  sim::Task<Status> AppendData(OpenFile& of, uint64_t file_offset, std::string_view data);
-  sim::Task<Status> OverwriteData(OpenFile& of, uint64_t offset, std::string_view data);
-  sim::Task<Status> WriteSmallFile(OpenFile& of, std::string_view data);
+  sim::Task<Status> AppendData(OpenFile& of, uint64_t file_offset, std::string_view data,
+                               rpc::Deadline dl);
+  sim::Task<Status> OverwriteData(OpenFile& of, uint64_t offset, std::string_view data,
+                                  rpc::Deadline dl);
+  sim::Task<Status> WriteSmallFile(OpenFile& of, std::string_view data, rpc::Deadline dl);
 
   void CacheInode(const Inode& ino);
   const Inode* CachedInode(InodeId ino);
 
   sim::Network* net_;
   sim::Host* host_;
-  std::vector<sim::NodeId> masters_;
   ClientOptions opts_;
   ClientStats stats_;
+
+  // RPC service layer: shared metrics, one Router (views + leader caches +
+  // writability marks), typed stubs, and a bare channel for the
+  // window-packet fire-and-forget path.
+  rpc::MetricRegistry rpc_metrics_;
+  rpc::Router router_;
+  rpc::MasterService master_svc_;
+  rpc::MetaService meta_svc_;
+  rpc::DataService data_svc_;
+  rpc::Channel channel_;
 
   bool mounted_ = false;
   std::string volume_name_;
   uint64_t refresh_gen_ = 0;
-  std::vector<MetaPartitionView> meta_views_;
-  std::vector<DataPartitionView> data_views_;
-
-  std::map<PartitionId, sim::NodeId> meta_leader_cache_;
-  std::map<PartitionId, sim::NodeId> data_leader_cache_;
-  sim::NodeId master_leader_cache_ = sim::kInvalidNode;
 
   std::map<InodeId, std::pair<Inode, SimTime>> inode_cache_;
   std::map<InodeId, std::pair<std::vector<Dentry>, SimTime>> readdir_cache_;
 
   std::map<InodeId, OpenFile> open_files_;
   std::vector<std::pair<PartitionId, InodeId>> orphans_;
-
-  /// Partitions the client observed NoSpace on; skipped by the writable
-  /// pickers until the deadline (survives view refreshes, which would
-  /// otherwise resurrect them before the master learns they are full).
-  std::map<PartitionId, SimTime> unwritable_until_;
 };
 
 }  // namespace cfs::client

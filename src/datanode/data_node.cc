@@ -9,7 +9,7 @@ using sim::Task;
 
 DataNode::DataNode(sim::Network* net, sim::Host* host, raft::RaftHost* raft,
                    const DataNodeOptions& opts)
-    : net_(net), host_(host), raft_(raft), opts_(opts) {
+    : net_(net), host_(host), raft_(raft), opts_(opts), channel_(net, &rpc_metrics_) {
   RegisterHandlers();
 }
 
@@ -80,7 +80,7 @@ sim::Task<void> DataNode::RecoverAll() {
 sim::Task<void> DataNode::AlignPartition(DataPartition* p) {
   for (sim::NodeId peer : p->config().replicas) {
     if (peer == host_->id()) continue;
-    auto info = co_await net_->Call<ExtentInfoReq, ExtentInfoResp>(
+    auto info = co_await channel_.Unary<ExtentInfoReq, ExtentInfoResp>(
         host_->id(), peer, ExtentInfoReq{p->id()}, opts_.chain_rpc_timeout);
     if (!info.ok() || !info->status.ok()) continue;
     for (const ExtentInfo& e : info->extents) {
@@ -90,7 +90,7 @@ sim::Task<void> DataNode::AlignPartition(DataPartition* p) {
       uint64_t local = p->store().ExtentSize(e.id);
       if (e.size <= local) continue;
       // Fetch the missing suffix from the longer peer.
-      auto fetched = co_await net_->Call<FetchRangeReq, FetchRangeResp>(
+      auto fetched = co_await channel_.Unary<FetchRangeReq, FetchRangeResp>(
           host_->id(), peer, FetchRangeReq{p->id(), e.id, local, e.size - local},
           opts_.chain_rpc_timeout);
       if (!fetched.ok() || !fetched->status.ok()) continue;
@@ -105,7 +105,7 @@ Task<Status> DataNode::ForwardChainImpl(DataPartition* p, ChainAppendReq req) {
   if (next >= p->config().replicas.size()) co_return Status::OK();
   req.chain_index = next;
   sim::NodeId target = p->config().replicas[next];
-  auto r = co_await net_->Call<ChainAppendReq, ChainAppendResp>(
+  auto r = co_await channel_.Unary<ChainAppendReq, ChainAppendResp>(
       host_->id(), target, std::move(req), opts_.chain_rpc_timeout);
   if (!r.ok()) co_return r.status();
   co_return r->status;
@@ -116,7 +116,7 @@ Task<Status> DataNode::ForwardChainCreateImpl(DataPartition* p, ChainCreateExten
   if (next >= p->config().replicas.size()) co_return Status::OK();
   req.chain_index = next;
   sim::NodeId target = p->config().replicas[next];
-  auto r = co_await net_->Call<ChainCreateExtentReq, ChainCreateExtentResp>(
+  auto r = co_await channel_.Unary<ChainCreateExtentReq, ChainCreateExtentResp>(
       host_->id(), target, req, opts_.chain_rpc_timeout);
   if (!r.ok()) co_return r.status();
   co_return r->status;

@@ -11,6 +11,8 @@
 #include "datanode/data_partition.h"
 #include "datanode/messages.h"
 #include "raft/multiraft.h"
+#include "rpc/channel.h"
+#include "rpc/metrics.h"
 #include "sim/network.h"
 
 namespace cfs::data {
@@ -55,6 +57,9 @@ class DataNode {
 
   uint64_t ops_served() const { return ops_; }
 
+  /// Per-RPC metrics of node-issued legs (chain forwards, recovery aligns).
+  const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
+
  private:
   void RegisterHandlers();
   SimDuration OpCost(size_t payload) const {
@@ -80,6 +85,8 @@ class DataNode {
   sim::Host* host_;
   raft::RaftHost* raft_;
   DataNodeOptions opts_;
+  rpc::MetricRegistry rpc_metrics_;
+  rpc::Channel channel_;
   std::map<PartitionId, std::unique_ptr<DataPartition>> partitions_;
   uint64_t next_disk_ = 0;  // round-robin tie-break for fresh disks
   uint64_t ops_ = 0;

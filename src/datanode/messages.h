@@ -32,6 +32,7 @@ struct DataPartitionConfig {
 
 /// Allocate a fresh large-file extent on every replica (chained).
 struct CreateExtentReq {
+  static constexpr const char* kRpcName = "CreateExtent";
   PartitionId pid = 0;
 };
 struct CreateExtentResp {
@@ -42,6 +43,7 @@ struct CreateExtentResp {
 /// One fixed-size packet of a sequential write (Fig. 4). Goes to the
 /// primary; replicated down the chain; acked once all replicas committed.
 struct WritePacketReq {
+  static constexpr const char* kRpcName = "WritePacket";
   PartitionId pid = 0;
   ExtentId extent_id = 0;
   uint64_t offset = 0;
@@ -58,6 +60,7 @@ struct WritePacketResp {
 /// Small-file write (§2.2.3): the primary picks the (tiny extent, offset)
 /// slot and replicates the placement.
 struct WriteSmallReq {
+  static constexpr const char* kRpcName = "WriteSmall";
   PartitionId pid = 0;
   std::string data;
   size_t WireBytes() const { return 48 + data.size(); }
@@ -71,6 +74,7 @@ struct WriteSmallResp {
 /// In-place overwrite of existing bytes; replicated via the partition's
 /// raft group (Fig. 5), which charges raft's log-write amplification.
 struct OverwriteReq {
+  static constexpr const char* kRpcName = "Overwrite";
   PartitionId pid = 0;
   ExtentId extent_id = 0;
   uint64_t offset = 0;
@@ -84,6 +88,7 @@ struct OverwriteResp {
 /// Read served only by the raft leader, bounded by the all-replica
 /// committed offset (§2.7.4).
 struct ReadExtentReq {
+  static constexpr const char* kRpcName = "ReadExtent";
   PartitionId pid = 0;
   ExtentId extent_id = 0;
   uint64_t offset = 0;
@@ -98,6 +103,7 @@ struct ReadExtentResp {
 /// Content purge (delete path): large extents are removed whole, small
 /// files are punch-holed (§2.2.3). Replicated via raft.
 struct DeleteExtentReq {
+  static constexpr const char* kRpcName = "DeleteExtent";
   PartitionId pid = 0;
   ExtentId extent_id = 0;
 };
@@ -105,6 +111,7 @@ struct DeleteExtentResp {
   Status status;
 };
 struct PunchHoleReq {
+  static constexpr const char* kRpcName = "PunchHole";
   PartitionId pid = 0;
   ExtentId extent_id = 0;
   uint64_t offset = 0;
@@ -117,6 +124,7 @@ struct PunchHoleResp {
 // --- Replication chain (node -> node) ----------------------------------------
 
 struct ChainCreateExtentReq {
+  static constexpr const char* kRpcName = "ChainCreateExtent";
   PartitionId pid = 0;
   ExtentId extent_id = 0;
   uint32_t chain_index = 0;  // position of the RECEIVER in the replica array
@@ -126,6 +134,7 @@ struct ChainCreateExtentResp {
 };
 
 struct ChainAppendReq {
+  static constexpr const char* kRpcName = "ChainAppend";
   PartitionId pid = 0;
   ExtentId extent_id = 0;
   uint64_t offset = 0;
@@ -148,6 +157,7 @@ struct ExtentInfo {
   bool tiny = false;
 };
 struct ExtentInfoReq {
+  static constexpr const char* kRpcName = "ExtentInfo";
   PartitionId pid = 0;
 };
 struct ExtentInfoResp {
@@ -160,6 +170,7 @@ struct ExtentInfoResp {
 /// fetched replica's bytes are by definition committed if shorter peers ask
 /// only up to the aligned size).
 struct FetchRangeReq {
+  static constexpr const char* kRpcName = "FetchRange";
   PartitionId pid = 0;
   ExtentId extent_id = 0;
   uint64_t offset = 0;
@@ -174,6 +185,7 @@ struct FetchRangeResp {
 // --- Admin (resource manager -> data node) -----------------------------------
 
 struct CreateDataPartitionReq {
+  static constexpr const char* kRpcName = "CreateDataPartition";
   DataPartitionConfig config;
   size_t WireBytes() const { return 96 + config.replicas.size() * 4; }
 };

@@ -39,6 +39,12 @@ Cluster::Cluster(const ClusterOptions& opts) : opts_(opts), sched_(opts.seed), n
         std::make_unique<data::DataNode>(&net_, node_hosts_[i], rh, dopts));
     meta_nodes_.back()->set_extent_purger(MakePurger(i));
   }
+  router_ = std::make_unique<rpc::Router>(&sched_, master_ids_);
+  channel_ = std::make_unique<rpc::Channel>(&net_, &rpc_metrics_);
+  for (int i = 0; i < opts_.num_nodes; i++) {
+    purge_svcs_.push_back(std::make_unique<rpc::DataService>(
+        &net_, node_hosts_[i]->id(), router_.get(), &rpc_metrics_));
+  }
 }
 
 master::MasterNode* Cluster::master_leader() {
@@ -57,20 +63,13 @@ Task<Status> Cluster::Start() {
   if (!leader) co_return Status::Unavailable("no master leader");
 
   // Register every storage node (meta + data roles on the same machine).
+  // The MasterService handles leader probing, NotLeader redirects and
+  // backoff; each node registers from its own host id.
   for (int i = 0; i < opts_.num_nodes; i++) {
-    Status st = Status::Retry("");
-    for (int attempt = 0; attempt < 10 && !st.ok(); attempt++) {
-      leader = master_leader();
-      if (!leader) {
-        co_await sim::SleepFor{sched_, 50 * kMsec};
-        continue;
-      }
-      auto r = co_await net_.Call<master::RegisterNodeReq, master::RegisterNodeResp>(
-          node_hosts_[i]->id(), leader->host()->id(),
-          master::RegisterNodeReq{node_hosts_[i]->id(), true, true}, 1 * kSec);
-      st = r.ok() ? r->status : r.status();
-    }
-    CFS_CO_RETURN_IF_ERROR(st);
+    rpc::MasterService svc(&net_, node_hosts_[i]->id(), router_.get(), &rpc_metrics_);
+    auto r = co_await svc.Call<master::RegisterNodeReq, master::RegisterNodeResp>(
+        master::RegisterNodeReq{node_hosts_[i]->id(), true, true});
+    CFS_CO_RETURN_IF_ERROR(r.ok() ? r->status : r.status());
     Spawn(HeartbeatLoop(i));
   }
   co_return Status::OK();
@@ -89,23 +88,26 @@ Task<void> Cluster::HeartbeatLoop(int node_index) {
     req.disk_utilization = host->DiskUtilization();
     req.meta_reports = meta_nodes_[node_index]->Reports();
     req.data_reports = data_nodes_[node_index]->Reports();
-    (void)co_await net_.Call<master::NodeHeartbeatReq, master::NodeHeartbeatResp>(
+    (void)co_await channel_->Unary<master::NodeHeartbeatReq, master::NodeHeartbeatResp>(
         host->id(), leader->host()->id(), std::move(req), 1 * kSec);
   }
 }
 
 Task<Status> Cluster::CreateVolume(std::string name, uint32_t meta_partitions,
                                    uint32_t data_partitions) {
-  master::MasterNode* leader = master_leader();
-  if (!leader) co_return Status::Unavailable("no master leader");
   master::CreateVolumeReq req;
   req.name = name;
   req.meta_partitions = meta_partitions;
   req.data_partitions = data_partitions;
   req.replica_factor = 3;
-  // Issued from the first master host on behalf of an administrator.
-  auto r = co_await net_.Call<master::CreateVolumeReq, master::CreateVolumeResp>(
-      master_hosts_[0]->id(), leader->host()->id(), std::move(req), 10 * kSec);
+  // Issued from the first master host on behalf of an administrator. Volume
+  // creation proposes through raft and installs every partition, so the
+  // admin call rides a long per-leg timeout.
+  rpc::RetryPolicy admin_policy = rpc::RetryPolicy::Control();
+  admin_policy.rpc_timeout = 10 * kSec;
+  rpc::MasterService svc(&net_, master_hosts_[0]->id(), router_.get(), &rpc_metrics_);
+  auto r = co_await svc.Call<master::CreateVolumeReq, master::CreateVolumeResp>(
+      std::move(req), rpc::CallOptions{{}, &admin_policy});
   if (!r.ok()) co_return r.status();
   CFS_CO_RETURN_IF_ERROR(r->status);
   volumes_.push_back(name);
@@ -365,32 +367,27 @@ Task<Status> Cluster::PurgeInodeContent(int node_index, meta::Inode inode) {
   // "A separate process to clear up this inode and communicate with the
   // data node to delete the file content" (§2.7.3): whole extents of large
   // files are deleted directly; small-file ranges are punch-holed (§2.2.3).
-  sim::Host* host = node_hosts_[node_index];
+  // The per-node DataService does the leader probing; the shared Router is
+  // primed with the replica set from the master's replicated state.
+  rpc::DataService& svc = *purge_svcs_[node_index];
   Status last = Status::OK();
   for (const auto& key : inode.extents) {
-    std::vector<sim::NodeId> replicas = DataPartitionReplicas(key.partition_id);
+    master::DataPartitionView view;
+    view.pid = key.partition_id;
+    view.replicas = DataPartitionReplicas(key.partition_id);
+    router_->UpsertDataPartition(std::move(view));
     bool small = key.extent_offset != 0 ||
                  key.size <= opts_.client.small_file_threshold;
-    Status st = Status::Unavailable("no replica reachable");
-    for (sim::NodeId target : replicas) {
-      if (small) {
-        auto r = co_await net_.Call<data::PunchHoleReq, data::PunchHoleResp>(
-            host->id(), target,
-            data::PunchHoleReq{key.partition_id, key.extent_id, key.extent_offset, key.size},
-            1 * kSec);
-        if (r.ok() && !r->status.IsNotLeader()) {
-          st = r->status;
-          break;
-        }
-      } else {
-        auto r = co_await net_.Call<data::DeleteExtentReq, data::DeleteExtentResp>(
-            host->id(), target, data::DeleteExtentReq{key.partition_id, key.extent_id},
-            1 * kSec);
-        if (r.ok() && !r->status.IsNotLeader()) {
-          st = r->status;
-          break;
-        }
-      }
+    Status st;
+    if (small) {
+      auto r = co_await svc.Call<data::PunchHoleReq, data::PunchHoleResp>(
+          key.partition_id,
+          data::PunchHoleReq{key.partition_id, key.extent_id, key.extent_offset, key.size});
+      st = r.ok() ? r->status : r.status();
+    } else {
+      auto r = co_await svc.Call<data::DeleteExtentReq, data::DeleteExtentResp>(
+          key.partition_id, data::DeleteExtentReq{key.partition_id, key.extent_id});
+      st = r.ok() ? r->status : r.status();
     }
     if (!st.ok()) last = st;
   }

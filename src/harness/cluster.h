@@ -14,6 +14,9 @@
 #include "master/master.h"
 #include "meta/meta_node.h"
 #include "raft/multiraft.h"
+#include "rpc/metrics.h"
+#include "rpc/router.h"
+#include "rpc/service.h"
 #include "sim/network.h"
 
 namespace cfs::harness {
@@ -73,6 +76,11 @@ class Cluster {
   std::vector<sim::NodeId> DataPartitionReplicas(data::PartitionId pid);
   bool AllPartitionsHaveLeaders();
 
+  /// Per-RPC metrics of every harness-issued leg (registration, heartbeats,
+  /// volume admin, the GC purge path). Client legs live in each client's own
+  /// registry (client->rpc_metrics()).
+  const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
+
   /// Deep check of every machine-checkable invariant in the cluster (see
   /// common/check.h and DESIGN.md "Invariant catalog"): per-group raft
   /// invariants across replicas, per-partition local checks (extent store,
@@ -104,6 +112,13 @@ class Cluster {
   ClusterOptions opts_;
   sim::Scheduler sched_;
   sim::Network net_;
+  // Harness-side rpc service layer: one Router shared by the admin/GC paths
+  // (master leader cache + purge-path partition views) and one DataService
+  // per storage node (the purger sends from that node's host).
+  rpc::MetricRegistry rpc_metrics_;
+  std::unique_ptr<rpc::Router> router_;
+  std::unique_ptr<rpc::Channel> channel_;
+  std::vector<std::unique_ptr<rpc::DataService>> purge_svcs_;
   std::vector<sim::Host*> master_hosts_;
   std::vector<sim::Host*> node_hosts_;
   std::vector<sim::NodeId> master_ids_;

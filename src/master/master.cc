@@ -387,6 +387,7 @@ MasterNode::MasterNode(sim::Network* net, sim::Host* host, raft::RaftHost* raft,
       host_(host),
       raft_(raft),
       opts_(opts),
+      admin_channel_(net, &rpc_metrics_),
       kv_(&host->storage(), host->disk(0), "master"),
       state_(&kv_) {
   Spawn([](kv::KvStore* kv) -> Task<void> { (void)co_await kv->Open(); }(&kv_));
@@ -534,7 +535,8 @@ Task<Status> MasterNode::InstallMetaPartition(const MetaPartitionRecord& rec) {
   Status last = Status::OK();
   for (sim::NodeId node : rec.replicas) {
     meta::CreateMetaPartitionReq req{cfg, rec.replicas};
-    auto r = co_await net_->Call<meta::CreateMetaPartitionReq, meta::CreateMetaPartitionResp>(
+    auto r = co_await admin_channel_.Unary<meta::CreateMetaPartitionReq,
+                                           meta::CreateMetaPartitionResp>(
         host_->id(), node, std::move(req), opts_.admin_rpc_timeout);
     if (!r.ok()) {
       last = r.status();
@@ -554,7 +556,8 @@ Task<Status> MasterNode::InstallDataPartition(const DataPartitionRecord& rec) {
   for (sim::NodeId node : rec.replicas) {
     cfg.disk_index = -1;  // each node picks its least-utilized local disk
     data::CreateDataPartitionReq req{cfg};
-    auto r = co_await net_->Call<data::CreateDataPartitionReq, data::CreateDataPartitionResp>(
+    auto r = co_await admin_channel_.Unary<data::CreateDataPartitionReq,
+                                           data::CreateDataPartitionResp>(
         host_->id(), node, std::move(req), opts_.admin_rpc_timeout);
     if (!r.ok()) {
       last = r.status();
@@ -800,7 +803,8 @@ Task<void> MasterNode::MaybeSplitMetaPartitions() {
     }
     // (2) sync with the meta node (send the split task),
     for (sim::NodeId node : rec.replicas) {
-      auto r = co_await net_->Call<meta::SplitMetaPartitionReq, meta::SplitMetaPartitionResp>(
+      auto r = co_await admin_channel_.Unary<meta::SplitMetaPartitionReq,
+                                             meta::SplitMetaPartitionResp>(
           host_->id(), node, meta::SplitMetaPartitionReq{rec.pid, end},
           opts_.admin_rpc_timeout);
       if (r.ok() && r->status.ok()) break;  // the leader applied it

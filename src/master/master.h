@@ -21,6 +21,8 @@
 #include "kv/kvstore.h"
 #include "master/messages.h"
 #include "raft/multiraft.h"
+#include "rpc/channel.h"
+#include "rpc/metrics.h"
 #include "sim/network.h"
 
 namespace cfs::master {
@@ -181,6 +183,10 @@ class MasterNode {
   // state. Returns empty when not enough candidate nodes exist.
   std::vector<sim::NodeId> PickReplicas(bool for_meta, uint32_t n, uint64_t salt);
 
+  /// Per-RPC metrics of this master's admin fan-outs (partition install,
+  /// split sync).
+  const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
+
  private:
   void RegisterHandlers();
   sim::Task<MasterState::ApplyOutcome> Propose(std::string cmd);
@@ -199,6 +205,8 @@ class MasterNode {
   sim::Host* host_;
   raft::RaftHost* raft_;
   MasterOptions opts_;
+  rpc::MetricRegistry rpc_metrics_;
+  rpc::Channel admin_channel_;
   kv::KvStore kv_;
   MasterState state_;
   raft::RaftNode* raft_node_ = nullptr;

@@ -16,6 +16,7 @@ using meta::PartitionId;
 using meta::VolumeId;
 
 struct RegisterNodeReq {
+  static constexpr const char* kRpcName = "RegisterNode";
   sim::NodeId node = 0;
   bool is_meta = false;
   bool is_data = false;
@@ -28,6 +29,7 @@ struct RegisterNodeResp {
 /// Periodic node -> master heartbeat carrying utilization and per-partition
 /// reports (how the master learns maxInodeID, fullness and leadership).
 struct NodeHeartbeatReq {
+  static constexpr const char* kRpcName = "NodeHeartbeat";
   sim::NodeId node = 0;
   double memory_utilization = 0;
   double disk_utilization = 0;
@@ -42,6 +44,7 @@ struct NodeHeartbeatResp {
 };
 
 struct CreateVolumeReq {
+  static constexpr const char* kRpcName = "CreateVolume";
   std::string name;
   uint32_t meta_partitions = 3;
   uint32_t data_partitions = 10;
@@ -72,6 +75,7 @@ struct DataPartitionView {
 };
 
 struct GetVolumeReq {
+  static constexpr const char* kRpcName = "GetVolume";
   std::string name;
   size_t WireBytes() const { return 32 + name.size(); }
 };
@@ -88,6 +92,7 @@ struct GetVolumeResp {
 /// Exception handling (§2.3.3): a client observed a request timeout on a
 /// partition; the master marks the remaining replicas read-only.
 struct ReportPartitionFailureReq {
+  static constexpr const char* kRpcName = "ReportPartitionFailure";
   PartitionId pid = 0;
   bool is_meta = false;
 };

@@ -17,6 +17,7 @@ namespace cfs::meta {
 // --- Inode ops -------------------------------------------------------------
 
 struct MetaCreateInodeReq {
+  static constexpr const char* kRpcName = "MetaCreateInode";
   PartitionId pid = 0;
   FileType type = FileType::kFile;
   std::string link_target;
@@ -28,6 +29,7 @@ struct MetaCreateInodeResp {
 };
 
 struct MetaUnlinkInodeReq {
+  static constexpr const char* kRpcName = "MetaUnlinkInode";
   PartitionId pid = 0;
   InodeId ino = 0;
 };
@@ -38,6 +40,7 @@ struct MetaUnlinkInodeResp {
 };
 
 struct MetaLinkInodeReq {
+  static constexpr const char* kRpcName = "MetaLinkInode";
   PartitionId pid = 0;
   InodeId ino = 0;
 };
@@ -47,6 +50,7 @@ struct MetaLinkInodeResp {
 };
 
 struct MetaEvictInodeReq {
+  static constexpr const char* kRpcName = "MetaEvictInode";
   PartitionId pid = 0;
   InodeId ino = 0;
 };
@@ -56,6 +60,7 @@ struct MetaEvictInodeResp {
 };
 
 struct MetaGetInodeReq {
+  static constexpr const char* kRpcName = "MetaGetInode";
   PartitionId pid = 0;
   InodeId ino = 0;
 };
@@ -67,6 +72,7 @@ struct MetaGetInodeResp {
 /// The batched inode fetch CFS uses to serve readdir efficiently (§4.2: a
 /// batchInodeGet replaces Ceph's per-inode fetches).
 struct MetaBatchInodeGetReq {
+  static constexpr const char* kRpcName = "MetaBatchInodeGet";
   PartitionId pid = 0;
   std::vector<InodeId> inos;
   size_t WireBytes() const { return 32 + inos.size() * 8; }
@@ -80,6 +86,7 @@ struct MetaBatchInodeGetResp {
 // --- Dentry ops ------------------------------------------------------------
 
 struct MetaCreateDentryReq {
+  static constexpr const char* kRpcName = "MetaCreateDentry";
   PartitionId pid = 0;
   Dentry dentry;
   size_t WireBytes() const { return 64 + dentry.name.size(); }
@@ -89,6 +96,7 @@ struct MetaCreateDentryResp {
 };
 
 struct MetaDeleteDentryReq {
+  static constexpr const char* kRpcName = "MetaDeleteDentry";
   PartitionId pid = 0;
   InodeId parent = 0;
   std::string name;
@@ -100,6 +108,7 @@ struct MetaDeleteDentryResp {
 };
 
 struct MetaLookupReq {
+  static constexpr const char* kRpcName = "MetaLookup";
   PartitionId pid = 0;
   InodeId parent = 0;
   std::string name;
@@ -111,6 +120,7 @@ struct MetaLookupResp {
 };
 
 struct MetaReadDirReq {
+  static constexpr const char* kRpcName = "MetaReadDir";
   PartitionId pid = 0;
   InodeId parent = 0;
 };
@@ -123,6 +133,7 @@ struct MetaReadDirResp {
 // --- File content metadata ---------------------------------------------------
 
 struct MetaAppendExtentReq {
+  static constexpr const char* kRpcName = "MetaAppendExtent";
   PartitionId pid = 0;
   InodeId ino = 0;
   ExtentKey key;
@@ -134,6 +145,7 @@ struct MetaAppendExtentResp {
 };
 
 struct MetaSetAttrReq {
+  static constexpr const char* kRpcName = "MetaSetAttr";
   PartitionId pid = 0;
   InodeId ino = 0;
   uint64_t size = 0;
@@ -144,6 +156,7 @@ struct MetaSetAttrResp {
 };
 
 struct MetaTruncateReq {
+  static constexpr const char* kRpcName = "MetaTruncate";
   PartitionId pid = 0;
   InodeId ino = 0;
   uint64_t new_size = 0;
@@ -156,6 +169,7 @@ struct MetaTruncateResp {
 // --- Admin (resource manager -> meta node) ----------------------------------
 
 struct CreateMetaPartitionReq {
+  static constexpr const char* kRpcName = "CreateMetaPartition";
   MetaPartitionConfig config;
   std::vector<sim::NodeId> peers;
   size_t WireBytes() const { return 64 + peers.size() * 4; }
@@ -166,6 +180,7 @@ struct CreateMetaPartitionResp {
 
 /// Algorithm 1, step "sync with the meta node": cut the inode range.
 struct SplitMetaPartitionReq {
+  static constexpr const char* kRpcName = "SplitMetaPartition";
   PartitionId pid = 0;
   InodeId end = 0;
 };

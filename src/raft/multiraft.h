@@ -145,7 +145,7 @@ class RaftHost {
 
   sim::Task<void> SendHeartbeat(NodeId peer, std::vector<HeartbeatItem> items) {
     MultiHeartbeatReq req{host_->id(), std::move(items)};
-    auto r = co_await net_->Call<MultiHeartbeatReq, MultiHeartbeatResp>(
+    auto r = co_await net_->Call<MultiHeartbeatReq, MultiHeartbeatResp>(  // lint:allow(raw-rpc)
         host_->id(), peer, std::move(req), opts_.rpc_timeout);
     if (!r.ok()) co_return;
     for (const auto& [gid, term] : r->stale) {

@@ -106,8 +106,8 @@ Task<void> RaftNode::RunElection(uint64_t gen) {
     VoteReq req{gid_, my_term, self_, log_.last_index(), log_.last_term()};
     Spawn([](RaftNode* self, NodeId peer, VoteReq req, std::shared_ptr<Tally> tally,
              sim::Promise<bool> won, Term my_term) -> Task<void> {
-      auto r = co_await self->net_->Call<VoteReq, VoteResp>(self->self_, peer, req,
-                                                            self->opts_.rpc_timeout);
+      auto r = co_await self->net_->Call<VoteReq, VoteResp>(  // lint:allow(raw-rpc)
+          self->self_, peer, req, self->opts_.rpc_timeout);
       if (!r.ok() || tally->done) co_return;
       if (r->term > my_term) {
         tally->done = true;
@@ -241,8 +241,8 @@ Task<void> RaftNode::PeerPump(NodeId peer, Term my_term, uint64_t gen) {
     Index end = std::min(log_.last_index(), next + opts_.max_batch_entries - 1);
     for (Index i = next; i <= end; i++) req.entries.push_back(log_.At(i));
 
-    auto r = co_await net_->Call<AppendReq, AppendResp>(self_, peer, std::move(req),
-                                                        opts_.rpc_timeout);
+    auto r = co_await net_->Call<AppendReq, AppendResp>(  // lint:allow(raw-rpc)
+        self_, peer, std::move(req), opts_.rpc_timeout);
     if (!running_ || gen_ != gen || role_ != Role::kLeader || log_.term() != my_term) break;
     if (!r.ok()) {
       co_await SleepFor{sched(), 10 * kMsec};
@@ -277,7 +277,7 @@ Task<bool> RaftNode::SendSnapshotTo(NodeId peer, Term my_term) {
   req.snap_index = log_.snapshot_index();
   req.snap_term = log_.snapshot_term();
   req.data = log_.snapshot_data();
-  auto r = co_await net_->Call<InstallSnapshotReq, InstallSnapshotResp>(
+  auto r = co_await net_->Call<InstallSnapshotReq, InstallSnapshotResp>(  // lint:allow(raw-rpc)
       self_, peer, std::move(req), opts_.rpc_timeout * 4);
   if (!r.ok()) co_return false;
   if (r->term > my_term) {

@@ -1,0 +1,71 @@
+// Channel: the one place in the codebase that issues a raw Network::Call.
+// Every leg is metered into a MetricRegistry (outcome + latency, keyed by
+// the request's kRpcName). Call sites outside src/rpc/ must go through a
+// Channel or a service stub — tools/lint.py rule R4 (raw-rpc) enforces it.
+#pragma once
+
+#include <typeinfo>
+#include <utility>
+
+#include "common/status.h"
+#include "rpc/metrics.h"
+#include "sim/network.h"
+
+namespace cfs::rpc {
+
+/// Request structs name themselves for the metric key; anything without a
+/// kRpcName falls back to the (mangled, but stable-within-a-build) RTTI name.
+template <typename T>
+concept HasRpcName = requires {
+  { T::kRpcName } -> std::convertible_to<const char*>;
+};
+
+template <typename T>
+const char* RpcNameOf() {
+  if constexpr (HasRpcName<T>) {
+    return T::kRpcName;
+  } else {
+    return typeid(T).name();
+  }
+}
+
+class Channel {
+ public:
+  Channel(sim::Network* net, MetricRegistry* metrics) : net_(net), metrics_(metrics) {}
+
+  sim::Network* net() const { return net_; }
+  MetricRegistry* metrics() const { return metrics_; }
+
+  /// One metered RPC leg; no retries, no routing. Plain function forwarding
+  /// by value into the Impl coroutine (the repo-wide gcc 12 braced-init
+  /// workaround; see sim/network.h and client/client.h).
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> Unary(sim::NodeId from, sim::NodeId to, Req req,
+                                SimDuration timeout = sim::kDefaultRpcTimeout) {
+    return UnaryImpl<Req, Resp>(from, to, std::move(req), timeout);
+  }
+
+ private:
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> UnaryImpl(sim::NodeId from, sim::NodeId to, Req req,
+                                    SimDuration timeout) {
+    sim::Scheduler* sched = net_->scheduler();
+    const SimTime start = sched->Now();
+    auto r = co_await net_->Call<Req, Resp>(from, to, std::move(req), timeout);  // lint:allow(raw-rpc)
+    const SimDuration latency = sched->Now() - start;
+    const char* name = RpcNameOf<Req>();
+    if (!r.ok()) {
+      metrics_->RecordLeg(name, Outcome::kTimeout, latency);
+    } else if (r->status.IsNotLeader()) {
+      metrics_->RecordLeg(name, Outcome::kNotLeader, latency);
+    } else {
+      metrics_->RecordLeg(name, Outcome::kOk, latency);
+    }
+    co_return std::move(r);
+  }
+
+  sim::Network* net_;
+  MetricRegistry* metrics_;
+};
+
+}  // namespace cfs::rpc

@@ -1,0 +1,103 @@
+#include "rpc/metrics.h"
+
+namespace cfs::rpc {
+
+constexpr uint64_t LatencyHistogram::kBounds[];
+
+std::string_view OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kTimeout: return "timeout";
+    case Outcome::kNotLeader: return "not_leader";
+    case Outcome::kRetryExhausted: return "retry_exhausted";
+    case Outcome::kDeadlineExceeded: return "deadline_exceeded";
+    default: return "unknown";
+  }
+}
+
+void LatencyHistogram::Add(SimDuration latency_usec) {
+  uint64_t v = latency_usec < 0 ? 0 : static_cast<uint64_t>(latency_usec);
+  int b = 0;
+  while (b < kNumBounds && v > kBounds[b]) b++;
+  buckets[b]++;
+  count++;
+  sum_usec += v;
+  if (v > max_usec) max_usec = v;
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (int i = 0; i <= kNumBounds; i++) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_usec += other.sum_usec;
+  if (other.max_usec > max_usec) max_usec = other.max_usec;
+}
+
+void RpcMetrics::MergeFrom(const RpcMetrics& other) {
+  for (int i = 0; i < static_cast<int>(Outcome::kNumOutcomes); i++) {
+    outcomes[i] += other.outcomes[i];
+  }
+  retries += other.retries;
+  latency.MergeFrom(other.latency);
+}
+
+void MetricRegistry::RecordLeg(std::string_view rpc, Outcome o, SimDuration latency_usec) {
+  auto& m = by_rpc_[std::string(rpc)];
+  m.outcomes[static_cast<int>(o)]++;
+  m.latency.Add(latency_usec);
+}
+
+void MetricRegistry::RecordRetry(std::string_view rpc) {
+  by_rpc_[std::string(rpc)].retries++;
+}
+
+void MetricRegistry::RecordCallOutcome(std::string_view rpc, Outcome o) {
+  by_rpc_[std::string(rpc)].outcomes[static_cast<int>(o)]++;
+}
+
+const RpcMetrics* MetricRegistry::Find(std::string_view rpc) const {
+  auto it = by_rpc_.find(rpc);
+  return it == by_rpc_.end() ? nullptr : &it->second;
+}
+
+uint64_t MetricRegistry::TotalLegs() const {
+  uint64_t n = 0;
+  for (const auto& [name, m] : by_rpc_) n += m.latency.count;
+  return n;
+}
+
+uint64_t MetricRegistry::TotalCount(Outcome o) const {
+  uint64_t n = 0;
+  for (const auto& [name, m] : by_rpc_) n += m.Count(o);
+  return n;
+}
+
+void MetricRegistry::MergeFrom(const MetricRegistry& other) {
+  for (const auto& [name, m] : other.by_rpc_) by_rpc_[name].MergeFrom(m);
+}
+
+std::string MetricRegistry::DumpJson() const {
+  std::string out = "{";
+  bool first_rpc = true;
+  for (const auto& [name, m] : by_rpc_) {
+    if (!first_rpc) out += ",";
+    first_rpc = false;
+    out += "\"" + name + "\":{";
+    for (int i = 0; i < static_cast<int>(Outcome::kNumOutcomes); i++) {
+      out += "\"" + std::string(OutcomeName(static_cast<Outcome>(i))) +
+             "\":" + std::to_string(m.outcomes[i]) + ",";
+    }
+    out += "\"retries\":" + std::to_string(m.retries) + ",";
+    out += "\"latency\":{\"count\":" + std::to_string(m.latency.count) +
+           ",\"sum_usec\":" + std::to_string(m.latency.sum_usec) +
+           ",\"max_usec\":" + std::to_string(m.latency.max_usec) + ",\"buckets\":[";
+    for (int i = 0; i <= LatencyHistogram::kNumBounds; i++) {
+      if (i) out += ",";
+      out += std::to_string(m.latency.buckets[i]);
+    }
+    out += "]}}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace cfs::rpc

@@ -1,0 +1,108 @@
+// RetryPolicy: the one attempt budget and backoff schedule shared by every
+// retrying RPC path in the system. This replaces the seed's per-call-site
+// bounds (`max_retries + 2`, `max_retries + masters_.size()`, a separate
+// timeout-only counter...) with a single documented rule:
+//
+//   * a logical call gets `max_attempts` RPC legs total (first try included);
+//   * any failed leg — network timeout, hintless NotLeader — consumes one
+//     attempt and is followed by capped exponential backoff with
+//     deterministic seeded jitter;
+//   * a NotLeader response that carries a leader hint also consumes an
+//     attempt but retries immediately (the redirect is new information, so
+//     waiting would only add latency);
+//   * when the budget is exhausted the last leg's error is returned.
+//
+// Two policy classes cover the system: Control() for metadata/resource-
+// manager traffic (more attempts, election-scale backoff) and Data() for
+// the data path (tighter schedule; failed appends fall back to the §2.2.5
+// suffix-resend machinery instead of long retries).
+//
+// All backoff sleeps run on the sim scheduler's virtual clock and all jitter
+// draws come from the scheduler's seeded Rng, so the determinism auditor's
+// same-seed trace-hash contract holds with backoff in play.
+#pragma once
+
+#include <algorithm>
+
+#include "common/units.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace cfs::rpc {
+
+struct RetryPolicy {
+  /// Total RPC legs per logical call, first attempt included.
+  int max_attempts = 5;
+  /// Per-leg RPC timeout (clamped further by an active Deadline).
+  SimDuration rpc_timeout = 1 * kSec;
+  /// Backoff before retry r (0-based) is drawn from
+  /// [d/2, d] where d = min(backoff_cap, backoff_base << r).
+  SimDuration backoff_base = 20 * kMsec;
+  SimDuration backoff_cap = 400 * kMsec;
+
+  /// Control-plane class: master/meta RPCs and placement loops. The budget
+  /// and cap are sized so a full schedule (~50+100+200+400ms nominal) rides
+  /// out a raft election (250–500ms timeouts) that a leader crash triggers.
+  static RetryPolicy Control() {
+    RetryPolicy p;
+    p.max_attempts = 6;
+    p.backoff_base = 50 * kMsec;
+    p.backoff_cap = 500 * kMsec;
+    return p;
+  }
+
+  /// Data-path class: extent reads/writes against a partition's raft leader.
+  static RetryPolicy Data() {
+    RetryPolicy p;
+    p.max_attempts = 5;
+    p.backoff_base = 20 * kMsec;
+    p.backoff_cap = 400 * kMsec;
+    return p;
+  }
+};
+
+/// Per-logical-call retry driver: owns the attempt counter and the backoff
+/// schedule. Also used directly by higher-level placement loops (pick a
+/// partition, try once, pick another) so those route through the same
+/// backoff clock as the stubs.
+class Backoff {
+ public:
+  Backoff(sim::Scheduler* sched, const RetryPolicy& policy)
+      : sched_(sched), policy_(policy) {}
+
+  /// Consume one attempt; false when the budget is exhausted. Call once per
+  /// loop iteration: `while (backoff.NextAttempt()) { ... }`.
+  bool NextAttempt() {
+    if (next_attempt_ >= policy_.max_attempts) return false;
+    next_attempt_++;
+    return true;
+  }
+
+  /// 0-based index of the attempt NextAttempt() last granted.
+  int attempt() const { return next_attempt_ - 1; }
+  bool exhausted() const { return next_attempt_ >= policy_.max_attempts; }
+
+  /// The jittered delay for the current retry: nominal d doubles from
+  /// backoff_base up to backoff_cap, and the sleep is drawn uniformly from
+  /// [d/2, d] ("equal jitter") off the scheduler's seeded Rng.
+  SimDuration NextDelay() {
+    int r = std::max(0, attempt());
+    SimDuration d = policy_.backoff_base;
+    for (int i = 0; i < r && d < policy_.backoff_cap; i++) d *= 2;
+    d = std::min(d, policy_.backoff_cap);
+    if (d <= 1) return d;
+    return d / 2 + static_cast<SimDuration>(sched_->rng().Uniform(d - d / 2 + 1));
+  }
+
+  /// Sleep the current backoff delay on the virtual clock.
+  sim::Task<void> Delay() { return DelayImpl(NextDelay()); }
+
+ private:
+  sim::Task<void> DelayImpl(SimDuration d) { co_await sim::SleepFor{*sched_, d}; }
+
+  sim::Scheduler* sched_;
+  RetryPolicy policy_;
+  int next_attempt_ = 0;
+};
+
+}  // namespace cfs::rpc

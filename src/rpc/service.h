@@ -1,0 +1,264 @@
+// Typed service stubs: call sites say WHAT they want (partition + request);
+// the stub decides WHERE (Router: cached leader, hint, replica probe) and
+// HOW OFTEN (RetryPolicy budget + backoff, bounded by a propagated
+// Deadline), and meters every leg (MetricRegistry via Channel).
+//
+//   MasterService — resource-manager RPCs, probing the master replica group.
+//   MetaService   — meta-partition RPCs with §2.4 leader caching and the
+//                   §2.3.3 timeout-report hook.
+//   DataService   — data-partition RPCs against the raft leader, plus
+//                   ChainCall for chain-leader (replicas[0]) one-shots.
+//
+// Retry semantics (the "one uniform budget" of this layer): a logical call
+// gets policy.max_attempts legs; network failures and hintless NotLeader
+// responses back off before the next leg, hinted redirects retry
+// immediately. On termination without success the stub records
+// retry-exhausted / deadline-exceeded and, when the failure pattern looks
+// like a dead partition (>= kReportAfterRpcFailures network-level failures),
+// fires the timeout-report hook so the master can mark the partition
+// read-only (§2.3.3).
+//
+// All public entry points are plain functions forwarding by value into *Impl
+// coroutines (the repo-wide gcc 12 braced-init workaround; see client.h).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "rpc/channel.h"
+#include "rpc/deadline.h"
+#include "rpc/metrics.h"
+#include "rpc/retry_policy.h"
+#include "rpc/router.h"
+
+namespace cfs::rpc {
+
+struct CallOptions {
+  Deadline deadline;                   // default: unbounded
+  const RetryPolicy* policy = nullptr; // default: the service's policy
+};
+
+/// Network-level failures on this many legs of one logical call trigger the
+/// timeout-report hook (§2.3.3). One lost message is noise; a repeatedly
+/// unreachable partition is reported.
+inline constexpr int kReportAfterRpcFailures = 2;
+
+class MasterService {
+ public:
+  MasterService(sim::Network* net, sim::NodeId self, Router* router,
+                MetricRegistry* metrics, RetryPolicy policy = RetryPolicy::Control())
+      : channel_(net, metrics), self_(self), router_(router), policy_(policy) {}
+
+  /// Mirror per-leg issue counts into an external counter (ClientStats).
+  void set_rpc_counter(uint64_t* c) { rpc_counter_ = c; }
+  const RetryPolicy& policy() const { return policy_; }
+
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> Call(Req req, CallOptions opts = {}) {
+    return CallImpl<Req, Resp>(std::move(req), opts);
+  }
+
+ private:
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> CallImpl(Req req, CallOptions opts) {
+    const RetryPolicy& policy = opts.policy ? *opts.policy : policy_;
+    sim::Scheduler* sched = channel_.net()->scheduler();
+    Backoff backoff(sched, policy);
+    Status last = Status::TimedOut("no master leader reachable");
+    while (backoff.NextAttempt()) {
+      if (opts.deadline.Expired(sched->Now())) {
+        channel_.metrics()->RecordCallOutcome(RpcNameOf<Req>(), Outcome::kDeadlineExceeded);
+        co_return Status::TimedOut("deadline exceeded calling master");
+      }
+      sim::NodeId target = router_->MasterTarget(backoff.attempt());
+      if (target == sim::kInvalidNode) break;
+      if (rpc_counter_) (*rpc_counter_)++;
+      if (backoff.attempt() > 0) channel_.metrics()->RecordRetry(RpcNameOf<Req>());
+      auto r = co_await channel_.Unary<Req, Resp>(
+          self_, target, req, opts.deadline.ClampTimeout(sched->Now(), policy.rpc_timeout));
+      if (!r.ok()) {
+        router_->MasterLegFailed();
+        last = r.status();
+        co_await backoff.Delay();
+        continue;
+      }
+      if (r->status.IsNotLeader()) {
+        last = r->status;
+        if (!router_->ApplyMasterRedirect(r->status)) co_await backoff.Delay();
+        continue;
+      }
+      router_->MasterConfirmed(target);
+      co_return std::move(*r);
+    }
+    channel_.metrics()->RecordCallOutcome(RpcNameOf<Req>(), Outcome::kRetryExhausted);
+    co_return last;
+  }
+
+  Channel channel_;
+  sim::NodeId self_;
+  Router* router_;
+  RetryPolicy policy_;
+  uint64_t* rpc_counter_ = nullptr;
+};
+
+/// Common engine of MetaService / DataService: leader-probing partition
+/// calls with refresh + timeout-report hooks.
+class PartitionService {
+ public:
+  using RefreshFn = std::function<sim::Task<Status>()>;
+  using ReportFn = std::function<sim::Task<Status>(PartitionId)>;
+
+  /// Re-fetch partition views when a pid has no view (non-mounted callers
+  /// leave this unset and pre-populate the Router instead).
+  void set_refresh(RefreshFn f) { refresh_ = std::move(f); }
+  /// §2.3.3 exception handling: invoked when a logical call dies with
+  /// repeated network-level failures, so the owner can report the partition
+  /// to the master.
+  void set_timeout_report(ReportFn f) { report_ = std::move(f); }
+  void set_rpc_counter(uint64_t* c) { rpc_counter_ = c; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ protected:
+  PartitionService(bool is_meta, sim::Network* net, sim::NodeId self, Router* router,
+                   MetricRegistry* metrics, RetryPolicy policy)
+      : channel_(net, metrics),
+        self_(self),
+        router_(router),
+        policy_(policy),
+        is_meta_(is_meta) {}
+
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> PartitionCallImpl(PartitionId pid, Req req, CallOptions opts) {
+    const RetryPolicy& policy = opts.policy ? *opts.policy : policy_;
+    sim::Scheduler* sched = channel_.net()->scheduler();
+    CFS_CO_RETURN_IF_ERROR((co_await EnsureView(pid)));
+    Backoff backoff(sched, policy);
+    int rpc_failures = 0;
+    Status last = Status::TimedOut(PartitionName(pid) + " unreachable");
+    while (backoff.NextAttempt()) {
+      if (opts.deadline.Expired(sched->Now())) {
+        channel_.metrics()->RecordCallOutcome(RpcNameOf<Req>(), Outcome::kDeadlineExceeded);
+        MaybeReport(pid, rpc_failures);
+        co_return Status::TimedOut("deadline exceeded on " + PartitionName(pid));
+      }
+      sim::NodeId target = router_->PartitionTarget(is_meta_, pid, backoff.attempt());
+      if (target == sim::kInvalidNode) break;
+      if (rpc_counter_) (*rpc_counter_)++;
+      if (backoff.attempt() > 0) channel_.metrics()->RecordRetry(RpcNameOf<Req>());
+      auto r = co_await channel_.Unary<Req, Resp>(
+          self_, target, req, opts.deadline.ClampTimeout(sched->Now(), policy.rpc_timeout));
+      if (!r.ok()) {
+        rpc_failures++;
+        router_->LegFailed(is_meta_, pid, target);
+        last = r.status();
+        co_await backoff.Delay();
+        continue;
+      }
+      if (r->status.IsNotLeader()) {
+        last = r->status;
+        if (!router_->ApplyRedirect(is_meta_, pid, r->status)) co_await backoff.Delay();
+        continue;
+      }
+      router_->Confirmed(is_meta_, pid, target);
+      co_return std::move(*r);
+    }
+    channel_.metrics()->RecordCallOutcome(RpcNameOf<Req>(), Outcome::kRetryExhausted);
+    MaybeReport(pid, rpc_failures);
+    co_return last;
+  }
+
+  sim::Task<Status> EnsureView(PartitionId pid) {
+    return EnsureViewImpl(pid);
+  }
+
+  std::string PartitionName(PartitionId pid) const {
+    return std::string(is_meta_ ? "meta" : "data") + " partition " + std::to_string(pid);
+  }
+
+  Channel channel_;
+  sim::NodeId self_;
+  Router* router_;
+  RetryPolicy policy_;
+  bool is_meta_;
+  RefreshFn refresh_;
+  ReportFn report_;
+  uint64_t* rpc_counter_ = nullptr;
+
+ private:
+  sim::Task<Status> EnsureViewImpl(PartitionId pid) {
+    if (router_->HasView(is_meta_, pid)) co_return Status::OK();
+    if (refresh_) (void)co_await refresh_();
+    if (router_->HasView(is_meta_, pid)) co_return Status::OK();
+    co_return Status::NotFound(PartitionName(pid));
+  }
+
+  /// Fire-and-forget: the report is an asynchronous exception signal to the
+  /// master, and must not hold the failing call past its deadline.
+  void MaybeReport(PartitionId pid, int rpc_failures) {
+    if (report_ && rpc_failures >= kReportAfterRpcFailures) {
+      sim::Spawn(DiscardStatus(report_(pid)));
+    }
+  }
+
+  static sim::Task<void> DiscardStatus(sim::Task<Status> t) {
+    (void)co_await std::move(t);
+  }
+};
+
+class MetaService : public PartitionService {
+ public:
+  MetaService(sim::Network* net, sim::NodeId self, Router* router, MetricRegistry* metrics,
+              RetryPolicy policy = RetryPolicy::Control())
+      : PartitionService(true, net, self, router, metrics, policy) {}
+
+  /// Meta RPC to the partition's raft leader with NotLeader redirect +
+  /// retry; keeps the leader cache current (§2.4).
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> Call(PartitionId pid, Req req, CallOptions opts = {}) {
+    return PartitionCallImpl<Req, Resp>(pid, std::move(req), opts);
+  }
+};
+
+class DataService : public PartitionService {
+ public:
+  DataService(sim::Network* net, sim::NodeId self, Router* router, MetricRegistry* metrics,
+              RetryPolicy policy = RetryPolicy::Data())
+      : PartitionService(false, net, self, router, metrics, policy) {}
+
+  /// Data RPC to the partition's raft leader, probing replicas one by one
+  /// and caching the last identified leader (§2.4).
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> Call(PartitionId pid, Req req, CallOptions opts = {}) {
+    return PartitionCallImpl<Req, Resp>(pid, std::move(req), opts);
+  }
+
+  /// One-shot RPC to the partition's chain leader (replicas[0], §2.7.1). No
+  /// retries: append placement reacts to a failed chain call by resending to
+  /// a DIFFERENT partition (§2.2.5), which is the caller's loop to drive.
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> ChainCall(PartitionId pid, Req req, CallOptions opts = {}) {
+    return ChainCallImpl<Req, Resp>(pid, std::move(req), opts);
+  }
+
+ private:
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> ChainCallImpl(PartitionId pid, Req req, CallOptions opts) {
+    const RetryPolicy& policy = opts.policy ? *opts.policy : policy_;
+    sim::Scheduler* sched = channel_.net()->scheduler();
+    CFS_CO_RETURN_IF_ERROR((co_await EnsureView(pid)));
+    master::DataPartitionView* view = router_->DataView(pid);
+    if (!view || view->replicas.empty()) co_return Status::NotFound(PartitionName(pid));
+    if (opts.deadline.Expired(sched->Now())) {
+      channel_.metrics()->RecordCallOutcome(RpcNameOf<Req>(), Outcome::kDeadlineExceeded);
+      co_return Status::TimedOut("deadline exceeded on " + PartitionName(pid));
+    }
+    if (rpc_counter_) (*rpc_counter_)++;
+    auto r = co_await channel_.Unary<Req, Resp>(
+        self_, view->replicas[0], std::move(req),
+        opts.deadline.ClampTimeout(sched->Now(), policy.rpc_timeout));
+    co_return std::move(r);
+  }
+};
+
+}  // namespace cfs::rpc

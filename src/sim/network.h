@@ -271,6 +271,12 @@ class Network {
   /// partitioned destination) surface as Status::TimedOut; application-level
   /// errors travel inside Resp.
   ///
+  /// This is the transport primitive, not the application API: service code
+  /// goes through the rpc layer (src/rpc/ — rpc::Channel and the typed
+  /// stubs), which adds deadlines, retry policy, leader routing and per-RPC
+  /// metrics on top. lint.py R4 flags direct Call<> use outside src/rpc/;
+  /// only the raft transport opts out site-by-site.
+  ///
   /// Deliberately NOT a coroutine: gcc 12 double-destroys braced-init
   /// temporary arguments passed to coroutine parameters (observed with
   /// -fsanitize=address; aggregate prvalues only). A plain function

@@ -19,8 +19,13 @@ source-level rules that keep those promises true:
   R3  ignored-Status safety net: cfs::Status and cfs::Result must carry the
       class-level [[nodiscard]] and the build must promote unused-result to
       an error, so the compiler flags every ignored fallible call.
+  R4  no raw Network::Call outside src/rpc/: every RPC leg must go through
+      the rpc service layer (rpc::Channel / typed stubs) so retries,
+      deadlines and per-RPC metrics stay uniform (DESIGN.md "RPC service
+      layer"). The raft transport keeps its own timeout discipline and is
+      opted out site-by-site with // lint:allow(raw-rpc).
 
-A line may opt out of R1/R2 with a trailing `// lint:allow(<rule>)` comment
+A line may opt out of R1/R2/R4 with a trailing `// lint:allow(<rule>)` comment
 naming the rule, e.g. `// lint:allow(unordered)` — the escape hatch exists
 for future code that can prove order-independence, and every use is visible
 in review.
@@ -51,6 +56,12 @@ WALL_CLOCK_RULES = [
 # R2: any unordered associative container.
 UNORDERED_RULE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
 
+# R4: a templated Call< on something named like a Network (net_, net(),
+# self->net_, cluster->net(), ...). Typed-stub calls (svc.Call<...>) and
+# rpc::Channel::Unary do not match. src/rpc/ itself is exempt — it is the
+# one place allowed to touch the transport.
+RAW_RPC_RULE = re.compile(r"\bnet\w*(?:\(\))?\s*(?:->|\.)\s*Call<")
+
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
 
 
@@ -59,7 +70,7 @@ def allowed(line: str, token: str) -> bool:
     return bool(m) and m.group(1) == token
 
 
-def lint_file(path: pathlib.Path, findings: list) -> None:
+def lint_file(path: pathlib.Path, findings: list, in_rpc_layer: bool) -> None:
     try:
         text = path.read_text(encoding="utf-8")
     except UnicodeDecodeError:
@@ -74,6 +85,13 @@ def lint_file(path: pathlib.Path, findings: list) -> None:
                 (path, lineno,
                  "R2 unordered container (iteration order breaks replay); "
                  "use std::map/std::set or add // lint:allow(unordered)"))
+        if (not in_rpc_layer and RAW_RPC_RULE.search(line)
+                and not allowed(line, "raw-rpc")):
+            findings.append(
+                (path, lineno,
+                 "R4 raw Network::Call outside src/rpc/; go through the rpc "
+                 "service layer (rpc::Channel / typed stubs) or add "
+                 "// lint:allow(raw-rpc)"))
 
 
 def lint_nodiscard(root: pathlib.Path, findings: list) -> None:
@@ -104,9 +122,10 @@ def main() -> int:
 
     findings: list = []
     src = root / "src"
+    rpc_dir = src / "rpc"
     for path in sorted(src.rglob("*")):
         if path.suffix in SRC_SUFFIXES and path.is_file():
-            lint_file(path, findings)
+            lint_file(path, findings, in_rpc_layer=rpc_dir in path.parents)
     lint_nodiscard(root, findings)
 
     for path, lineno, msg in findings:
