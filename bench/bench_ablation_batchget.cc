@@ -5,6 +5,7 @@
 // Reported: stat throughput and meta RPCs per scanned entry.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "harness/cluster.h"
 #include "harness/workloads.h"
 
@@ -22,7 +23,7 @@ struct Sample {
 
 enum class Mode { kPerInode, kBatch, kBatchCached };
 
-Sample Measure(Mode mode) {
+Sample Measure(Mode mode, int files, int scans) {
   ClusterOptions opts;
   opts.num_nodes = 10;
   opts.track_contents = false;
@@ -35,8 +36,8 @@ Sample Measure(Mode mode) {
   client::Client* c = **mounted;
   auto& sched = cluster.sched();
 
-  const int kFiles = 64;
-  const int kScans = 20;
+  const int kFiles = files;
+  const int kScans = scans;
   auto dir = RunTask(sched, c->Create(meta::kRootInode, "dir", meta::FileType::kDir));
   if (!dir || !dir->ok()) std::abort();
   uint64_t dir_ino = (*dir)->id;
@@ -50,8 +51,8 @@ Sample Measure(Mode mode) {
   SimTime t0 = sched.Now();
   uint64_t entries = 0;
   bool done = RunTaskVoid(sched, [](client::Client* c, uint64_t dir_ino, Mode mode,
-                                    uint64_t& entries) -> Task<void> {
-    for (int s = 0; s < kScans; s++) {
+                                    int scans, uint64_t& entries) -> Task<void> {
+    for (int s = 0; s < scans; s++) {
       if (mode == Mode::kPerInode) {
         auto names = co_await c->ReadDir(dir_ino);
         if (!names.ok()) continue;
@@ -64,7 +65,7 @@ Sample Measure(Mode mode) {
         if (r.ok()) entries += r->size();
       }
     }
-  }(c, dir_ino, mode, entries));
+  }(c, dir_ino, mode, kScans, entries));
   if (!done) std::abort();
 
   Sample s;
@@ -76,14 +77,18 @@ Sample Measure(Mode mode) {
 
 }  // namespace
 
-int main() {
-  std::printf("Ablation A4: readdir+stat strategies, 64-entry directory, 20 scans\n");
+int main(int argc, char** argv) {
+  const bool smoke = SmokeMode(argc, argv);
+  const int kFiles = smoke ? 12 : 64;
+  const int kScans = smoke ? 3 : 20;
+  std::printf("Ablation A4: readdir+stat strategies, %d-entry directory, %d scans%s\n",
+              kFiles, kScans, smoke ? " [smoke]" : "");
   PrintHeader("DirStat strategy", {"stats/sec", "RPCs/entry"});
-  Sample per_inode = Measure(Mode::kPerInode);
+  Sample per_inode = Measure(Mode::kPerInode, kFiles, kScans);
   PrintRow("per-inode gets (no cache)", {per_inode.iops, per_inode.rpcs_per_entry});
-  Sample batch = Measure(Mode::kBatch);
+  Sample batch = Measure(Mode::kBatch, kFiles, kScans);
   PrintRow("batchInodeGet (no cache)", {batch.iops, batch.rpcs_per_entry});
-  Sample cached = Measure(Mode::kBatchCached);
+  Sample cached = Measure(Mode::kBatchCached, kFiles, kScans);
   PrintRow("batchInodeGet + cache", {cached.iops, cached.rpcs_per_entry});
   std::printf(
       "\nbatchInodeGet collapses N inode fetches into one RPC per meta partition\n"

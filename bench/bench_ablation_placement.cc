@@ -39,8 +39,10 @@ double HashReshuffleFraction(int partitions, int before_nodes, int after_nodes) 
 
 }  // namespace
 
-int main() {
-  std::printf("Ablation A2: utilization-based vs hash vs random placement (§2.3.1)\n");
+int main(int argc, char** argv) {
+  const bool smoke = SmokeMode(argc, argv);
+  std::printf("Ablation A2: utilization-based vs hash vs random placement (§2.3.1)%s\n",
+              smoke ? " [smoke]" : "");
 
   // --- Axis 1: capacity expansion. ---
   // Utilization-based placement: existing partitions are never rebalanced;
@@ -66,7 +68,8 @@ int main() {
     // Skew: nodes 0-4 report heavy memory use before the volume is created.
     for (int i = 0; i < 5; i++) cluster.node_host(i)->AddMemory(128ull * kGiB);
     cluster.sched().RunFor(3 * kSec);  // heartbeats deliver utilization
-    st = harness::RunTask(cluster.sched(), cluster.CreateVolume("v", 20, 20));
+    const uint32_t parts = smoke ? 4 : 20;
+    st = harness::RunTask(cluster.sched(), cluster.CreateVolume("v", parts, parts));
     if (!st || !st->ok()) return 1;
 
     std::map<sim::NodeId, int> per_node;

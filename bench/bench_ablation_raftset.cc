@@ -18,7 +18,8 @@ struct HeartbeatSample {
   double net_msgs_per_sec = 0;
 };
 
-HeartbeatSample Measure(int partitions, bool coalesce, bool raft_sets) {
+HeartbeatSample Measure(int partitions, bool coalesce, bool raft_sets,
+                        SimDuration window) {
   harness::ClusterOptions opts;
   opts.num_nodes = 10;
   opts.track_contents = false;
@@ -42,7 +43,6 @@ HeartbeatSample Measure(int partitions, bool coalesce, bool raft_sets) {
   for (int i = 0; i < cluster.num_nodes(); i++) {
     hb0 += cluster.raft_host_of(3 + i)->heartbeat_msgs_sent();
   }
-  const SimDuration window = 20 * kSec;
   cluster.sched().RunFor(window);
   uint64_t hb1 = 0, net1 = cluster.net().messages_sent();
   for (int i = 0; i < cluster.num_nodes(); i++) {
@@ -56,18 +56,22 @@ HeartbeatSample Measure(int partitions, bool coalesce, bool raft_sets) {
 
 }  // namespace
 
-int main() {
-  std::printf("Ablation A3: heartbeat traffic vs partition count (50 ms interval)\n");
-  const std::vector<int> kPartitions = {20, 60, 120};
+int main(int argc, char** argv) {
+  const bool smoke = SmokeMode(argc, argv);
+  std::printf("Ablation A3: heartbeat traffic vs partition count (50 ms interval)%s\n",
+              smoke ? " [smoke]" : "");
+  const std::vector<int> kPartitions = smoke ? std::vector<int>{8, 16}
+                                             : std::vector<int>{20, 60, 120};
+  const SimDuration kWindow = (smoke ? 4 : 20) * kSec;
 
   std::vector<std::string> cols;
   for (int p : kPartitions) cols.push_back(std::to_string(p) + " parts");
 
   PrintHeader("Heartbeat messages/second (10 storage nodes)", cols);
   std::vector<double> plain, multi, sets;
-  for (int p : kPartitions) plain.push_back(Measure(p, false, false).msgs_per_sec);
-  for (int p : kPartitions) multi.push_back(Measure(p, true, false).msgs_per_sec);
-  for (int p : kPartitions) sets.push_back(Measure(p, true, true).msgs_per_sec);
+  for (int p : kPartitions) plain.push_back(Measure(p, false, false, kWindow).msgs_per_sec);
+  for (int p : kPartitions) multi.push_back(Measure(p, true, false, kWindow).msgs_per_sec);
+  for (int p : kPartitions) sets.push_back(Measure(p, true, true, kWindow).msgs_per_sec);
   PrintRow("plain raft", plain);
   PrintRow("MultiRaft", multi);
   PrintRow("MultiRaft+RaftSets", sets);

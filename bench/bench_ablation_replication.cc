@@ -27,11 +27,13 @@ uint64_t TotalDiskWrites(harness::Cluster* c) {
 
 }  // namespace
 
-int main() {
-  const int kClients = 4;
-  const int kProcs = 32;
+int main(int argc, char** argv) {
+  const bool smoke = SmokeMode(argc, argv);
+  const int kClients = smoke ? 1 : 4;
+  const int kProcs = smoke ? 4 : 32;
+  const uint64_t kFileBytes = (smoke ? 32 : 256) * kMiB;
   std::printf("Ablation A1: scenario-aware replication (append via primary-backup,\n");
-  std::printf("overwrite via raft) vs raft-for-appends.\n\n");
+  std::printf("overwrite via raft) vs raft-for-appends.%s\n\n", smoke ? " [smoke]" : "");
 
   // --- Appends: chain (CFS design) vs raft (ablation). The "raft" variant
   // is emulated by writing each packet through the overwrite path of a
@@ -41,8 +43,8 @@ int main() {
     CfsBench b = MakeCfsBench(kClients, 61, 30, 40, 1170);
     auto data = FanOutAs<DataOps>(b.data_adapters, kProcs);
     FioParams params;
-    params.file_bytes = 256 * kMiB;
-    params.ops_per_proc = 30;
+    params.file_bytes = kFileBytes;
+    params.ops_per_proc = smoke ? 4 : 30;
     uint64_t before = TotalDiskWrites(b.cluster.get());
     auto chain = RunFio(&b.sched(), FioPattern::kSeqWrite, data, params);
     uint64_t chain_bytes = TotalDiskWrites(b.cluster.get()) - before;
@@ -79,8 +81,8 @@ int main() {
     CfsBench b = MakeCfsBench(kClients, 62, 30, 40, 1170);
     auto data = FanOutAs<DataOps>(b.data_adapters, kProcs);
     FioParams params;
-    params.file_bytes = 256 * kMiB;
-    params.ops_per_proc = 60;
+    params.file_bytes = kFileBytes;
+    params.ops_per_proc = smoke ? 8 : 60;
     auto ow = RunFio(&b.sched(), FioPattern::kRandWrite, data, params);
     PrintHeader("4 KiB overwrites (raft path)", {"IOPS"});
     PrintRow("scenario-aware (CFS)", {ow.Iops()});

@@ -16,13 +16,16 @@
 using namespace cfs;
 using namespace cfs::bench;
 
-int main() {
-  const std::vector<int> kWindows = {1, 2, 4, 8};
-  const std::vector<int> kProcs = {1, 4};
+int main(int argc, char** argv) {
+  const bool smoke = SmokeMode(argc, argv);
+  const std::vector<int> kWindows = smoke ? std::vector<int>{1, 4}
+                                          : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> kProcs = smoke ? std::vector<int>{1} : std::vector<int>{1, 4};
   const uint64_t kOpBytes = 1 * kMiB;  // 8 packets per op
-  const int kOpsPerProc = 40;
+  const int kOpsPerProc = smoke ? 6 : 40;
 
-  std::printf("Ablation: write window depth (seq 1 MiB appends, fig8-shaped cluster)\n");
+  std::printf("Ablation: write window depth (seq 1 MiB appends, fig8-shaped cluster)%s\n",
+              smoke ? " [smoke]" : "");
 
   std::vector<std::string> cols;
   for (int w : kWindows) cols.push_back("w=" + std::to_string(w));

@@ -119,6 +119,37 @@ inline void PrintRpcMetrics(const char* label, const rpc::MetricRegistry& reg) {
   std::printf("rpc_metrics %s %s\n", label, reg.DumpJson().c_str());
 }
 
+/// One machine-readable line with the cluster-wide group-commit counters
+/// (raft proposal batching) and leader log-write accounting: how many
+/// proposals shared each log flush, and what that did to WAL write counts.
+inline void PrintGroupCommitStats(const char* label, const harness::Cluster& cluster) {
+  raft::GroupCommitStats gc = cluster.group_commit_stats();
+  raft::RaftHost::LogWriteStats lw = cluster.log_write_stats();
+  double avg_batch = gc.batches ? static_cast<double>(gc.proposals) / gc.batches : 0.0;
+  std::printf(
+      "group_commit %s {\"batches\":%llu,\"proposals\":%llu,\"avg_batch\":%.2f,"
+      "\"max_batch\":%llu,\"queue_high_watermark\":%llu,\"batched_bytes\":%llu,"
+      "\"log_append_writes\":%llu,\"log_appended_entries\":%llu,"
+      "\"log_persisted_bytes\":%llu}\n",
+      label, static_cast<unsigned long long>(gc.batches),
+      static_cast<unsigned long long>(gc.proposals), avg_batch,
+      static_cast<unsigned long long>(gc.max_batch),
+      static_cast<unsigned long long>(gc.queue_high_watermark),
+      static_cast<unsigned long long>(gc.batched_bytes),
+      static_cast<unsigned long long>(lw.append_writes),
+      static_cast<unsigned long long>(lw.appended_entries),
+      static_cast<unsigned long long>(lw.persisted_bytes));
+}
+
+/// Shared tiny-parameter switch for the ablation benches: `--smoke` shrinks
+/// every sweep so CI can execute each binary end to end in seconds.
+inline bool SmokeMode(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::string(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
+
 /// procs_per_client copies of each client's adapter (mdtest processes on one
 /// client share the mount and its caches, §4.1).
 template <typename T>

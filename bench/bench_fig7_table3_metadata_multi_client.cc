@@ -52,6 +52,10 @@ int main() {
         ceph_results[test].push_back(RunMdtest(&ceph.sched(), test, ops, params).Iops());
       }
     }
+    // How much the meta-partition leaders batched under this client count
+    // (proposal batching is the consensus-path lever behind the multi-client
+    // mutation numbers; see bench_ablation_group_commit for the ablation).
+    PrintGroupCommitStats(("clients=" + std::to_string(clients)).c_str(), *cfs.cluster);
   }
 
   std::vector<double> table3_cfs, table3_ceph;

@@ -41,6 +41,10 @@ Client::Client(sim::Network* net, sim::Host* host, std::vector<sim::NodeId> mast
   data_svc_.set_timeout_report(
       [this](PartitionId pid) { return ReportFailure(pid, /*is_meta=*/false); });
   router_.BindCounters(&stats_.leader_cache_hits, &stats_.leader_probes);
+  inode_cache_.set_capacity(opts_.metadata_cache_max_entries);
+  inode_cache_.set_eviction_counter(&stats_.inode_cache_evictions);
+  readdir_cache_.set_capacity(opts_.metadata_cache_max_entries);
+  readdir_cache_.set_eviction_counter(&stats_.readdir_cache_evictions);
 }
 
 // --- Volume views (non-persistent master connections, §2.5.2) ----------------
@@ -82,18 +86,12 @@ sim::Task<Status> Client::ReportFailure(PartitionId pid, bool is_meta) {
 
 void Client::CacheInode(const Inode& ino) {
   if (!opts_.enable_metadata_cache) return;
-  inode_cache_[ino.id] = {ino, sched().Now()};
+  inode_cache_.Put(ino.id, ino, sched().Now());
 }
 
 const Inode* Client::CachedInode(InodeId ino) {
   if (!opts_.enable_metadata_cache) return nullptr;
-  auto it = inode_cache_.find(ino);
-  if (it == inode_cache_.end()) return nullptr;
-  if (sched().Now() - it->second.second > opts_.metadata_cache_ttl) {
-    inode_cache_.erase(it);
-    return nullptr;
-  }
-  return &it->second.first;
+  return inode_cache_.Find(ino, sched().Now(), opts_.metadata_cache_ttl);
 }
 
 // --- Metadata workflows (Fig. 3) -----------------------------------------------
@@ -159,6 +157,28 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
     dstatus = r.ok() ? r->status : r.status();
   }
   if (!dstatus.ok()) {
+    // The dentry RPC is retried by the service layer, so a lost response
+    // makes the retry observe its own first attempt as AlreadyExists (and a
+    // timeout leaves the outcome unknown). Read the name back before undoing
+    // the inode: if it already maps to our fresh inode, the create in fact
+    // committed and unlinking here would leave a dangling dentry.
+    pview = MetaViewForInode(parent);
+    if (pview) {
+      meta::MetaLookupReq lreq{pview->pid, parent, name};
+      auto lr = co_await MetaCall<meta::MetaLookupReq, meta::MetaLookupResp>(
+          pview->pid, std::move(lreq), dl);
+      if (lr.ok() && lr->status.ok() && lr->dentry.inode == inode.id) {
+        CacheInode(inode);
+        readdir_cache_.Erase(parent);
+        co_return inode;
+      }
+      if (!lr.ok() || (!lr->status.ok() && !lr->status.IsNotFound())) {
+        // Still ambiguous: leave the inode alone. Unlinking (or parking it
+        // for eviction) would dangle the dentry if it did land; leaking a
+        // live inode is the safe side and fsck can reclaim it.
+        co_return dstatus;
+      }
+    }
     // Fig. 3a failure path: unlink the fresh inode, park it on the local
     // orphan list, evict later.
     (void)co_await MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
@@ -168,7 +188,7 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
     co_return dstatus;
   }
   CacheInode(inode);
-  readdir_cache_.erase(parent);
+  readdir_cache_.Erase(parent);
   co_return inode;
 }
 
@@ -193,6 +213,23 @@ sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
     dstatus = r2.ok() ? r2->status : r2.status();
   }
   if (!dstatus.ok()) {
+    // Same read-back as Create: a retried dentry RPC can observe its own
+    // first attempt as AlreadyExists. If the name maps to `ino`, the link
+    // committed; undoing the nlink++ would leave more dentries than links.
+    pview = MetaViewForInode(parent);
+    if (pview) {
+      meta::MetaLookupReq lreq{pview->pid, parent, name};
+      auto lr = co_await MetaCall<meta::MetaLookupReq, meta::MetaLookupResp>(
+          pview->pid, std::move(lreq), dl);
+      if (lr.ok() && lr->status.ok() && lr->dentry.inode == ino) {
+        readdir_cache_.Erase(parent);
+        inode_cache_.Erase(ino);
+        co_return Status::OK();
+      }
+      if (!lr.ok() || (!lr->status.ok() && !lr->status.IsNotFound())) {
+        co_return dstatus;  // ambiguous: keep the extra link, never dangle
+      }
+    }
     // Failure path: undo the nlink increment.
     iview = MetaViewForInode(ino);
     if (iview) {
@@ -201,8 +238,8 @@ sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
     }
     co_return dstatus;
   }
-  readdir_cache_.erase(parent);
-  inode_cache_.erase(ino);
+  readdir_cache_.Erase(parent);
+  inode_cache_.Erase(ino);
   co_return Status::OK();
 }
 
@@ -219,8 +256,8 @@ sim::Task<Status> Client::Unlink(InodeId parent, std::string name) {
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   InodeId ino = r->dentry.inode;
-  readdir_cache_.erase(parent);
-  inode_cache_.erase(ino);
+  readdir_cache_.Erase(parent);
+  inode_cache_.Erase(ino);
 
   // Then decrement nlink with retries; if every retry fails the inode
   // becomes an orphan for fsck/the administrator (§2.6.3). The decrement is
@@ -263,10 +300,9 @@ sim::Task<Result<Dentry>> Client::Lookup(InodeId parent, std::string name) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
   // Serve from a fresh readdir cache when possible.
   if (opts_.enable_metadata_cache) {
-    auto it = readdir_cache_.find(parent);
-    if (it != readdir_cache_.end() &&
-        sched().Now() - it->second.second <= opts_.metadata_cache_ttl) {
-      for (const auto& d : it->second.first) {
+    if (const std::vector<Dentry>* dents =
+            readdir_cache_.Find(parent, sched().Now(), opts_.metadata_cache_ttl)) {
+      for (const auto& d : *dents) {
         if (d.name == name) {
           stats_.cache_hits++;
           co_return d;
@@ -305,11 +341,10 @@ sim::Task<Result<Inode>> Client::GetInode(InodeId ino) {
 sim::Task<Result<std::vector<Dentry>>> Client::ReadDir(InodeId parent) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
   if (opts_.enable_metadata_cache) {
-    auto it = readdir_cache_.find(parent);
-    if (it != readdir_cache_.end() &&
-        sched().Now() - it->second.second <= opts_.metadata_cache_ttl) {
+    if (const std::vector<Dentry>* dents =
+            readdir_cache_.Find(parent, sched().Now(), opts_.metadata_cache_ttl)) {
       stats_.cache_hits++;
-      co_return it->second.first;
+      co_return *dents;
     }
   }
   stats_.cache_misses++;
@@ -320,7 +355,7 @@ sim::Task<Result<std::vector<Dentry>>> Client::ReadDir(InodeId parent) {
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   if (opts_.enable_metadata_cache) {
-    readdir_cache_[parent] = {r->dentries, sched().Now()};
+    readdir_cache_.Put(parent, r->dentries, sched().Now());
   }
   co_return std::move(r->dentries);
 }
@@ -377,7 +412,7 @@ sim::Task<Status> Client::Open(InodeId ino) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
   // "When a file is opened for read/write, the client will force the cached
   // metadata to be synchronous with the meta node" (§2.4).
-  inode_cache_.erase(ino);
+  inode_cache_.Erase(ino);
   auto r = co_await GetInode(ino);
   if (!r.ok()) co_return r.status();
   OpenFile of;
@@ -838,7 +873,7 @@ sim::Task<Status> Client::Truncate(InodeId ino, uint64_t new_size) {
   auto r = co_await MetaCall<meta::MetaTruncateReq, meta::MetaTruncateResp>(
       view->pid, meta::MetaTruncateReq{view->pid, ino, new_size}, OpDeadline());
   if (!r.ok()) co_return r.status();
-  inode_cache_.erase(ino);
+  inode_cache_.Erase(ino);
   auto oit = open_files_.find(ino);
   if (oit != open_files_.end()) {
     oit->second.pending_size = std::min(oit->second.pending_size, new_size);

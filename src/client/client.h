@@ -72,6 +72,10 @@ struct ClientOptions {
   /// TTL of cached inodes/dentries/readdir results.
   SimDuration metadata_cache_ttl = 2 * kSec;
   bool enable_metadata_cache = true;
+  /// LRU capacity of each metadata cache (inode and readdir, separately).
+  /// TTL alone only evicts on lookup, so a client scanning a large namespace
+  /// would grow its caches without bound. 0 = unbounded.
+  size_t metadata_cache_max_entries = 4096;
   /// §2.7.3: "the delete operation is asynchronous" — the unlink returns
   /// once the dentry is gone; the nlink decrement (and the content purge it
   /// triggers) completes in the background. Disable for strict tests.
@@ -86,6 +90,8 @@ struct ClientStats {
   uint64_t master_rpcs = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t inode_cache_evictions = 0;    // LRU-capacity evictions
+  uint64_t readdir_cache_evictions = 0;  // LRU-capacity evictions
   uint64_t leader_cache_hits = 0;
   uint64_t leader_probes = 0;
   uint64_t resends = 0;           // §2.2.5 suffix resends
@@ -95,6 +101,76 @@ struct ClientStats {
   uint64_t max_inflight_packets = 0;  // high-watermark of in-flight packets
   uint64_t suffix_resend_bytes = 0;   // bytes re-sent to a fresh extent (§2.2.5)
   uint64_t parallel_read_fanouts = 0; // reads that fanned out to >1 extent
+};
+
+/// Bounded metadata cache: TTL on read plus an LRU capacity cap. Ordered
+/// containers only (determinism lint R2); recency is a monotonic sequence
+/// number, refreshed on Put and on hit. Capacity evictions bump an external
+/// counter (ClientStats) when one is attached.
+template <typename K, typename V>
+class LruTtlCache {
+ public:
+  void set_capacity(size_t cap) { cap_ = cap; }
+  void set_eviction_counter(uint64_t* c) { eviction_counter_ = c; }
+  size_t size() const { return map_.size(); }
+
+  /// Insert or overwrite; evicts the least-recently-used entry when full.
+  void Put(const K& k, V v, SimTime now) {
+    auto it = map_.find(k);
+    if (it != map_.end()) {
+      lru_.erase(it->second.seq);
+      it->second = Entry{std::move(v), now, next_seq_};
+    } else {
+      if (cap_ > 0 && map_.size() >= cap_) EvictOldest();
+      map_.emplace(k, Entry{std::move(v), now, next_seq_});
+    }
+    lru_.emplace(next_seq_, k);
+    next_seq_++;
+  }
+
+  /// nullptr on miss or TTL expiry (an expired entry is dropped). A hit
+  /// refreshes recency but not the TTL anchor.
+  V* Find(const K& k, SimTime now, SimDuration ttl) {
+    auto it = map_.find(k);
+    if (it == map_.end()) return nullptr;
+    if (now - it->second.at > ttl) {
+      lru_.erase(it->second.seq);
+      map_.erase(it);
+      return nullptr;
+    }
+    lru_.erase(it->second.seq);
+    it->second.seq = next_seq_;
+    lru_.emplace(next_seq_, k);
+    next_seq_++;
+    return &it->second.value;
+  }
+
+  void Erase(const K& k) {
+    auto it = map_.find(k);
+    if (it == map_.end()) return;
+    lru_.erase(it->second.seq);
+    map_.erase(it);
+  }
+
+ private:
+  struct Entry {
+    V value;
+    SimTime at = 0;    // insertion time; TTL anchor
+    uint64_t seq = 0;  // recency; larger = more recent
+  };
+
+  void EvictOldest() {
+    auto oldest = lru_.begin();
+    map_.erase(oldest->second);
+    lru_.erase(oldest);
+    if (eviction_counter_) (*eviction_counter_)++;
+  }
+
+  size_t cap_ = 0;  // 0 = unbounded
+  std::map<K, Entry> map_;
+  std::map<uint64_t, K> lru_;  // seq -> key, oldest first
+  uint64_t next_seq_ = 0;
+  uint64_t* eviction_counter_ = nullptr;
 };
 
 class Client {
@@ -272,8 +348,8 @@ class Client {
   std::string volume_name_;
   uint64_t refresh_gen_ = 0;
 
-  std::map<InodeId, std::pair<Inode, SimTime>> inode_cache_;
-  std::map<InodeId, std::pair<std::vector<Dentry>, SimTime>> readdir_cache_;
+  LruTtlCache<InodeId, Inode> inode_cache_;
+  LruTtlCache<InodeId, std::vector<Dentry>> readdir_cache_;
 
   std::map<InodeId, OpenFile> open_files_;
   std::vector<std::pair<PartitionId, InodeId>> orphans_;

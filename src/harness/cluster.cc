@@ -16,14 +16,14 @@ Cluster::Cluster(const ClusterOptions& opts) : opts_(opts), sched_(opts.seed), n
     sim::Host* h = net_.AddHost(opts_.host);
     master_hosts_.push_back(h);
     master_ids_.push_back(h->id());
-    raft_hosts_.push_back(std::make_unique<raft::RaftHost>(&net_, h, opts_.raft));
+    raft_hosts_.push_back(std::make_unique<raft::RaftHost>(&net_, h, opts_.raft, &rpc_metrics_));
   }
   for (int i = 0; i < opts_.num_nodes; i++) {
     sim::HostOptions ho = opts_.host;
     ho.disk.capacity_bytes = opts_.host.disk.capacity_bytes;
     sim::Host* h = net_.AddHost(ho);
     node_hosts_.push_back(h);
-    raft_hosts_.push_back(std::make_unique<raft::RaftHost>(&net_, h, opts_.raft));
+    raft_hosts_.push_back(std::make_unique<raft::RaftHost>(&net_, h, opts_.raft, &rpc_metrics_));
   }
   for (int i = 0; i < opts_.num_masters; i++) {
     masters_.push_back(std::make_unique<master::MasterNode>(

@@ -77,9 +77,29 @@ class Cluster {
   bool AllPartitionsHaveLeaders();
 
   /// Per-RPC metrics of every harness-issued leg (registration, heartbeats,
-  /// volume admin, the GC purge path). Client legs live in each client's own
-  /// registry (client->rpc_metrics()).
+  /// volume admin, the GC purge path) and — since the consensus transport
+  /// routes through rpc::Channel — every raft leg of every RaftHost. Client
+  /// legs live in each client's own registry (client->rpc_metrics()).
   const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
+
+  /// Group-commit counters summed across every RaftHost (masters + nodes).
+  raft::GroupCommitStats group_commit_stats() const {
+    raft::GroupCommitStats s;
+    for (const auto& rh : raft_hosts_) s.MergeFrom(rh->group_commit_stats());
+    return s;
+  }
+
+  /// Raft log Append() write accounting summed across every RaftHost.
+  raft::RaftHost::LogWriteStats log_write_stats() const {
+    raft::RaftHost::LogWriteStats s;
+    for (const auto& rh : raft_hosts_) {
+      raft::RaftHost::LogWriteStats h = rh->log_write_stats();
+      s.append_writes += h.append_writes;
+      s.appended_entries += h.appended_entries;
+      s.persisted_bytes += h.persisted_bytes;
+    }
+    return s;
+  }
 
   /// Deep check of every machine-checkable invariant in the cluster (see
   /// common/check.h and DESIGN.md "Invariant catalog"): per-group raft

@@ -87,6 +87,8 @@ sim::Task<Status> LogStore::Append(std::span<const LogEntry> entries) {
   size_t bytes = enc.size();
   storage_->Append(Key("log"), enc.data());
   persisted_bytes_ += bytes;
+  append_writes_++;
+  appended_entries_ += entries.size();
   co_return co_await disk_->Write(bytes);
 }
 

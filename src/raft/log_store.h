@@ -66,6 +66,11 @@ class LogStore {
   sim::Task<Status> InstallSnapshot(Index index, Term term, std::string data);
 
   uint64_t persisted_bytes() const { return persisted_bytes_; }
+  /// Group-commit observability: disk writes issued by Append() and entries
+  /// persisted across them. appended_entries / append_writes is the realized
+  /// WAL coalescing factor (1.0 = one write per entry, no batching).
+  uint64_t append_writes() const { return append_writes_; }
+  uint64_t appended_entries() const { return appended_entries_; }
 
  private:
   std::string Key(const char* what) const;
@@ -86,6 +91,8 @@ class LogStore {
 
   std::deque<LogEntry> entries_;  // entries_[i] has index snap_index_ + 1 + i
   uint64_t persisted_bytes_ = 0;
+  uint64_t append_writes_ = 0;
+  uint64_t appended_entries_ = 0;
 };
 
 }  // namespace cfs::raft

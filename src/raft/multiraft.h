@@ -4,6 +4,12 @@
 // adopts from CockroachDB's multiraft (§2.1.2) and extends with Raft sets
 // (§2.5.1) by placing a group's replicas within one subset of nodes so the
 // heartbeat fan-out of each node is bounded by the set size.
+//
+// All raft traffic (votes, appends, snapshots, coalesced heartbeats) issues
+// through one rpc::Channel per host, so per-RPC outcome/latency metrics
+// cover the consensus path like every other subsystem. Pass a shared
+// MetricRegistry to fold raft legs into a cluster-wide registry; without
+// one, the host owns a private registry.
 #pragma once
 
 #include <map>
@@ -12,6 +18,8 @@
 
 #include "raft/raft_node.h"
 #include "raft/types.h"
+#include "rpc/channel.h"
+#include "rpc/metrics.h"
 #include "sim/network.h"
 #include "sim/task.h"
 
@@ -19,8 +27,13 @@ namespace cfs::raft {
 
 class RaftHost {
  public:
-  RaftHost(sim::Network* net, sim::Host* host, const RaftOptions& opts = {})
-      : net_(net), host_(host), opts_(opts) {
+  RaftHost(sim::Network* net, sim::Host* host, const RaftOptions& opts = {},
+           rpc::MetricRegistry* metrics = nullptr)
+      : net_(net),
+        host_(host),
+        opts_(opts),
+        owned_metrics_(metrics ? nullptr : std::make_unique<rpc::MetricRegistry>()),
+        channel_(net, metrics ? metrics : owned_metrics_.get()) {
     RegisterHandlers();
     sim::Spawn(HeartbeatLoop());
   }
@@ -30,6 +43,7 @@ class RaftHost {
 
   sim::Host* host() { return host_; }
   const RaftOptions& options() const { return opts_; }
+  rpc::MetricRegistry* metrics() { return channel_.metrics(); }
 
   /// Create a replica of group `gid` on this host. The caller retains
   /// ownership of the state machine and must call Start() (fresh group) or
@@ -37,7 +51,7 @@ class RaftHost {
   RaftNode* CreateGroup(GroupId gid, std::vector<NodeId> peers, StateMachine* sm,
                         sim::Disk* disk) {
     auto node = std::make_unique<RaftNode>(opts_, gid, host_->id(), std::move(peers), net_,
-                                           host_, disk, sm);
+                                           host_, disk, sm, &channel_);
     RaftNode* ptr = node.get();
     groups_[gid] = std::move(node);
     return ptr;
@@ -71,6 +85,31 @@ class RaftHost {
     for (auto& [gid, node] : groups_) {
       (void)co_await node->Recover();
     }
+  }
+
+  /// Group-commit counters summed over every group replica on this host
+  /// (only groups this host has led contribute).
+  GroupCommitStats group_commit_stats() const {
+    GroupCommitStats s;
+    for (const auto& [gid, node] : groups_) s.MergeFrom(node->group_commit_stats());
+    return s;
+  }
+
+  /// Log-write accounting summed over this host's groups: Append() disk
+  /// writes, entries persisted by them, and total persisted bytes.
+  struct LogWriteStats {
+    uint64_t append_writes = 0;
+    uint64_t appended_entries = 0;
+    uint64_t persisted_bytes = 0;
+  };
+  LogWriteStats log_write_stats() const {
+    LogWriteStats s;
+    for (const auto& [gid, node] : groups_) {
+      s.append_writes += node->log().append_writes();
+      s.appended_entries += node->log().appended_entries();
+      s.persisted_bytes += node->log().persisted_bytes();
+    }
+    return s;
   }
 
   /// Ablation knob: when false, one heartbeat message is sent per group
@@ -145,7 +184,7 @@ class RaftHost {
 
   sim::Task<void> SendHeartbeat(NodeId peer, std::vector<HeartbeatItem> items) {
     MultiHeartbeatReq req{host_->id(), std::move(items)};
-    auto r = co_await net_->Call<MultiHeartbeatReq, MultiHeartbeatResp>(  // lint:allow(raw-rpc)
+    auto r = co_await channel_.Unary<MultiHeartbeatReq, MultiHeartbeatResp>(
         host_->id(), peer, std::move(req), opts_.rpc_timeout);
     if (!r.ok()) co_return;
     for (const auto& [gid, term] : r->stale) {
@@ -157,6 +196,8 @@ class RaftHost {
   sim::Network* net_;
   sim::Host* host_;
   RaftOptions opts_;
+  std::unique_ptr<rpc::MetricRegistry> owned_metrics_;
+  rpc::Channel channel_;
   std::map<GroupId, std::unique_ptr<RaftNode>> groups_;
   bool coalesce_ = true;
   uint64_t hb_msgs_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "rpc/retry_policy.h"
 
 namespace cfs::raft {
 
@@ -14,9 +15,16 @@ using sim::Task;
 // happens synchronously (between awaits); co_await is used only for timing
 // (disk persistence, RPCs). After any await, leadership/term/generation are
 // re-checked before acting.
+//
+// Index-assignment rule (group commit): a log index is valid only if it is
+// computed and handed to LogStore::Append with NO intervening await —
+// Append pushes entries into the in-memory log synchronously before
+// awaiting the disk write, so concurrent appenders (batcher, BecomeLeader
+// no-op) always see a current last_index().
 
 RaftNode::RaftNode(const RaftOptions& opts, GroupId gid, NodeId self, std::vector<NodeId> peers,
-                   sim::Network* net, sim::Host* host, sim::Disk* disk, StateMachine* sm)
+                   sim::Network* net, sim::Host* host, sim::Disk* disk, StateMachine* sm,
+                   rpc::Channel* channel)
     : opts_(opts),
       gid_(gid),
       self_(self),
@@ -24,7 +32,9 @@ RaftNode::RaftNode(const RaftOptions& opts, GroupId gid, NodeId self, std::vecto
       net_(net),
       host_(host),
       sm_(sm),
-      log_(&host->storage(), disk, gid) {}
+      channel_(channel),
+      log_(&host->storage(), disk, gid),
+      apply_notifier_(net->scheduler()) {}
 
 SimDuration RaftNode::RandomElectionTimeout() {
   return static_cast<SimDuration>(sched().rng().Range(
@@ -37,18 +47,21 @@ void RaftNode::Start() {
   gen_++;
   election_deadline_ = sched().Now() + RandomElectionTimeout();
   Spawn(ElectionLoop(gen_));
+  Spawn(ApplyLoop(gen_));
 }
 
 void RaftNode::Stop() {
   running_ = false;
   gen_++;
   FailPendingProposals(Status::Unavailable("raft node stopped"));
+  apply_notifier_.NotifyAll();  // wake the apply loop so it observes gen_
 }
 
 sim::Task<Status> RaftNode::Recover() {
   gen_++;  // kill any loops from the previous incarnation
   running_ = false;
   FailPendingProposals(Status::Unavailable("raft node restarting"));
+  apply_notifier_.NotifyAll();
   role_ = Role::kFollower;
   leader_ = sim::kInvalidNode;
   CFS_CO_RETURN_IF_ERROR(co_await log_.Load());
@@ -64,8 +77,14 @@ sim::Task<Status> RaftNode::Recover() {
 }
 
 void RaftNode::FailPendingProposals(const Status& status) {
-  for (auto& [idx, p] : pending_) p.second.Set(status);
+  for (auto& [idx, p] : pending_) p.second->done.Set(status);
   pending_.clear();
+  FailQueuedProposals(status);
+}
+
+void RaftNode::FailQueuedProposals(const Status& status) {
+  for (auto& [cmd, w] : propose_queue_) w->done.Set(status);
+  propose_queue_.clear();
 }
 
 // --- Election ------------------------------------------------------------
@@ -106,7 +125,7 @@ Task<void> RaftNode::RunElection(uint64_t gen) {
     VoteReq req{gid_, my_term, self_, log_.last_index(), log_.last_term()};
     Spawn([](RaftNode* self, NodeId peer, VoteReq req, std::shared_ptr<Tally> tally,
              sim::Promise<bool> won, Term my_term) -> Task<void> {
-      auto r = co_await self->net_->Call<VoteReq, VoteResp>(  // lint:allow(raw-rpc)
+      auto r = co_await self->channel_->Unary<VoteReq, VoteResp>(
           self->self_, peer, req, self->opts_.rpc_timeout);
       if (!r.ok() || tally->done) co_return;
       if (r->term > my_term) {
@@ -173,6 +192,7 @@ void RaftNode::BecomeLeader() {
     }
     self->AdvanceCommit();
   }(this));
+  if (!propose_queue_.empty()) KickBatcher();
 }
 
 // --- Proposals -----------------------------------------------------------
@@ -187,28 +207,102 @@ Task<Result<Index>> RaftNode::ProposeIndexed(std::string cmd) {
   if (role_ != Role::kLeader) {
     co_return Status::NotLeader(std::to_string(leader_));
   }
-  Term my_term = log_.term();
-  LogEntry entry{my_term, log_.last_index() + 1, std::move(cmd)};
-  Index idx = entry.index;
+  auto w = std::make_shared<ProposeWaiter>(&sched());
+  propose_queue_.emplace_back(std::move(cmd), w);
+  gc_stats_.queue_high_watermark =
+      std::max<uint64_t>(gc_stats_.queue_high_watermark, propose_queue_.size());
+  // Spawn runs the batcher synchronously up to its first await (the log
+  // disk write), so an uncontended proposal persists immediately — same
+  // latency as the unbatched path.
+  KickBatcher();
 
-  sim::Promise<Status> done(&sched());
-  pending_.emplace(idx, std::make_pair(my_term, done));
-
-  CFS_CO_RETURN_IF_ERROR(co_await log_.Append(std::span<const LogEntry>(&entry, 1)));
-  if (role_ == Role::kLeader && log_.term() == my_term) {
-    for (NodeId peer : peers_) {
-      if (peer != self_) KickPeer(peer);
-    }
-    AdvanceCommit();  // single-replica groups commit immediately
-  }
-
-  auto st = co_await done.future().WithTimeout(opts_.propose_timeout);
+  auto st = co_await w->done.future().WithTimeout(opts_.propose_timeout);
   if (!st) {
-    pending_.erase(idx);
+    w->cancelled = true;
+    auto it = pending_.find(w->index);
+    if (w->index != 0 && it != pending_.end() && it->second.second == w) {
+      pending_.erase(it);
+    }
     co_return Status::TimedOut("propose not committed in time");
   }
   if (!st->ok()) co_return *st;
-  co_return idx;
+  co_return w->index;
+}
+
+void RaftNode::KickBatcher() {
+  if (batcher_running_) return;
+  batcher_running_ = true;
+  Spawn(BatcherLoop(gen_));
+}
+
+Task<void> RaftNode::BatcherLoop(uint64_t gen) {
+  while (running_ && gen_ == gen && role_ == Role::kLeader && host_->up() &&
+         !propose_queue_.empty()) {
+    if (opts_.batch_linger > 0) {
+      co_await SleepFor{sched(), opts_.batch_linger};
+      if (!running_ || gen_ != gen || role_ != Role::kLeader || !host_->up()) break;
+    }
+    // Drain one batch: assign contiguous indices and register the whole
+    // batch in pending_ synchronously (batch-atomic bookkeeping), then
+    // persist with ONE Append. New proposals arriving during that disk
+    // write queue up and form the next batch (natural batching).
+    const Term my_term = log_.term();
+    const size_t cap = std::max<size_t>(1, opts_.max_batch_proposals);
+    std::vector<LogEntry> entries;
+    std::vector<WaiterPtr> waiters;
+    size_t bytes = 0;
+    while (!propose_queue_.empty() && waiters.size() < cap) {
+      auto& [cmd, w] = propose_queue_.front();
+      if (w->cancelled) {
+        propose_queue_.pop_front();
+        continue;
+      }
+      if (!entries.empty() && bytes + cmd.size() > opts_.max_batch_bytes) break;
+      Index idx = log_.last_index() + entries.size() + 1;
+      bytes += cmd.size();
+      w->index = idx;
+      pending_.emplace(idx, std::make_pair(my_term, w));
+      waiters.push_back(w);
+      entries.push_back(LogEntry{my_term, idx, std::move(cmd)});
+      propose_queue_.pop_front();
+    }
+    if (entries.empty()) continue;  // everything at the front was cancelled
+
+    gc_stats_.batches++;
+    gc_stats_.proposals += entries.size();
+    gc_stats_.batched_bytes += bytes;
+    gc_stats_.max_batch = std::max<uint64_t>(gc_stats_.max_batch, entries.size());
+    // Batch shape histograms ride the registry's latency field: count =
+    // batches, sum/count = mean batch size (entries) / write size (bytes).
+    channel_->metrics()->RecordLeg("RaftBatchEntries", rpc::Outcome::kOk,
+                                   static_cast<SimDuration>(entries.size()));
+    channel_->metrics()->RecordLeg("RaftBatchBytes", rpc::Outcome::kOk,
+                                   static_cast<SimDuration>(bytes));
+
+    Status st = co_await log_.Append(std::span<const LogEntry>(entries));
+    if (!running_ || gen_ != gen) co_return;
+    if (!st.ok()) {
+      for (auto& w : waiters) {
+        auto it = pending_.find(w->index);
+        if (it != pending_.end() && it->second.second == w) pending_.erase(it);
+        w->done.Set(st);
+      }
+      continue;
+    }
+    if (role_ == Role::kLeader && log_.term() == my_term) {
+      for (NodeId peer : peers_) {
+        if (peer != self_) KickPeer(peer);
+      }
+      AdvanceCommit();  // single-replica groups commit immediately
+    }
+  }
+  batcher_running_ = false;
+  if (!running_ || gen_ != gen) co_return;
+  // Leader-change failover: anything still queued never got an index here;
+  // fail it so callers retry against the new leader.
+  if (role_ != Role::kLeader) {
+    FailQueuedProposals(Status::NotLeader(std::to_string(leader_)));
+  }
 }
 
 void RaftNode::KickPeer(NodeId peer) {
@@ -218,6 +312,7 @@ void RaftNode::KickPeer(NodeId peer) {
 }
 
 Task<void> RaftNode::PeerPump(NodeId peer, Term my_term, uint64_t gen) {
+  rpc::Backoff backoff(&sched(), rpc::RetryPolicy::RaftPump());
   while (running_ && gen_ == gen && role_ == Role::kLeader && log_.term() == my_term &&
          host_->up()) {
     Index next = next_index_[peer];
@@ -227,7 +322,12 @@ Task<void> RaftNode::PeerPump(NodeId peer, Term my_term, uint64_t gen) {
       // Peer is behind the compacted prefix: ship the snapshot.
       bool ok = co_await SendSnapshotTo(peer, my_term);
       if (!running_ || gen_ != gen || role_ != Role::kLeader || log_.term() != my_term) break;
-      if (!ok) co_await SleepFor{sched(), 20 * kMsec};
+      if (!ok) {
+        backoff.NextAttempt();
+        co_await backoff.Delay();
+      } else {
+        backoff.Reset();
+      }
       continue;
     }
 
@@ -241,13 +341,15 @@ Task<void> RaftNode::PeerPump(NodeId peer, Term my_term, uint64_t gen) {
     Index end = std::min(log_.last_index(), next + opts_.max_batch_entries - 1);
     for (Index i = next; i <= end; i++) req.entries.push_back(log_.At(i));
 
-    auto r = co_await net_->Call<AppendReq, AppendResp>(  // lint:allow(raw-rpc)
+    auto r = co_await channel_->Unary<AppendReq, AppendResp>(
         self_, peer, std::move(req), opts_.rpc_timeout);
     if (!running_ || gen_ != gen || role_ != Role::kLeader || log_.term() != my_term) break;
     if (!r.ok()) {
-      co_await SleepFor{sched(), 10 * kMsec};
+      backoff.NextAttempt();
+      co_await backoff.Delay();
       continue;
     }
+    backoff.Reset();
     if (r->term > my_term) {
       StepDownIfStale(r->term);
       break;
@@ -262,9 +364,11 @@ Task<void> RaftNode::PeerPump(NodeId peer, Term my_term, uint64_t gen) {
     }
   }
   pump_active_[peer] = false;
-  // New entries may have arrived while we were finishing; re-arm if so.
+  // New entries may have arrived while we were finishing; re-arm if so. The
+  // host_->up() guard matters: without it a crashed leader would respawn a
+  // pump that exits immediately, recursing until the stack blows.
   if (running_ && gen_ == gen && role_ == Role::kLeader && log_.term() == my_term &&
-      next_index_[peer] <= log_.last_index()) {
+      host_->up() && next_index_[peer] <= log_.last_index()) {
     KickPeer(peer);
   }
 }
@@ -277,7 +381,7 @@ Task<bool> RaftNode::SendSnapshotTo(NodeId peer, Term my_term) {
   req.snap_index = log_.snapshot_index();
   req.snap_term = log_.snapshot_term();
   req.data = log_.snapshot_data();
-  auto r = co_await net_->Call<InstallSnapshotReq, InstallSnapshotResp>(  // lint:allow(raw-rpc)
+  auto r = co_await channel_->Unary<InstallSnapshotReq, InstallSnapshotResp>(
       self_, peer, std::move(req), opts_.rpc_timeout * 4);
   if (!r.ok()) co_return false;
   if (r->term > my_term) {
@@ -306,38 +410,43 @@ void RaftNode::AdvanceCommit() {
   }
 }
 
-void RaftNode::KickApply() {
-  if (apply_running_) return;
-  apply_running_ = true;
-  Spawn(ApplyLoop());
-}
-
-Task<void> RaftNode::ApplyLoop() {
-  while (applied_ < commit_) {
-    Index idx = applied_ + 1;
-    if (idx <= log_.snapshot_index()) {
-      applied_ = log_.snapshot_index();
-      continue;
+// Dedicated apply loop (one per Start/Recover incarnation): drains
+// [applied_+1, commit_], resolving waiters as their entries apply, then
+// parks on apply_notifier_. Decoupling apply from commit advance means the
+// state machine chews batch i while the batcher/pumps replicate batch i+1.
+Task<void> RaftNode::ApplyLoop(uint64_t gen) {
+  while (running_ && gen_ == gen) {
+    while (applied_ < commit_ && running_ && gen_ == gen) {
+      Index idx = applied_ + 1;
+      if (idx <= log_.snapshot_index()) {
+        applied_ = log_.snapshot_index();
+        continue;
+      }
+      if (!log_.Has(idx)) break;  // should not happen; wait for entries
+      const LogEntry& e = log_.At(idx);
+      if (!e.data.empty()) {
+        sm_->Apply(idx, e.data);
+      }
+      applied_ = idx;
+      auto it = pending_.find(idx);
+      if (it != pending_.end()) {
+        Status st = it->second.first == e.term
+                        ? Status::OK()
+                        : Status::NotLeader("entry overwritten by new leader");
+        it->second.second->done.Set(st);
+        pending_.erase(it);
+      }
+      co_await host_->cpu().Use(2);  // apply cost
     }
-    if (!log_.Has(idx)) break;  // should not happen; wait for entries
-    const LogEntry& e = log_.At(idx);
-    if (!e.data.empty()) {
-      sm_->Apply(idx, e.data);
+    if (!running_ || gen_ != gen) break;
+    co_await MaybeCompact();
+    if (!running_ || gen_ != gen) break;
+    // Re-check before parking: commit may have advanced during the awaits
+    // above, and Notifier wakeups are not sticky.
+    if (applied_ >= commit_ || !log_.Has(applied_ + 1)) {
+      co_await apply_notifier_.Wait();
     }
-    applied_ = idx;
-    auto it = pending_.find(idx);
-    if (it != pending_.end()) {
-      Status st = it->second.first == e.term
-                      ? Status::OK()
-                      : Status::NotLeader("entry overwritten by new leader");
-      it->second.second.Set(st);
-      pending_.erase(it);
-    }
-    co_await host_->cpu().Use(2);  // apply cost
   }
-  apply_running_ = false;
-  if (applied_ < commit_) KickApply();
-  co_await MaybeCompact();
 }
 
 Task<void> RaftNode::MaybeCompact() {
@@ -432,7 +541,7 @@ Task<AppendResp> RaftNode::OnAppend(AppendReq req) {
       // Conflict: drop our divergent suffix (and fail proposals that lived
       // in it — they were overwritten by a newer leader).
       for (auto it = pending_.lower_bound(e.index); it != pending_.end();) {
-        it->second.second.Set(Status::NotLeader("entry overwritten"));
+        it->second.second->done.Set(Status::NotLeader("entry overwritten"));
         it = pending_.erase(it);
       }
       (void)co_await log_.TruncateFrom(e.index);

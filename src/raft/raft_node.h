@@ -4,8 +4,17 @@
 // One RaftNode exists per (group, host). Message transport and heartbeat
 // coalescing live in RaftHost (multiraft.h); RaftNode exposes the protocol
 // entry points the transport routes into.
+//
+// Group commit (§2.2.4 write amplification): Propose() enqueues into a
+// leader-side batch queue; BatcherLoop drains it, assigning contiguous
+// indices and persisting the whole batch with ONE LogStore::Append (so
+// concurrent proposals share a log disk write) and kicking each peer once
+// per batch. A dedicated apply loop decouples state-machine application
+// from commit advance, so applying batch i overlaps replication and
+// persistence of batch i+1.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -13,6 +22,7 @@
 
 #include "raft/log_store.h"
 #include "raft/types.h"
+#include "rpc/channel.h"
 #include "sim/network.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -23,14 +33,17 @@ enum class Role { kFollower, kCandidate, kLeader };
 
 class RaftNode {
  public:
-  /// `peers` lists every replica of the group including `self`.
+  /// `peers` lists every replica of the group including `self`. `channel`
+  /// (owned by RaftHost) meters every raft RPC leg into the host's
+  /// MetricRegistry.
   RaftNode(const RaftOptions& opts, GroupId gid, NodeId self, std::vector<NodeId> peers,
-           sim::Network* net, sim::Host* host, sim::Disk* disk, StateMachine* sm);
+           sim::Network* net, sim::Host* host, sim::Disk* disk, StateMachine* sm,
+           rpc::Channel* channel);
 
   RaftNode(const RaftNode&) = delete;
   RaftNode& operator=(const RaftNode&) = delete;
 
-  /// Start the election timer (fresh group, empty state).
+  /// Start the election timer and the apply loop (fresh group, empty state).
   void Start();
 
   /// Crash-recover from stable storage, then start. Resets the state
@@ -64,6 +77,7 @@ class RaftNode {
   Role role() const { return role_; }
   LogStore& log() { return log_; }
   const LogStore& log() const { return log_; }
+  const GroupCommitStats& group_commit_stats() const { return gc_stats_; }
 
   // --- Transport entry points (called by RaftHost) ---
   sim::Task<VoteResp> OnVote(VoteReq req);
@@ -79,6 +93,18 @@ class RaftNode {
   void TriggerElection() { election_deadline_ = 0; }
 
  private:
+  /// A waiting proposer. Lives in propose_queue_ until the batcher assigns
+  /// an index, then in pending_ until committed+applied (or failed over).
+  /// shared_ptr because the proposer can abandon it on timeout while the
+  /// batcher/apply loop still holds it.
+  struct ProposeWaiter {
+    explicit ProposeWaiter(sim::Scheduler* s) : done(s) {}
+    sim::Promise<Status> done;
+    Index index = 0;        // 0 until the batcher assigns one
+    bool cancelled = false; // proposer timed out; skip if still queued
+  };
+  using WaiterPtr = std::shared_ptr<ProposeWaiter>;
+
   sim::Scheduler& sched() { return *net_->scheduler(); }
   int Majority() const { return static_cast<int>(peers_.size() / 2 + 1); }
   SimDuration RandomElectionTimeout();
@@ -89,17 +115,24 @@ class RaftNode {
   void BecomeLeader();
   sim::Task<void> PersistTerm(Term term, NodeId voted_for);
 
+  /// Ensure the batcher coroutine is draining the propose queue.
+  void KickBatcher();
+  sim::Task<void> BatcherLoop(uint64_t gen);
+
   /// Ensure a replication pump is running toward `peer`.
   void KickPeer(NodeId peer);
   sim::Task<void> PeerPump(NodeId peer, Term my_term, uint64_t gen);
   sim::Task<bool> SendSnapshotTo(NodeId peer, Term my_term);
 
   void AdvanceCommit();
-  void KickApply();
-  sim::Task<void> ApplyLoop();
+  void KickApply() { apply_notifier_.NotifyAll(); }
+  sim::Task<void> ApplyLoop(uint64_t gen);
   sim::Task<void> MaybeCompact();
 
   void FailPendingProposals(const Status& status);
+  /// Leader-change failover: proposals still queued (no index yet) are
+  /// failed so callers re-route to the new leader.
+  void FailQueuedProposals(const Status& status);
 
   RaftOptions opts_;
   GroupId gid_;
@@ -108,6 +141,7 @@ class RaftNode {
   sim::Network* net_;
   sim::Host* host_;
   StateMachine* sm_;
+  rpc::Channel* channel_;
   LogStore log_;
 
   Role role_ = Role::kFollower;
@@ -120,10 +154,16 @@ class RaftNode {
   std::map<NodeId, Index> match_index_;
   std::map<NodeId, bool> pump_active_;
 
-  /// index -> (term at proposal, completion)
-  std::map<Index, std::pair<Term, sim::Promise<Status>>> pending_;
+  /// Leader-side group commit: commands awaiting a batch slot.
+  std::deque<std::pair<std::string, WaiterPtr>> propose_queue_;
+  bool batcher_running_ = false;
+  GroupCommitStats gc_stats_;
 
-  bool apply_running_ = false;
+  /// index -> (term at proposal, waiter). Batch-atomic: the batcher
+  /// registers a whole batch before its single Append await.
+  std::map<Index, std::pair<Term, WaiterPtr>> pending_;
+
+  sim::Notifier apply_notifier_;
   bool compacting_ = false;
   bool running_ = false;
   uint64_t gen_ = 0;  // bumped on Stop/Recover; loops from old gens exit

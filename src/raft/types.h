@@ -7,6 +7,7 @@
 // same subset of nodes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -45,6 +46,7 @@ class StateMachine {
 // --- Wire messages -------------------------------------------------------
 
 struct VoteReq {
+  static constexpr const char* kRpcName = "RaftVote";
   GroupId gid = 0;
   Term term = 0;
   NodeId candidate = 0;
@@ -58,6 +60,7 @@ struct VoteResp {
 };
 
 struct AppendReq {
+  static constexpr const char* kRpcName = "RaftAppend";
   GroupId gid = 0;
   Term term = 0;
   NodeId leader = 0;
@@ -82,6 +85,7 @@ struct AppendResp {
 };
 
 struct InstallSnapshotReq {
+  static constexpr const char* kRpcName = "RaftInstallSnapshot";
   GroupId gid = 0;
   Term term = 0;
   NodeId leader = 0;
@@ -106,6 +110,7 @@ struct HeartbeatItem {
   Index commit = 0;
 };
 struct MultiHeartbeatReq {
+  static constexpr const char* kRpcName = "RaftMultiHeartbeat";
   NodeId from = 0;
   std::vector<HeartbeatItem> items;
   size_t WireBytes() const { return 32 + items.size() * 20; }
@@ -130,6 +135,37 @@ struct RaftOptions {
   size_t max_batch_entries = 64;
   /// CPU cost charged per processed raft message.
   SimDuration cpu_per_message = 3;
+  // --- Group commit (leader-side proposal batching) ---
+  /// Max concurrent proposals folded into one leader log write (and one
+  /// AppendEntries kick). 1 disables batching: every proposal pays its own
+  /// log write, the pre-group-commit behaviour.
+  size_t max_batch_proposals = 64;
+  /// Max payload bytes per proposal batch. A single command larger than this
+  /// still ships, as a batch of one.
+  size_t max_batch_bytes = 1 * kMiB;
+  /// Optional wait before the batcher drains its queue, trading latency for
+  /// larger batches. 0 (default) relies on natural batching only: the next
+  /// batch forms while the previous log write is in flight, so an
+  /// uncontended proposal is never delayed.
+  SimDuration batch_linger = 0;
+};
+
+/// Leader-side group-commit counters, one set per RaftNode (aggregated
+/// across a host's groups by RaftHost::group_commit_stats()).
+struct GroupCommitStats {
+  uint64_t batches = 0;          ///< proposal-batch log writes
+  uint64_t proposals = 0;        ///< proposals folded into those writes
+  uint64_t batched_bytes = 0;    ///< payload bytes across those writes
+  uint64_t max_batch = 0;        ///< largest single batch (proposals)
+  uint64_t queue_high_watermark = 0;  ///< deepest the propose queue got
+
+  void MergeFrom(const GroupCommitStats& o) {
+    batches += o.batches;
+    proposals += o.proposals;
+    batched_bytes += o.batched_bytes;
+    max_batch = std::max(max_batch, o.max_batch);
+    queue_high_watermark = std::max(queue_high_watermark, o.queue_high_watermark);
+  }
 };
 
 }  // namespace cfs::raft

@@ -29,6 +29,14 @@ const char* RpcNameOf() {
   }
 }
 
+/// Responses carrying an application-level Status get NotLeader legs metered
+/// separately; protocol responses without one (the raft wire messages encode
+/// rejection in protocol fields like `granted`/`success`) meter as plain Ok.
+template <typename T>
+concept HasStatusField = requires(const T& t) {
+  { t.status.IsNotLeader() } -> std::convertible_to<bool>;
+};
+
 class Channel {
  public:
   Channel(sim::Network* net, MetricRegistry* metrics) : net_(net), metrics_(metrics) {}
@@ -56,8 +64,12 @@ class Channel {
     const char* name = RpcNameOf<Req>();
     if (!r.ok()) {
       metrics_->RecordLeg(name, Outcome::kTimeout, latency);
-    } else if (r->status.IsNotLeader()) {
-      metrics_->RecordLeg(name, Outcome::kNotLeader, latency);
+    } else if constexpr (HasStatusField<Resp>) {
+      if (r->status.IsNotLeader()) {
+        metrics_->RecordLeg(name, Outcome::kNotLeader, latency);
+      } else {
+        metrics_->RecordLeg(name, Outcome::kOk, latency);
+      }
     } else {
       metrics_->RecordLeg(name, Outcome::kOk, latency);
     }

@@ -59,6 +59,19 @@ struct RetryPolicy {
     p.backoff_cap = 400 * kMsec;
     return p;
   }
+
+  /// Raft replication pump: the pump itself decides when to stop (leadership
+  /// or generation change), so the attempt budget is effectively unbounded.
+  /// Base matches the old fixed 10 ms failure sleep; the cap stays well
+  /// under the election timeout so a recovered follower is re-engaged before
+  /// anyone considers the leader dead.
+  static RetryPolicy RaftPump() {
+    RetryPolicy p;
+    p.max_attempts = 1 << 30;
+    p.backoff_base = 10 * kMsec;
+    p.backoff_cap = 160 * kMsec;
+    return p;
+  }
 };
 
 /// Per-logical-call retry driver: owns the attempt counter and the backoff
@@ -81,6 +94,10 @@ class Backoff {
   /// 0-based index of the attempt NextAttempt() last granted.
   int attempt() const { return next_attempt_ - 1; }
   bool exhausted() const { return next_attempt_ >= policy_.max_attempts; }
+
+  /// Restart the schedule after a success (long-lived drivers like the raft
+  /// replication pump treat each failure streak as its own schedule).
+  void Reset() { next_attempt_ = 0; }
 
   /// The jittered delay for the current retry: nominal d doubles from
   /// backoff_base up to backoff_cap, and the sleep is drawn uniformly from

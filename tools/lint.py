@@ -22,8 +22,8 @@ source-level rules that keep those promises true:
   R4  no raw Network::Call outside src/rpc/: every RPC leg must go through
       the rpc service layer (rpc::Channel / typed stubs) so retries,
       deadlines and per-RPC metrics stay uniform (DESIGN.md "RPC service
-      layer"). The raft transport keeps its own timeout discipline and is
-      opted out site-by-site with // lint:allow(raw-rpc).
+      layer"). The raft transport routes through rpc::Channel too (see
+      raft/multiraft.h), so the only remaining raw call is Channel itself.
 
 A line may opt out of R1/R2/R4 with a trailing `// lint:allow(<rule>)` comment
 naming the rule, e.g. `// lint:allow(unordered)` — the escape hatch exists
