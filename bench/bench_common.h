@@ -9,6 +9,7 @@
 // prints the simulated-time IOPS for CFS and Ceph side by side.
 #pragma once
 
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "harness/cluster.h"
 #include "harness/workloads.h"
+#include "obs/analysis.h"
 
 namespace cfs::bench {
 
@@ -31,12 +33,14 @@ struct CfsBench {
 inline CfsBench MakeCfsBench(int num_clients, uint64_t seed = 1,
                              uint32_t meta_partitions = 30, uint32_t data_partitions = 40,
                              uint64_t nic_mib = 0,
-                             std::optional<client::ClientOptions> client_opts = std::nullopt) {
+                             std::optional<client::ClientOptions> client_opts = std::nullopt,
+                             bool trace = false) {
   CfsBench b;
   harness::ClusterOptions opts;
   opts.num_nodes = 10;  // paper testbed
   opts.seed = seed;
   opts.track_contents = false;
+  opts.trace = trace;  // span tracing never perturbs the schedule (obs/trace.h)
   if (client_opts) opts.client = *client_opts;
   opts.host.disk.capacity_bytes = 960ull * kGiB;
   // Data-path benches scale the wire rate up so the storage stack (not the
@@ -143,11 +147,66 @@ inline void PrintGroupCommitStats(const char* label, const harness::Cluster& clu
 
 /// Shared tiny-parameter switch for the ablation benches: `--smoke` shrinks
 /// every sweep so CI can execute each binary end to end in seconds.
-inline bool SmokeMode(int argc, char** argv) {
+inline bool HasFlag(int argc, char** argv, const char* name) {
   for (int i = 1; i < argc; i++) {
-    if (std::string(argv[i]) == "--smoke") return true;
+    if (std::string(argv[i]) == name) return true;
   }
   return false;
+}
+
+inline bool SmokeMode(int argc, char** argv) { return HasFlag(argc, argv, "--smoke"); }
+
+/// Value of `--name <value>` (or nullptr if absent). Used by bench_fig8 for
+/// `--trace-out <path>`.
+inline const char* FlagValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::string(argv[i]) == name) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+// --- Table printing ---------------------------------------------------------
+
+inline void PrintHeader(const std::string& title, const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-24s", "");
+  for (const auto& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::string& label, const std::vector<double>& values) {
+  std::printf("%-24s", label.c_str());
+  for (double v : values) {
+    if (v >= 1000) {
+      std::printf("%14.0f", v);
+    } else {
+      std::printf("%14.1f", v);
+    }
+  }
+  std::printf("\n");
+}
+
+/// One machine-readable quantile line per (system, test) pair:
+/// `latency_quantiles <label> {json}`. Quantiles are interpolated from the
+/// fixed-bucket obs::Histogram (see DESIGN.md "Observability"), so treat
+/// them as bucket-resolution estimates, not exact order statistics.
+inline void PrintLatencyQuantiles(const std::string& label, const obs::Histogram& h) {
+  std::printf(
+      "latency_quantiles %s {\"count\":%llu,\"p50_usec\":%.1f,\"p95_usec\":%.1f,"
+      "\"p99_usec\":%.1f,\"max_usec\":%llu,\"mean_usec\":%.1f}\n",
+      label.c_str(), static_cast<unsigned long long>(h.count), h.P50(), h.P95(), h.P99(),
+      static_cast<unsigned long long>(h.max_usec),
+      h.count ? static_cast<double>(h.sum_usec) / static_cast<double>(h.count) : 0.0);
+}
+
+/// Per-stage breakdown of the most recent trace whose root matches
+/// `root_prefix` (e.g. "op:write"): `stage_breakdown <label> {json}`.
+/// Requires the bench cell to have been built with trace=true.
+inline void PrintStageBreakdown(const std::string& label, harness::Cluster& cluster,
+                                std::string_view root_prefix) {
+  uint64_t id = obs::FindLastTrace(cluster.tracer(), root_prefix);
+  obs::TraceBreakdown bd = obs::StageBreakdown(cluster.tracer(), id);
+  std::printf("stage_breakdown %s %s\n", label.c_str(), bd.DumpJson().c_str());
 }
 
 /// procs_per_client copies of each client's adapter (mdtest processes on one

@@ -34,20 +34,23 @@ int main() {
   for (auto [test, name] : kTests) {
     PrintHeader(name, cols);
     std::vector<double> cfs_row, ceph_row;
+    obs::Histogram cfs_lat, ceph_lat;
     for (uint64_t kb : kSizesKb) {
       {
         CfsBench b = MakeCfsBench(kClients, /*seed=*/41 + kb, 30, 120, /*nic_mib=*/1170);
         auto meta = FanOutAs<MetaOps>(b.meta_adapters, kProcs);
         auto data = FanOutAs<DataOps>(b.data_adapters, kProcs);
-        cfs_row.push_back(
-            RunSmallFiles(&b.sched(), test, kb * kKiB, meta, data, kFilesPerProc).Iops());
+        BenchResult r = RunSmallFiles(&b.sched(), test, kb * kKiB, meta, data, kFilesPerProc);
+        cfs_row.push_back(r.Iops());
+        cfs_lat.MergeFrom(r.latency);
       }
       {
         CephBench b = MakeCephBench(kClients, /*seed=*/41 + kb, {}, /*nic_mib=*/1170);
         auto meta = FanOutAs<MetaOps>(b.meta_adapters, kProcs);
         auto data = FanOutAs<DataOps>(b.data_adapters, kProcs);
-        ceph_row.push_back(
-            RunSmallFiles(&b.sched(), test, kb * kKiB, meta, data, kFilesPerProc).Iops());
+        BenchResult r = RunSmallFiles(&b.sched(), test, kb * kKiB, meta, data, kFilesPerProc);
+        ceph_row.push_back(r.Iops());
+        ceph_lat.MergeFrom(r.latency);
       }
     }
     PrintRow("CFS", cfs_row);
@@ -57,6 +60,8 @@ int main() {
       ratio.push_back(ceph_row[i] > 0 ? cfs_row[i] / ceph_row[i] : 0);
     }
     PrintRow("CFS/Ceph", ratio);
+    PrintLatencyQuantiles(std::string("cfs:") + name, cfs_lat);
+    PrintLatencyQuantiles(std::string("ceph:") + name, ceph_lat);
   }
   return 0;
 }

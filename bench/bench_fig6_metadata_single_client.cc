@@ -29,6 +29,7 @@ int main() {
     PrintHeader(std::string(MdTestName(test)) + " (1 client)",
                 {"procs=1", "procs=4", "procs=16", "procs=64"});
     std::vector<double> cfs_row, ceph_row;
+    obs::Histogram cfs_lat, ceph_lat;
     for (int procs : kProcs) {
       MdtestParams params;
       params.items_per_proc = 48;
@@ -36,13 +37,17 @@ int main() {
       {
         CfsBench b = MakeCfsBench(1, /*seed=*/7 + procs);
         auto ops = FanOutAs<MetaOps>(b.meta_adapters, tree ? 1 : procs);
-        cfs_row.push_back(RunMdtest(&b.sched(), test, ops, params).Iops());
+        BenchResult r = RunMdtest(&b.sched(), test, ops, params);
+        cfs_row.push_back(r.Iops());
+        cfs_lat.MergeFrom(r.latency);
         AccumulateRpcMetrics(b, &cfs_rpc_metrics);
       }
       {
         CephBench b = MakeCephBench(1, /*seed=*/7 + procs);
         auto ops = FanOutAs<MetaOps>(b.meta_adapters, tree ? 1 : procs);
-        ceph_row.push_back(RunMdtest(&b.sched(), test, ops, params).Iops());
+        BenchResult r = RunMdtest(&b.sched(), test, ops, params);
+        ceph_row.push_back(r.Iops());
+        ceph_lat.MergeFrom(r.latency);
         AccumulateRpcMetrics(b, &ceph_rpc_metrics);
       }
     }
@@ -53,6 +58,8 @@ int main() {
       ratio.push_back(ceph_row[i] > 0 ? cfs_row[i] / ceph_row[i] : 0);
     }
     PrintRow("CFS/Ceph", ratio);
+    PrintLatencyQuantiles(std::string("cfs:") + MdTestName(test), cfs_lat);
+    PrintLatencyQuantiles(std::string("ceph:") + MdTestName(test), ceph_lat);
   }
   PrintRpcMetrics("cfs", cfs_rpc_metrics);
   PrintRpcMetrics("ceph", ceph_rpc_metrics);

@@ -30,6 +30,7 @@ int main() {
   // order) so later phases see the cache pressure and rebalancing that the
   // earlier ones induced (§4.2's explanation of the tree results).
   std::map<MdTest, std::vector<double>> cfs_results, ceph_results;
+  std::map<MdTest, obs::Histogram> cfs_lat, ceph_lat;
   for (int clients : kClients) {
     CfsBench cfs = MakeCfsBench(clients, /*seed=*/11 + clients);
     CephBench ceph = MakeCephBench(clients, /*seed=*/11 + clients);
@@ -45,11 +46,15 @@ int main() {
       params.stat_shift = procs;  // mdtest -N: stat the next client's files
       {
         auto ops = FanOutAs<MetaOps>(cfs.meta_adapters, procs);
-        cfs_results[test].push_back(RunMdtest(&cfs.sched(), test, ops, params).Iops());
+        BenchResult r = RunMdtest(&cfs.sched(), test, ops, params);
+        cfs_results[test].push_back(r.Iops());
+        cfs_lat[test].MergeFrom(r.latency);
       }
       {
         auto ops = FanOutAs<MetaOps>(ceph.meta_adapters, procs);
-        ceph_results[test].push_back(RunMdtest(&ceph.sched(), test, ops, params).Iops());
+        BenchResult r = RunMdtest(&ceph.sched(), test, ops, params);
+        ceph_results[test].push_back(r.Iops());
+        ceph_lat[test].MergeFrom(r.latency);
       }
     }
     // How much the meta-partition leaders batched under this client count
@@ -71,6 +76,8 @@ int main() {
       ratio.push_back(ceph_row[i] > 0 ? cfs_row[i] / ceph_row[i] : 0);
     }
     PrintRow("CFS/Ceph", ratio);
+    PrintLatencyQuantiles(std::string("cfs:") + MdTestName(test), cfs_lat[test]);
+    PrintLatencyQuantiles(std::string("ceph:") + MdTestName(test), ceph_lat[test]);
     table3_cfs.push_back(cfs_row.back());
     table3_ceph.push_back(ceph_row.back());
   }
@@ -84,6 +91,23 @@ int main() {
                         : 0;
     std::printf("%-16s%14.0f%14.0f%13.0f%%   (%s%%)\n", MdTestName(kTests[i]), table3_cfs[i],
                 table3_ceph[i], improv, paper[i]);
+  }
+
+  // Traced single create on a fresh cluster: the per-stage breakdown of one
+  // metadata mutation (meta RPC -> raft propose/batch/apply -> WAL write).
+  {
+    CfsBench b = MakeCfsBench(1, /*seed=*/99, 30, 40, 0, std::nullopt, /*trace=*/true);
+    client::Client* c = b.clients[0];
+    auto st = harness::RunTask(
+        b.sched(), [](client::Client* c) -> sim::Task<Status> {
+          auto created = co_await c->Create(meta::kRootInode, "traced", meta::FileType::kFile);
+          co_return created.status();
+        }(c));
+    if (st && st->ok()) {
+      PrintStageBreakdown("cfs:create", *b.cluster, "op:create");
+    } else {
+      std::fprintf(stderr, "traced create failed\n");
+    }
   }
   return 0;
 }

@@ -30,6 +30,7 @@ int main() {
                     " procs/client)",
                 cols);
     std::vector<double> cfs_row, ceph_row;
+    obs::Histogram cfs_lat, ceph_lat;
     for (int clients : kClients) {
       FioParams params;
       params.file_bytes = 1 * kGiB;
@@ -37,12 +38,16 @@ int main() {
       {
         CfsBench b = MakeCfsBench(clients, /*seed=*/31 + clients, 30, 40, /*nic_mib=*/1170);
         auto ops = FanOutAs<DataOps>(b.data_adapters, procs);
-        cfs_row.push_back(RunFio(&b.sched(), pattern, ops, params).Iops());
+        BenchResult r = RunFio(&b.sched(), pattern, ops, params);
+        cfs_row.push_back(r.Iops());
+        cfs_lat.MergeFrom(r.latency);
       }
       {
         CephBench b = MakeCephBench(clients, /*seed=*/31 + clients, {}, /*nic_mib=*/1170);
         auto ops = FanOutAs<DataOps>(b.data_adapters, procs);
-        ceph_row.push_back(RunFio(&b.sched(), pattern, ops, params).Iops());
+        BenchResult r = RunFio(&b.sched(), pattern, ops, params);
+        ceph_row.push_back(r.Iops());
+        ceph_lat.MergeFrom(r.latency);
       }
     }
     PrintRow("CFS", cfs_row);
@@ -52,6 +57,8 @@ int main() {
       ratio.push_back(ceph_row[i] > 0 ? cfs_row[i] / ceph_row[i] : 0);
     }
     PrintRow("CFS/Ceph", ratio);
+    PrintLatencyQuantiles(std::string("cfs:") + FioPatternName(pattern), cfs_lat);
+    PrintLatencyQuantiles(std::string("ceph:") + FioPatternName(pattern), ceph_lat);
   }
   return 0;
 }

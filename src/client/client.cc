@@ -100,6 +100,7 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
                                         FileType type, std::string symlink_target) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
   const rpc::Deadline dl = OpDeadline();
+  obs::SpanScope op = BeginOp("op:create");
   // Step 1: create the inode on an available (randomly chosen) partition.
   // Placement retries ride the same backoff clock as the stubs.
   Inode inode;
@@ -120,7 +121,7 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
     const PartitionId pid = view->pid;
     meta::MetaCreateInodeReq req{pid, type, symlink_target};
     auto r = co_await MetaCall<meta::MetaCreateInodeReq, meta::MetaCreateInodeResp>(
-        pid, std::move(req), dl);
+        pid, std::move(req), dl, op.ctx());
     if (!r.ok()) {
       last = r.status();
       continue;
@@ -153,7 +154,7 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
     Dentry d{parent, name, inode.id, type};
     meta::MetaCreateDentryReq req{pview->pid, std::move(d)};
     auto r = co_await MetaCall<meta::MetaCreateDentryReq, meta::MetaCreateDentryResp>(
-        pview->pid, std::move(req), dl);
+        pview->pid, std::move(req), dl, op.ctx());
     dstatus = r.ok() ? r->status : r.status();
   }
   if (!dstatus.ok()) {
@@ -166,7 +167,7 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
     if (pview) {
       meta::MetaLookupReq lreq{pview->pid, parent, name};
       auto lr = co_await MetaCall<meta::MetaLookupReq, meta::MetaLookupResp>(
-          pview->pid, std::move(lreq), dl);
+          pview->pid, std::move(lreq), dl, op.ctx());
       if (lr.ok() && lr->status.ok() && lr->dentry.inode == inode.id) {
         CacheInode(inode);
         readdir_cache_.Erase(parent);
@@ -182,7 +183,7 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
     // Fig. 3a failure path: unlink the fresh inode, park it on the local
     // orphan list, evict later.
     (void)co_await MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
-        ino_pid, meta::MetaUnlinkInodeReq{ino_pid, inode.id}, dl);
+        ino_pid, meta::MetaUnlinkInodeReq{ino_pid, inode.id}, dl, op.ctx());
     orphans_.emplace_back(ino_pid, inode.id);
     stats_.orphans_created++;
     co_return dstatus;
@@ -195,11 +196,12 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
 sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
   const rpc::Deadline dl = OpDeadline();
+  obs::SpanScope op = BeginOp("op:link");
   MetaPartitionView* iview = MetaViewForInode(ino);
   if (!iview) co_return Status::NotFound("inode partition");
   // Fig. 3b: nlink++ first...
   auto r = co_await MetaCall<meta::MetaLinkInodeReq, meta::MetaLinkInodeResp>(
-      iview->pid, meta::MetaLinkInodeReq{iview->pid, ino}, dl);
+      iview->pid, meta::MetaLinkInodeReq{iview->pid, ino}, dl, op.ctx());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   // ...then the dentry on the target parent's partition.
@@ -209,7 +211,7 @@ sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
     Dentry d{parent, name, ino, r->inode.type};
     meta::MetaCreateDentryReq req{pview->pid, std::move(d)};
     auto r2 = co_await MetaCall<meta::MetaCreateDentryReq, meta::MetaCreateDentryResp>(
-        pview->pid, std::move(req), dl);
+        pview->pid, std::move(req), dl, op.ctx());
     dstatus = r2.ok() ? r2->status : r2.status();
   }
   if (!dstatus.ok()) {
@@ -220,7 +222,7 @@ sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
     if (pview) {
       meta::MetaLookupReq lreq{pview->pid, parent, name};
       auto lr = co_await MetaCall<meta::MetaLookupReq, meta::MetaLookupResp>(
-          pview->pid, std::move(lreq), dl);
+          pview->pid, std::move(lreq), dl, op.ctx());
       if (lr.ok() && lr->status.ok() && lr->dentry.inode == ino) {
         readdir_cache_.Erase(parent);
         inode_cache_.Erase(ino);
@@ -234,7 +236,7 @@ sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
     iview = MetaViewForInode(ino);
     if (iview) {
       (void)co_await MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
-          iview->pid, meta::MetaUnlinkInodeReq{iview->pid, ino}, dl);
+          iview->pid, meta::MetaUnlinkInodeReq{iview->pid, ino}, dl, op.ctx());
     }
     co_return dstatus;
   }
@@ -246,13 +248,14 @@ sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
 sim::Task<Status> Client::Unlink(InodeId parent, std::string name) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
   const rpc::Deadline dl = OpDeadline();
+  obs::SpanScope op = BeginOp("op:unlink");
   MetaPartitionView* pview = MetaViewForInode(parent);
   if (!pview) co_return Status::NotFound("parent partition");
   // Fig. 3c: delete the dentry first; a dentry must always point at a live
   // inode, so the reverse order is never allowed.
   meta::MetaDeleteDentryReq req{pview->pid, parent, name};
   auto r = co_await MetaCall<meta::MetaDeleteDentryReq, meta::MetaDeleteDentryResp>(
-      pview->pid, std::move(req), dl);
+      pview->pid, std::move(req), dl, op.ctx());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   InodeId ino = r->dentry.inode;
@@ -311,11 +314,12 @@ sim::Task<Result<Dentry>> Client::Lookup(InodeId parent, std::string name) {
     }
   }
   stats_.cache_misses++;
+  obs::SpanScope op = BeginOp("op:lookup");
   MetaPartitionView* pview = MetaViewForInode(parent);
   if (!pview) co_return Status::NotFound("parent partition");
   meta::MetaLookupReq req{pview->pid, parent, name};
   auto r = co_await MetaCall<meta::MetaLookupReq, meta::MetaLookupResp>(
-      pview->pid, std::move(req), OpDeadline());
+      pview->pid, std::move(req), OpDeadline(), op.ctx());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   co_return r->dentry;
@@ -328,10 +332,11 @@ sim::Task<Result<Inode>> Client::GetInode(InodeId ino) {
     co_return *cached;
   }
   stats_.cache_misses++;
+  obs::SpanScope op = BeginOp("op:getinode");
   MetaPartitionView* view = MetaViewForInode(ino);
   if (!view) co_return Status::NotFound("inode partition");
   auto r = co_await MetaCall<meta::MetaGetInodeReq, meta::MetaGetInodeResp>(
-      view->pid, meta::MetaGetInodeReq{view->pid, ino}, OpDeadline());
+      view->pid, meta::MetaGetInodeReq{view->pid, ino}, OpDeadline(), op.ctx());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   CacheInode(r->inode);
@@ -348,10 +353,11 @@ sim::Task<Result<std::vector<Dentry>>> Client::ReadDir(InodeId parent) {
     }
   }
   stats_.cache_misses++;
+  obs::SpanScope op = BeginOp("op:readdir");
   MetaPartitionView* pview = MetaViewForInode(parent);
   if (!pview) co_return Status::NotFound("parent partition");
   auto r = co_await MetaCall<meta::MetaReadDirReq, meta::MetaReadDirResp>(
-      pview->pid, meta::MetaReadDirReq{pview->pid, parent}, OpDeadline());
+      pview->pid, meta::MetaReadDirReq{pview->pid, parent}, OpDeadline(), op.ctx());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   if (opts_.enable_metadata_cache) {
@@ -364,6 +370,7 @@ sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> Client::ReadDirPlus(Ino
   // The DirStat path (§4.2): readdir, then ONE batchInodeGet per meta
   // partition instead of per-inode fetches, with client-side caching.
   const rpc::Deadline dl = OpDeadline();
+  obs::SpanScope op = BeginOp("op:readdirplus");
   auto dentries = co_await ReadDir(parent);
   if (!dentries.ok()) co_return dentries.status();
 
@@ -384,7 +391,7 @@ sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> Client::ReadDirPlus(Ino
     stats_.cache_misses++;
     meta::MetaBatchInodeGetReq req{pid, inos};
     auto r = co_await MetaCall<meta::MetaBatchInodeGetReq, meta::MetaBatchInodeGetResp>(
-        pid, std::move(req), dl);
+        pid, std::move(req), dl, op.ctx());
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
     for (auto& ino : r->inodes) {
@@ -444,12 +451,13 @@ sim::Task<Status> Client::Fsync(InodeId ino) {
   OpenFile& of = it->second;
   if (!of.dirty) co_return Status::OK();
   const rpc::Deadline dl = OpDeadline();
+  obs::SpanScope op = BeginOp("op:fsync");
   MetaPartitionView* view = MetaViewForInode(ino);
   if (!view) co_return Status::NotFound("inode partition");
   const PartitionId pid = view->pid;
   for (const ExtentKey& key : of.pending_keys) {
     auto r = co_await MetaCall<meta::MetaAppendExtentReq, meta::MetaAppendExtentResp>(
-        pid, meta::MetaAppendExtentReq{pid, ino, key, of.pending_size}, dl);
+        pid, meta::MetaAppendExtentReq{pid, ino, key, of.pending_size}, dl, op.ctx());
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
   }
@@ -475,7 +483,7 @@ sim::Task<Status> Client::Fsync(InodeId ino) {
 }
 
 sim::Task<Status> Client::WriteSmallFile(OpenFile& of, std::string_view data,
-                                         rpc::Deadline dl) {
+                                         rpc::Deadline dl, obs::TraceContext trace) {
   // §4.4: "the CFS client does not need to ask the resource manager for new
   // extents; instead, it sends the write request to the data node directly."
   Status last = Status::Unavailable("no writable data partition");
@@ -494,7 +502,7 @@ sim::Task<Status> Client::WriteSmallFile(OpenFile& of, std::string_view data,
     const PartitionId pid = view->pid;
     data::WriteSmallReq req{pid, std::string(data)};
     auto r = co_await data_svc_.ChainCall<data::WriteSmallReq, data::WriteSmallResp>(
-        pid, std::move(req), rpc::CallOptions{dl});
+        pid, std::move(req), rpc::CallOptions{dl, nullptr, trace});
     if (!r.ok()) {
       last = r.status();
       co_await backoff.Delay();
@@ -544,11 +552,11 @@ struct WindowCtl {
 // metrics like every other leg.
 Task<void> SendWindowPacket(rpc::Channel* channel, sim::NodeId self, sim::NodeId target,
                             SimDuration timeout, std::shared_ptr<WindowCtl> ctl,
-                            data::WritePacketReq pkt) {
+                            data::WritePacketReq pkt, obs::TraceContext trace) {
   const uint64_t begin = pkt.offset;
   const uint64_t end = begin + pkt.data.size();
   auto r = co_await channel->Unary<data::WritePacketReq, data::WritePacketResp>(
-      self, target, std::move(pkt), timeout);
+      self, target, std::move(pkt), timeout, trace);
   if (r.ok()) {
     ctl->leader_committed = std::max(ctl->leader_committed, r->committed_offset);
   }
@@ -573,7 +581,8 @@ Task<void> SendWindowPacket(rpc::Channel* channel, sim::NodeId self, sim::NodeId
 }  // namespace
 
 sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
-                                     std::string_view data, rpc::Deadline dl) {
+                                     std::string_view data, rpc::Deadline dl,
+                                     obs::TraceContext trace) {
   // Sliding-window pipeline: up to write_window_packets WritePacketReqs in
   // flight against the active extent; the committed prefix (and with it
   // pending_keys / append_extent_size) only advances over bytes the leader
@@ -604,7 +613,7 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
         }
         const PartitionId pid = view->pid;
         auto r = co_await data_svc_.ChainCall<data::CreateExtentReq, data::CreateExtentResp>(
-            pid, data::CreateExtentReq{pid}, rpc::CallOptions{dl});
+            pid, data::CreateExtentReq{pid}, rpc::CallOptions{dl, nullptr, trace});
         if (!r.ok()) {
           alloc = r.status();
           co_await backoff.Delay();
@@ -633,10 +642,24 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
     // --- One window session against the active extent ---
     const uint64_t base = of.append_extent_size;
     auto ctl = std::make_shared<WindowCtl>(&sched(), window, base);
+    // All packets of the session group under one "client:window" span so the
+    // trace shows the pipeline depth, not a flat run of rpc legs.
+    obs::SpanScope session;
+    if (sched().tracer().enabled() && trace.valid()) {
+      obs::Tracer& tracer = sched().tracer();
+      session = obs::SpanScope(
+          &tracer, tracer.BeginSpan("client:window", trace, host_->id()));
+      session.Note("window", window);
+    }
+    const obs::TraceContext pkt_parent = session.ctx().valid() ? session.ctx() : trace;
     uint64_t next_off = base;   // extent offset of the next packet
     uint64_t send_pos = pos;    // data position of the next packet
+    int64_t packets = 0, session_stalls = 0, max_occupancy = 0;
     while (send_pos < data.size() && next_off < extent_limit && !ctl->failed) {
-      if (co_await ctl->sem.Acquire()) stats_.window_stalls++;
+      if (co_await ctl->sem.Acquire()) {
+        stats_.window_stalls++;
+        session_stalls++;
+      }
       if (ctl->failed) {
         ctl->sem.Release();
         break;
@@ -649,17 +672,22 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
       pkt.offset = next_off;
       pkt.data = std::string(data.substr(send_pos, chunk));
       ctl->inflight++;
+      packets++;
+      max_occupancy = std::max<int64_t>(max_occupancy, ctl->inflight);
       stats_.max_inflight_packets =
           std::max<uint64_t>(stats_.max_inflight_packets, ctl->inflight);
       stats_.data_rpcs++;
       Spawn(SendWindowPacket(&channel_, host_->id(), target,
                              dl.ClampTimeout(sched().Now(), opts_.rpc_timeout), ctl,
-                             std::move(pkt)));
+                             std::move(pkt), pkt_parent));
       next_off += chunk;
       send_pos += chunk;
     }
     // Drain the window before touching the commit bookkeeping.
     while (ctl->inflight > 0) co_await ctl->drained.Wait();
+    session.Note("packets", packets);
+    session.Note("stalls", session_stalls);
+    session.Note("max_occupancy", max_occupancy);
 
     uint64_t committed_end =
         std::clamp(std::max(ctl->acked_prefix, ctl->leader_committed), base, next_off);
@@ -708,7 +736,8 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
 }
 
 sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
-                                        std::string_view data, rpc::Deadline dl) {
+                                        std::string_view data, rpc::Deadline dl,
+                                        obs::TraceContext trace) {
   // In-place (§2.7.2): locate the covering extent keys; offsets don't move;
   // NO metadata update is needed — the paper's key overwrite advantage.
   uint64_t end = offset + data.size();
@@ -725,7 +754,7 @@ sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
     uint64_t extent_off = k->extent_offset + (piece_begin - k->file_offset);
     data::OverwriteReq req{k->partition_id, k->extent_id, extent_off, std::move(piece)};
     auto r = co_await DataLeaderCall<data::OverwriteReq, data::OverwriteResp>(
-        k->partition_id, std::move(req), dl);
+        k->partition_id, std::move(req), dl, trace);
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
   }
@@ -740,6 +769,8 @@ sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, std::string data) 
     CFS_CO_RETURN_IF_ERROR(co_await Open(ino));
     it = open_files_.find(ino);
   }
+  obs::SpanScope op = BeginOp("op:write");
+  op.Note("bytes", static_cast<int64_t>(data.size()));
   OpenFile& of = it->second;
   uint64_t size = of.pending_size;
   if (offset > size) co_return Status::InvalidArgument("write beyond EOF (no holes)");
@@ -747,18 +778,20 @@ sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, std::string data) 
   // Small-file fast path (§2.2.3): whole file fits under the threshold.
   if (offset == 0 && size == 0 && data.size() <= opts_.small_file_threshold &&
       of.inode.extents.empty() && of.pending_keys.empty()) {
-    co_return co_await WriteSmallFile(of, data, dl);
+    co_return co_await WriteSmallFile(of, data, dl, op.ctx());
   }
 
   // §2.7.2: split into the overwritten portion and the appended portion.
   uint64_t overwrite_end = std::min<uint64_t>(offset + data.size(), size);
   if (offset < overwrite_end) {
     CFS_CO_RETURN_IF_ERROR(co_await OverwriteData(
-        of, offset, std::string_view(data).substr(0, overwrite_end - offset), dl));
+        of, offset, std::string_view(data).substr(0, overwrite_end - offset), dl,
+        op.ctx()));
   }
   if (overwrite_end < offset + data.size()) {
     CFS_CO_RETURN_IF_ERROR(co_await AppendData(
-        of, overwrite_end, std::string_view(data).substr(overwrite_end - offset), dl));
+        of, overwrite_end, std::string_view(data).substr(overwrite_end - offset), dl,
+        op.ctx()));
   }
   co_return Status::OK();
 }
@@ -766,6 +799,8 @@ sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, std::string data) 
 sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64_t len) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
   const rpc::Deadline dl = OpDeadline();
+  obs::SpanScope op = BeginOp("op:read");
+  op.Note("bytes", static_cast<int64_t>(len));
   // Use open-file state if present (read-your-own-writes), else the cached
   // or fetched inode.
   const Inode* inode = nullptr;
@@ -814,7 +849,7 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
     data::ReadExtentReq req{pc.key.partition_id, pc.key.extent_id, extent_off,
                             pc.end - pc.begin};
     auto r = co_await DataLeaderCall<data::ReadExtentReq, data::ReadExtentResp>(
-        pc.key.partition_id, std::move(req), dl);
+        pc.key.partition_id, std::move(req), dl, op.ctx());
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
     out.replace(pc.begin - offset, r->data.size(), r->data);
@@ -825,17 +860,19 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
   // stitch the pieces into `out` (alive across the join — this frame owns it).
   if (!pieces.empty()) {
     stats_.parallel_read_fanouts++;
+    op.Note("fanout", static_cast<int64_t>(pieces.size()));
     std::vector<Status> piece_status(pieces.size(), Status::OK());
     sim::Join join(&sched(), static_cast<int>(pieces.size()));
     for (size_t i = 0; i < pieces.size(); i++) {
       Piece pc = pieces[i];
-      Spawn([](Client* self, Piece pc, uint64_t offset, rpc::Deadline dl, std::string* out,
-               Status* st, std::function<void()> done) -> Task<void> {
+      Spawn([](Client* self, Piece pc, uint64_t offset, rpc::Deadline dl,
+               obs::TraceContext trace, std::string* out, Status* st,
+               std::function<void()> done) -> Task<void> {
         uint64_t extent_off = pc.key.extent_offset + (pc.begin - pc.key.file_offset);
         data::ReadExtentReq req{pc.key.partition_id, pc.key.extent_id, extent_off,
                                 pc.end - pc.begin};
         auto r = co_await self->DataLeaderCall<data::ReadExtentReq, data::ReadExtentResp>(
-            pc.key.partition_id, std::move(req), dl);
+            pc.key.partition_id, std::move(req), dl, trace);
         if (!r.ok()) {
           *st = r.status();
         } else if (!r->status.ok()) {
@@ -844,7 +881,7 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
           out->replace(pc.begin - offset, r->data.size(), r->data);
         }
         done();
-      }(this, std::move(pc), offset, dl, &out, &piece_status[i], join.Arrive()));
+      }(this, std::move(pc), offset, dl, op.ctx(), &out, &piece_status[i], join.Arrive()));
     }
     co_await join.Wait();
     for (const Status& st : piece_status) {
@@ -868,10 +905,11 @@ void Client::InjectPreparedFile(InodeId ino, std::vector<ExtentKey> keys, uint64
 
 sim::Task<Status> Client::Truncate(InodeId ino, uint64_t new_size) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
+  obs::SpanScope op = BeginOp("op:truncate");
   MetaPartitionView* view = MetaViewForInode(ino);
   if (!view) co_return Status::NotFound("inode partition");
   auto r = co_await MetaCall<meta::MetaTruncateReq, meta::MetaTruncateResp>(
-      view->pid, meta::MetaTruncateReq{view->pid, ino, new_size}, OpDeadline());
+      view->pid, meta::MetaTruncateReq{view->pid, ino, new_size}, OpDeadline(), op.ctx());
   if (!r.ok()) co_return r.status();
   inode_cache_.Erase(ino);
   auto oit = open_files_.find(ino);

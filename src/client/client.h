@@ -287,22 +287,36 @@ class Client {
   }
   DataPartitionView* DataView(PartitionId pid) { return router_.DataView(pid); }
 
+  /// Root span of one public operation ("op:<name>"), minting a fresh trace
+  /// id. Invalid (and allocation-free) when tracing is off.
+  obs::SpanScope BeginOp(std::string_view name) {
+    obs::Tracer& tracer = sched().tracer();
+    if (!tracer.enabled()) return {};
+    return obs::SpanScope(&tracer, tracer.BeginTrace(name, host_->id()));
+  }
+
   /// Meta RPC with NotLeader redirect + retry (rpc::MetaService).
   template <typename Req, typename Resp>
-  sim::Task<Result<Resp>> MetaCall(PartitionId pid, Req req, rpc::Deadline dl = {}) {
-    return meta_svc_.Call<Req, Resp>(pid, std::move(req), rpc::CallOptions{dl});
+  sim::Task<Result<Resp>> MetaCall(PartitionId pid, Req req, rpc::Deadline dl = {},
+                                   obs::TraceContext trace = {}) {
+    return meta_svc_.Call<Req, Resp>(pid, std::move(req),
+                                     rpc::CallOptions{dl, nullptr, trace});
   }
 
   /// Data RPC to the partition's raft leader (rpc::DataService).
   template <typename Req, typename Resp>
-  sim::Task<Result<Resp>> DataLeaderCall(PartitionId pid, Req req, rpc::Deadline dl = {}) {
-    return data_svc_.Call<Req, Resp>(pid, std::move(req), rpc::CallOptions{dl});
+  sim::Task<Result<Resp>> DataLeaderCall(PartitionId pid, Req req, rpc::Deadline dl = {},
+                                         obs::TraceContext trace = {}) {
+    return data_svc_.Call<Req, Resp>(pid, std::move(req),
+                                     rpc::CallOptions{dl, nullptr, trace});
   }
 
   /// Master RPC with leader probing across replicas (rpc::MasterService).
   template <typename Req, typename Resp>
-  sim::Task<Result<Resp>> MasterCall(Req req, rpc::Deadline dl = {}) {
-    return master_svc_.Call<Req, Resp>(std::move(req), rpc::CallOptions{dl});
+  sim::Task<Result<Resp>> MasterCall(Req req, rpc::Deadline dl = {},
+                                     obs::TraceContext trace = {}) {
+    return master_svc_.Call<Req, Resp>(std::move(req),
+                                       rpc::CallOptions{dl, nullptr, trace});
   }
 
   sim::Task<void> RefreshLoop(uint64_t gen);
@@ -321,10 +335,11 @@ class Client {
   };
 
   sim::Task<Status> AppendData(OpenFile& of, uint64_t file_offset, std::string_view data,
-                               rpc::Deadline dl);
+                               rpc::Deadline dl, obs::TraceContext trace);
   sim::Task<Status> OverwriteData(OpenFile& of, uint64_t offset, std::string_view data,
-                                  rpc::Deadline dl);
-  sim::Task<Status> WriteSmallFile(OpenFile& of, std::string_view data, rpc::Deadline dl);
+                                  rpc::Deadline dl, obs::TraceContext trace);
+  sim::Task<Status> WriteSmallFile(OpenFile& of, std::string_view data, rpc::Deadline dl,
+                                   obs::TraceContext trace);
 
   void CacheInode(const Inode& ino);
   const Inode* CachedInode(InodeId ino);

@@ -1,9 +1,18 @@
 #include "common/logging.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace cfs {
 
 namespace {
 LogLevel g_level = LogLevel::kOff;
+
+/// Registered virtual clocks, oldest first; the back is the active one.
+std::vector<const int64_t*>& SimClocks() {
+  static std::vector<const int64_t*> clocks;
+  return clocks;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,13 +30,29 @@ LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
 
 namespace internal {
+
+void PushSimClock(const int64_t* now_usec) { SimClocks().push_back(now_usec); }
+
+void PopSimClock(const int64_t* now_usec) {
+  auto& clocks = SimClocks();
+  auto it = std::find(clocks.begin(), clocks.end(), now_usec);
+  if (it != clocks.end()) clocks.erase(it);
+}
+
 void LogLine(LogLevel level, const char* file, int line, const std::string& msg) {
   const char* base = file;
   for (const char* p = file; *p; p++) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+  if (!SimClocks().empty()) {
+    std::fprintf(stderr, "[t=%lldus %s %s:%d] %s\n",
+                 static_cast<long long>(*SimClocks().back()), LevelName(level), base, line,
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+  }
 }
+
 }  // namespace internal
 
 }  // namespace cfs

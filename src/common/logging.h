@@ -1,8 +1,16 @@
 // Minimal leveled logger. Off by default (benchmarks run clean); tests and
 // examples can raise the level. Not thread-safe by design: the simulator is
 // single-threaded.
+//
+// Timestamps come from the simulation's virtual clock, never the wall
+// clock: each sim::Scheduler registers its clock pointer on construction
+// (PushSimClock) and deregisters on destruction, and log lines are prefixed
+// with the most recently registered active clock's time. Same-seed runs
+// therefore produce byte-identical logs — wall-clock prefixes would violate
+// the determinism contract's spirit (DESIGN.md) and make log diffs noisy.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <sstream>
@@ -18,6 +26,14 @@ void SetLogLevel(LogLevel level);
 
 namespace internal {
 void LogLine(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Register/deregister a virtual-time source (microseconds). Multiple
+/// schedulers may coexist in one process (bench cells build CFS and Ceph
+/// simulations side by side); the latest still-registered clock wins. Pop
+/// removes the matching entry wherever it sits, so destruction order need
+/// not be LIFO.
+void PushSimClock(const int64_t* now_usec);
+void PopSimClock(const int64_t* now_usec);
 
 template <typename... Args>
 std::string StrCat(Args&&... args) {

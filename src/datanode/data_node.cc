@@ -105,8 +105,11 @@ Task<Status> DataNode::ForwardChainImpl(DataPartition* p, ChainAppendReq req) {
   if (next >= p->config().replicas.size()) co_return Status::OK();
   req.chain_index = next;
   sim::NodeId target = p->config().replicas[next];
+  // Each hop re-parents on the incoming context, so a traced write shows one
+  // "rpc:ChainAppend" span per chain position.
+  obs::TraceContext trace = req.trace;
   auto r = co_await channel_.Unary<ChainAppendReq, ChainAppendResp>(
-      host_->id(), target, std::move(req), opts_.chain_rpc_timeout);
+      host_->id(), target, std::move(req), opts_.chain_rpc_timeout, trace);
   if (!r.ok()) co_return r.status();
   co_return r->status;
 }
@@ -117,7 +120,7 @@ Task<Status> DataNode::ForwardChainCreateImpl(DataPartition* p, ChainCreateExten
   req.chain_index = next;
   sim::NodeId target = p->config().replicas[next];
   auto r = co_await channel_.Unary<ChainCreateExtentReq, ChainCreateExtentResp>(
-      host_->id(), target, req, opts_.chain_rpc_timeout);
+      host_->id(), target, req, opts_.chain_rpc_timeout, req.trace);
   if (!r.ok()) co_return r.status();
   co_return r->status;
 }
@@ -151,7 +154,9 @@ void DataNode::RegisterHandlers() {
         }
         storage::ExtentId id = p->AllocExtentId();
         Status st = p->store().CreateExtentWithId(id, false);
-        if (st.ok()) st = co_await ForwardChainCreate(p, ChainCreateExtentReq{req.pid, id, 0});
+        if (st.ok()) {
+          st = co_await ForwardChainCreate(p, ChainCreateExtentReq{req.pid, id, 0, req.trace});
+        }
         resp.status = st;
         resp.extent_id = id;
         co_return resp;
@@ -223,11 +228,11 @@ void DataNode::RegisterHandlers() {
         Status local_st, fwd_st;
         sim::Join join(net_->scheduler(), 2);
         Spawn([](DataPartition* p, ExtentId extent, uint64_t offset, std::string_view data,
-                 Status* out, std::function<void()> done) -> Task<void> {
-          *out = co_await p->store().PlaceAt(extent, offset, data);
+                 obs::TraceContext trace, Status* out, std::function<void()> done) -> Task<void> {
+          *out = co_await p->store().PlaceAt(extent, offset, data, trace);
           if (out->ok()) p->placement_gate().NotifyAll();
           done();
-        }(p, req.extent_id, req.offset, req.data, &local_st, join.Arrive()));
+        }(p, req.extent_id, req.offset, req.data, req.trace, &local_st, join.Arrive()));
         ChainAppendReq fwd;
         fwd.pid = req.pid;
         fwd.extent_id = req.extent_id;
@@ -235,6 +240,7 @@ void DataNode::RegisterHandlers() {
         fwd.tiny = false;
         fwd.data = req.data;
         fwd.chain_index = 0;
+        fwd.trace = req.trace;
         Spawn([](DataNode* self, DataPartition* p, ChainAppendReq fwd, Status* out,
                  std::function<void()> done) -> Task<void> {
           *out = co_await self->ForwardChain(p, std::move(fwd));
@@ -260,7 +266,7 @@ void DataNode::RegisterHandlers() {
         // buffer downstream: one buffer per hop (the apply only copies when
         // it has to park an out-of-order arrival).
         Status st = co_await p->ApplyChainAppend(req.extent_id, req.offset, req.data,
-                                                 req.tiny);
+                                                 req.tiny, req.trace);
         if (st.ok()) st = co_await ForwardChain(p, std::move(req));
         co_return ChainAppendResp{st};
       });
@@ -285,14 +291,14 @@ void DataNode::RegisterHandlers() {
           resp.status = Status::NoSpace("partition full or read-only");
           co_return resp;
         }
-        auto placed = co_await p->store().WriteSmall(req.data);
+        auto placed = co_await p->store().WriteSmall(req.data, req.trace);
         if (!placed.ok()) {
           resp.status = placed.status();
           co_return resp;
         }
         auto [extent, offset] = *placed;
         uint64_t len = req.data.size();
-        ChainAppendReq fwd{req.pid, extent, offset, true, std::move(req.data), 0};
+        ChainAppendReq fwd{req.pid, extent, offset, true, std::move(req.data), 0, req.trace};
         Status st = co_await ForwardChain(p, std::move(fwd));
         // Durable-range commit (not a blind max): concurrent small writes
         // into the shared tiny extent can complete out of slot order.
@@ -321,7 +327,7 @@ void DataNode::RegisterHandlers() {
           co_return OverwriteResp{Status::InvalidArgument("overwrite beyond extent end")};
         }
         auto idx = co_await rn->ProposeIndexed(
-            DataPartition::EncodeOverwrite(req.extent_id, req.offset, req.data));
+            DataPartition::EncodeOverwrite(req.extent_id, req.offset, req.data), req.trace);
         if (!idx.ok()) co_return OverwriteResp{idx.status()};
         auto st = p->TakeResult(*idx);
         co_return OverwriteResp{st.value_or(Status::OK())};
@@ -353,7 +359,7 @@ void DataNode::RegisterHandlers() {
           resp.status = Status::InvalidArgument("read beyond committed offset");
           co_return resp;
         }
-        auto r = co_await p->store().Read(req.extent_id, req.offset, req.len);
+        auto r = co_await p->store().Read(req.extent_id, req.offset, req.len, req.trace);
         if (!r.ok()) {
           resp.status = r.status();
           co_return resp;
@@ -373,7 +379,8 @@ void DataNode::RegisterHandlers() {
         if (!rn->IsLeader()) {
           co_return DeleteExtentResp{Status::NotLeader(std::to_string(rn->leader_hint()))};
         }
-        auto idx = co_await rn->ProposeIndexed(DataPartition::EncodeDeleteExtent(req.extent_id));
+        auto idx = co_await rn->ProposeIndexed(DataPartition::EncodeDeleteExtent(req.extent_id),
+                                               req.trace);
         if (!idx.ok()) co_return DeleteExtentResp{idx.status()};
         co_return DeleteExtentResp{p->TakeResult(*idx).value_or(Status::OK())};
       });
@@ -389,7 +396,7 @@ void DataNode::RegisterHandlers() {
           co_return PunchHoleResp{Status::NotLeader(std::to_string(rn->leader_hint()))};
         }
         auto idx = co_await rn->ProposeIndexed(
-            DataPartition::EncodePunchHole(req.extent_id, req.offset, req.len));
+            DataPartition::EncodePunchHole(req.extent_id, req.offset, req.len), req.trace);
         if (!idx.ok()) co_return PunchHoleResp{idx.status()};
         co_return PunchHoleResp{p->TakeResult(*idx).value_or(Status::OK())};
       });

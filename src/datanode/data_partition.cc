@@ -37,7 +37,8 @@ void DataPartition::MarkDurable(storage::ExtentId id, uint64_t begin, uint64_t e
 }
 
 Task<Status> DataPartition::ApplyChainAppend(storage::ExtentId extent, uint64_t offset,
-                                             std::string_view data, bool tiny) {
+                                             std::string_view data, bool tiny,
+                                             obs::TraceContext trace) {
   if (!store_->Has(extent)) {
     // Tiny extents materialize lazily on replicas the first time a
     // placement arrives; large extents were created by the chained create.
@@ -54,7 +55,7 @@ Task<Status> DataPartition::ApplyChainAppend(storage::ExtentId extent, uint64_t 
     pending_[extent].emplace(offset, std::string(data));
     co_return Status::OK();
   }
-  CFS_CO_RETURN_IF_ERROR(co_await store_->PlaceAt(extent, offset, data));
+  CFS_CO_RETURN_IF_ERROR(co_await store_->PlaceAt(extent, offset, data, trace));
   TryDrainPending(extent);
   co_return Status::OK();
 }

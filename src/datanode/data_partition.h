@@ -90,7 +90,8 @@ class DataPartition : public raft::StateMachine {
   /// view so the in-order fast path applies and forwards one buffer per hop;
   /// only an out-of-order arrival copies (into the pending buffer).
   sim::Task<Status> ApplyChainAppend(storage::ExtentId extent, uint64_t offset,
-                                     std::string_view data, bool tiny);
+                                     std::string_view data, bool tiny,
+                                     obs::TraceContext trace = {});
 
   // --- Raft state machine (overwrite/purge path) ---
   void Apply(raft::Index index, std::string_view data) override;

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "storage/extent_store.h"
 
@@ -34,6 +35,7 @@ struct DataPartitionConfig {
 struct CreateExtentReq {
   static constexpr const char* kRpcName = "CreateExtent";
   PartitionId pid = 0;
+  obs::TraceContext trace;
 };
 struct CreateExtentResp {
   Status status;
@@ -48,6 +50,7 @@ struct WritePacketReq {
   ExtentId extent_id = 0;
   uint64_t offset = 0;
   std::string data;
+  obs::TraceContext trace;
   size_t WireBytes() const { return 64 + data.size(); }
 };
 struct WritePacketResp {
@@ -63,6 +66,7 @@ struct WriteSmallReq {
   static constexpr const char* kRpcName = "WriteSmall";
   PartitionId pid = 0;
   std::string data;
+  obs::TraceContext trace;
   size_t WireBytes() const { return 48 + data.size(); }
 };
 struct WriteSmallResp {
@@ -79,6 +83,7 @@ struct OverwriteReq {
   ExtentId extent_id = 0;
   uint64_t offset = 0;
   std::string data;
+  obs::TraceContext trace;
   size_t WireBytes() const { return 64 + data.size(); }
 };
 struct OverwriteResp {
@@ -93,6 +98,7 @@ struct ReadExtentReq {
   ExtentId extent_id = 0;
   uint64_t offset = 0;
   uint64_t len = 0;
+  obs::TraceContext trace;
 };
 struct ReadExtentResp {
   Status status;
@@ -106,6 +112,7 @@ struct DeleteExtentReq {
   static constexpr const char* kRpcName = "DeleteExtent";
   PartitionId pid = 0;
   ExtentId extent_id = 0;
+  obs::TraceContext trace;
 };
 struct DeleteExtentResp {
   Status status;
@@ -116,6 +123,7 @@ struct PunchHoleReq {
   ExtentId extent_id = 0;
   uint64_t offset = 0;
   uint64_t len = 0;
+  obs::TraceContext trace;
 };
 struct PunchHoleResp {
   Status status;
@@ -128,6 +136,7 @@ struct ChainCreateExtentReq {
   PartitionId pid = 0;
   ExtentId extent_id = 0;
   uint32_t chain_index = 0;  // position of the RECEIVER in the replica array
+  obs::TraceContext trace;
 };
 struct ChainCreateExtentResp {
   Status status;
@@ -141,6 +150,7 @@ struct ChainAppendReq {
   bool tiny = false;  // small-file placement vs large-file append
   std::string data;
   uint32_t chain_index = 0;
+  obs::TraceContext trace;
   size_t WireBytes() const { return 64 + data.size(); }
 };
 struct ChainAppendResp {

@@ -11,6 +11,7 @@ using sim::Spawn;
 using sim::Task;
 
 Cluster::Cluster(const ClusterOptions& opts) : opts_(opts), sched_(opts.seed), net_(&sched_, opts.network) {
+  sched_.tracer().set_enabled(opts.trace);
   // Master hosts first, then storage nodes (ids are assigned in order).
   for (int i = 0; i < opts_.num_masters; i++) {
     sim::Host* h = net_.AddHost(opts_.host);
@@ -392,6 +393,71 @@ Task<Status> Cluster::PurgeInodeContent(int node_index, meta::Inode inode) {
     if (!st.ok()) last = st;
   }
   co_return last;
+}
+
+obs::Registry Cluster::Metrics() {
+  obs::Registry reg;
+
+  // Per-RPC outcome counters and latency histograms from every registry in
+  // the cluster, merged into the shared "rpc." namespace: the harness/raft
+  // registry, each master's admin channel, each data node's chain channel,
+  // and each client's service stubs.
+  rpc_metrics_.ExportTo(&reg);
+  for (const auto& m : masters_) m->rpc_metrics().ExportTo(&reg);
+  for (const auto& d : data_nodes_) d->rpc_metrics().ExportTo(&reg);
+  for (const auto& c : clients_) c->rpc_metrics().ExportTo(&reg);
+
+  const raft::GroupCommitStats gc = group_commit_stats();
+  reg.Add("raft.gc.batches", gc.batches);
+  reg.Add("raft.gc.proposals", gc.proposals);
+  reg.Add("raft.gc.batched_bytes", gc.batched_bytes);
+  reg.SetMax("raft.gc.max_batch", static_cast<int64_t>(gc.max_batch));
+  reg.SetMax("raft.gc.queue_high_watermark",
+             static_cast<int64_t>(gc.queue_high_watermark));
+
+  const raft::RaftHost::LogWriteStats lw = log_write_stats();
+  reg.Add("raft.log.append_writes", lw.append_writes);
+  reg.Add("raft.log.appended_entries", lw.appended_entries);
+  reg.Add("raft.log.persisted_bytes", lw.persisted_bytes);
+
+  for (const auto& c : clients_) {
+    const client::ClientStats& s = c->stats();
+    reg.Add("client.meta_rpcs", s.meta_rpcs);
+    reg.Add("client.data_rpcs", s.data_rpcs);
+    reg.Add("client.master_rpcs", s.master_rpcs);
+    reg.Add("client.cache_hits", s.cache_hits);
+    reg.Add("client.cache_misses", s.cache_misses);
+    reg.Add("client.inode_cache_evictions", s.inode_cache_evictions);
+    reg.Add("client.readdir_cache_evictions", s.readdir_cache_evictions);
+    reg.Add("client.leader_cache_hits", s.leader_cache_hits);
+    reg.Add("client.leader_probes", s.leader_probes);
+    reg.Add("client.resends", s.resends);
+    reg.Add("client.orphans_created", s.orphans_created);
+    reg.Add("client.window_stalls", s.window_stalls);
+    reg.SetMax("client.max_inflight_packets",
+               static_cast<int64_t>(s.max_inflight_packets));
+    reg.Add("client.suffix_resend_bytes", s.suffix_resend_bytes);
+    reg.Add("client.parallel_read_fanouts", s.parallel_read_fanouts);
+  }
+
+  auto fold_disks = [&reg](sim::Host* h) {
+    for (int i = 0; i < h->num_disks(); i++) {
+      sim::Disk* d = h->disk(i);
+      reg.Add("disk.reads", d->reads());
+      reg.Add("disk.writes", d->writes());
+      reg.Add("disk.read_bytes", d->read_bytes());
+      reg.Add("disk.write_bytes", d->write_bytes());
+      reg.Add("disk.punched_bytes", d->punched_bytes());
+      reg.Add("disk.used_bytes", d->used_bytes());
+    }
+  };
+  for (sim::Host* h : master_hosts_) fold_disks(h);
+  for (sim::Host* h : node_hosts_) fold_disks(h);
+
+  reg.Add("net.messages_sent", net_.messages_sent());
+  reg.Add("net.bytes_sent", net_.bytes_sent());
+  reg.Set("obs.spans", static_cast<int64_t>(sched_.tracer().num_spans()));
+  return reg;
 }
 
 }  // namespace cfs::harness

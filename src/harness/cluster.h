@@ -13,6 +13,8 @@
 #include "datanode/data_node.h"
 #include "master/master.h"
 #include "meta/meta_node.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "raft/multiraft.h"
 #include "rpc/metrics.h"
 #include "rpc/router.h"
@@ -35,6 +37,10 @@ struct ClusterOptions {
   SimDuration heartbeat_interval = 1 * kSec;
   /// Extent stores keep real bytes (tests) or account only (benches).
   bool track_contents = true;
+  /// Enable the deterministic span tracer (obs::Tracer). Off by default:
+  /// tracing never perturbs the schedule either way, but the span log costs
+  /// memory proportional to traffic.
+  bool trace = false;
 };
 
 class Cluster {
@@ -81,6 +87,18 @@ class Cluster {
   /// routes through rpc::Channel — every raft leg of every RaftHost. Client
   /// legs live in each client's own registry (client->rpc_metrics()).
   const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
+
+  /// The scheduler-owned span tracer (enabled iff ClusterOptions.trace).
+  obs::Tracer& tracer() { return sched_.tracer(); }
+
+  /// Unified cluster-wide metric registry (DESIGN.md "Observability"): every
+  /// per-node RPC registry (harness/raft, masters, data nodes, clients)
+  /// exported into the shared "rpc." namespace, raft group-commit and WAL
+  /// accounting under "raft.", summed client workflow stats under "client.",
+  /// disk and network accounting under "disk." / "net.". Counters sum,
+  /// gauges merge as high-watermarks, histograms merge bucket-wise.
+  obs::Registry Metrics();
+  std::string MetricsJson() { return Metrics().DumpJson(); }
 
   /// Group-commit counters summed across every RaftHost (masters + nodes).
   raft::GroupCommitStats group_commit_stats() const {

@@ -1,8 +1,5 @@
 #include "harness/workloads.h"
 
-#include <cinttypes>
-#include <cstdio>
-
 #include "common/rng.h"
 
 namespace cfs::bench {
@@ -274,6 +271,7 @@ BenchResult RunMdtest(sim::Scheduler* sched, MdTest test,
 
   // ---- Measured phase ----
   uint64_t total_ops = 0;
+  obs::Histogram latency;
   SimTime t0 = sched->Now();
   {
     auto measured = [&](int i) -> Task<void> {
@@ -282,48 +280,73 @@ BenchResult RunMdtest(sim::Scheduler* sched, MdTest test,
       switch (test) {
         case MdTest::kDirCreation: {
           for (int k = 0; k < params.items_per_proc; k++) {
+            SimTime s = sched->Now();
             auto d = co_await ops->Mkdir(state[i].parent, tag + "-d" + std::to_string(k));
-            if (d.ok()) total_ops++;
+            if (d.ok()) {
+              total_ops++;
+              latency.Add(sched->Now() - s);
+            }
           }
           break;
         }
         case MdTest::kFileCreation: {
           for (int k = 0; k < params.items_per_proc; k++) {
+            SimTime s = sched->Now();
             auto f = co_await ops->Create(state[i].parent, tag + "-f" + std::to_string(k));
-            if (f.ok()) total_ops++;
+            if (f.ok()) {
+              total_ops++;
+              latency.Add(sched->Now() - s);
+            }
           }
           break;
         }
         case MdTest::kDirStat: {
           // mdtest counts one op per stat'ed entry; the -N rank shift makes
-          // process i stat another process's directory.
+          // process i stat another process's directory. Latency samples are
+          // per scan (one readdirplus round), not per entry.
           uint64_t target = state[(i + params.stat_shift) % n].parent;
           for (int rep = 0; rep < params.stat_repetitions; rep++) {
+            SimTime s = sched->Now();
             auto r = co_await ops->StatDir(target);
-            if (r.ok()) total_ops += *r;
+            if (r.ok()) {
+              total_ops += *r;
+              latency.Add(sched->Now() - s);
+            }
           }
           break;
         }
         case MdTest::kDirRemoval: {
           for (auto& name : state[i].names) {
+            SimTime s = sched->Now();
             Status st = co_await ops->Rmdir(state[i].parent, name);
-            if (st.ok()) total_ops++;
+            if (st.ok()) {
+              total_ops++;
+              latency.Add(sched->Now() - s);
+            }
           }
           break;
         }
         case MdTest::kFileRemoval: {
           for (auto& name : state[i].names) {
+            SimTime s = sched->Now();
             Status st = co_await ops->Remove(state[i].parent, name);
-            if (st.ok()) total_ops++;
+            if (st.ok()) {
+              total_ops++;
+              latency.Add(sched->Now() - s);
+            }
           }
           break;
         }
         case MdTest::kTreeCreation: {
           // mdtest builds the directory tree once (rank 0); an "op" here is
           // one full tree, which is why the paper's numbers are ~10 IOPS.
+          SimTime s = sched->Now();
           Status st = co_await BuildTree(ops, state[i].parent, params.tree_depth,
                                          params.tree_branch, tag, nullptr, nullptr);
-          if (st.ok()) total_ops++;
+          if (st.ok()) {
+            total_ops++;
+            latency.Add(sched->Now() - s);
+          }
           break;
         }
         case MdTest::kTreeRemoval: {
@@ -331,6 +354,7 @@ BenchResult RunMdtest(sim::Scheduler* sched, MdTest test,
           // leaves-first, scanning each directory to discover its entries.
           auto& order = state[i].tree_order;
           auto& dirs = state[i].tree_dirs;
+          SimTime s = sched->Now();
           for (auto it = order.rbegin(); it != order.rend(); ++it) {
             (void)co_await ops->StatDir(*it);
           }
@@ -338,6 +362,7 @@ BenchResult RunMdtest(sim::Scheduler* sched, MdTest test,
             (void)co_await ops->Rmdir(it->first, it->second);
           }
           total_ops++;
+          latency.Add(sched->Now() - s);
           break;
         }
       }
@@ -355,6 +380,7 @@ BenchResult RunMdtest(sim::Scheduler* sched, MdTest test,
   BenchResult res;
   res.ops = total_ops;
   res.elapsed = sched->Now() - t0;
+  res.latency = latency;
   return res;
 }
 
@@ -391,13 +417,14 @@ BenchResult RunFio(sim::Scheduler* sched, FioPattern pattern,
   }
 
   uint64_t total_ops = 0;
+  obs::Histogram latency;
   SimTime t0 = sched->Now();
   {
     sim::Join join(sched, n);
     for (int i = 0; i < n; i++) {
       auto done = join.Arrive();
       Spawn([](sim::Scheduler* sched, FioPattern pattern, DataOps* ops, uint64_t file,
-               FioParams params, int seed, uint64_t& total,
+               FioParams params, int seed, uint64_t& total, obs::Histogram& lat,
                std::function<void()> done) -> Task<void> {
         if (file == 0) {
           done();
@@ -405,8 +432,8 @@ BenchResult RunFio(sim::Scheduler* sched, FioPattern pattern,
         }
         Rng rng(0xf10f10 + seed);
         uint64_t seq_pos = 0;
-        (void)sched;
         for (int k = 0; k < params.ops_per_proc; k++) {
+          SimTime op_start = sched->Now();
           Status st;
           switch (pattern) {
             case FioPattern::kSeqWrite: {
@@ -433,16 +460,20 @@ BenchResult RunFio(sim::Scheduler* sched, FioPattern pattern,
               break;
             }
           }
-          if (st.ok()) total++;
+          if (st.ok()) {
+            total++;
+            lat.Add(sched->Now() - op_start);
+          }
         }
         done();
-      }(sched, pattern, procs[i], files[i], params, i, total_ops, done));
+      }(sched, pattern, procs[i], files[i], params, i, total_ops, latency, done));
     }
     (void)harness::RunTaskVoid(*sched, join.Wait());
   }
   BenchResult res;
   res.ops = total_ops;
   res.elapsed = sched->Now() - t0;
+  res.latency = latency;
   return res;
 }
 
@@ -485,73 +516,69 @@ BenchResult RunSmallFiles(sim::Scheduler* sched, SmallFileTest test, uint64_t fi
   }
 
   uint64_t total_ops = 0;
+  obs::Histogram latency;
   SimTime t0 = sched->Now();
   {
     sim::Join join(sched, n);
     for (int i = 0; i < n; i++) {
       auto done = join.Arrive();
-      Spawn([](MetaOps* m, DataOps* d, SmallFileTest test, uint64_t file_size, int count,
-               int i, uint64_t parent, std::vector<std::pair<uint64_t, std::string>>& mine,
-               uint64_t& total, std::function<void()> done) -> Task<void> {
+      Spawn([](sim::Scheduler* sched, MetaOps* m, DataOps* d, SmallFileTest test,
+               uint64_t file_size, int count, int i, uint64_t parent,
+               std::vector<std::pair<uint64_t, std::string>>& mine, uint64_t& total,
+               obs::Histogram& lat, std::function<void()> done) -> Task<void> {
         std::string tag = "sf" + std::to_string(i);
         switch (test) {
           case SmallFileTest::kWrite: {
+            // One "op" is create + write (the paper's small-file write is a
+            // whole-file laydown), so the sample spans both.
             for (int k = 0; k < count; k++) {
+              SimTime s = sched->Now();
               std::string name = tag + "-w" + std::to_string(k);
               auto f = co_await m->Create(parent, name);
               if (!f.ok()) continue;
               d->BindParent(*f, parent);
               Status st = co_await d->Write(*f, 0, file_size, false);
-              if (st.ok()) total++;
+              if (st.ok()) {
+                total++;
+                lat.Add(sched->Now() - s);
+              }
             }
             break;
           }
           case SmallFileTest::kRead: {
             for (auto& [ino, name] : mine) {
+              SimTime s = sched->Now();
               Status st = co_await d->Read(ino, 0, file_size);
-              if (st.ok()) total++;
+              if (st.ok()) {
+                total++;
+                lat.Add(sched->Now() - s);
+              }
             }
             break;
           }
           case SmallFileTest::kRemoval: {
             for (auto& [ino, name] : mine) {
+              SimTime s = sched->Now();
               Status st = co_await m->Remove(parent, name);
-              if (st.ok()) total++;
+              if (st.ok()) {
+                total++;
+                lat.Add(sched->Now() - s);
+              }
             }
             break;
           }
         }
         done();
-      }(meta[i], data[i], test, file_size, files_per_proc, i, parents[i], files[i],
-        total_ops, done));
+      }(sched, meta[i], data[i], test, file_size, files_per_proc, i, parents[i], files[i],
+        total_ops, latency, done));
     }
     (void)harness::RunTaskVoid(*sched, join.Wait());
   }
   BenchResult res;
   res.ops = total_ops;
   res.elapsed = sched->Now() - t0;
+  res.latency = latency;
   return res;
-}
-
-// --- Printing ----------------------------------------------------------------------
-
-void PrintHeader(const std::string& title, const std::vector<std::string>& columns) {
-  std::printf("\n=== %s ===\n", title.c_str());
-  std::printf("%-24s", "");
-  for (const auto& c : columns) std::printf("%14s", c.c_str());
-  std::printf("\n");
-}
-
-void PrintRow(const std::string& label, const std::vector<double>& values) {
-  std::printf("%-24s", label.c_str());
-  for (double v : values) {
-    if (v >= 1000) {
-      std::printf("%14.0f", v);
-    } else {
-      std::printf("%14.1f", v);
-    }
-  }
-  std::printf("\n");
 }
 
 }  // namespace cfs::bench

@@ -154,6 +154,10 @@ struct MdtestParams {
 struct BenchResult {
   uint64_t ops = 0;
   SimDuration elapsed = 0;
+  /// Per-op completion latency of the measured phase (virtual time). One
+  /// sample per counted op; cells of one sweep merge via MergeFrom so a
+  /// bench can print one latency_quantiles line per pattern.
+  obs::Histogram latency;
   double Iops() const {
     return elapsed > 0 ? static_cast<double>(ops) * kSec / static_cast<double>(elapsed) : 0;
   }
@@ -186,10 +190,5 @@ enum class SmallFileTest { kWrite, kRead, kRemoval };
 BenchResult RunSmallFiles(sim::Scheduler* sched, SmallFileTest test, uint64_t file_size,
                           const std::vector<MetaOps*>& meta,
                           const std::vector<DataOps*>& data, int files_per_proc);
-
-// --- Table printing ---------------------------------------------------------------
-
-void PrintHeader(const std::string& title, const std::vector<std::string>& columns);
-void PrintRow(const std::string& label, const std::vector<double>& values);
 
 }  // namespace cfs::bench

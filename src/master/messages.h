@@ -77,6 +77,7 @@ struct DataPartitionView {
 struct GetVolumeReq {
   static constexpr const char* kRpcName = "GetVolume";
   std::string name;
+  obs::TraceContext trace;
   size_t WireBytes() const { return 32 + name.size(); }
 };
 struct GetVolumeResp {

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "meta/meta_partition.h"
+#include "obs/trace.h"
 #include "meta/types.h"
 #include "sim/network.h"
 
@@ -21,7 +22,7 @@ struct MetaCreateInodeReq {
   PartitionId pid = 0;
   FileType type = FileType::kFile;
   std::string link_target;
-  size_t WireBytes() const { return 48 + link_target.size(); }
+  size_t WireBytes() const { return 48 + link_target.size(); }  obs::TraceContext trace;
 };
 struct MetaCreateInodeResp {
   Status status;
@@ -31,7 +32,7 @@ struct MetaCreateInodeResp {
 struct MetaUnlinkInodeReq {
   static constexpr const char* kRpcName = "MetaUnlinkInode";
   PartitionId pid = 0;
-  InodeId ino = 0;
+  InodeId ino = 0;  obs::TraceContext trace;
 };
 struct MetaUnlinkInodeResp {
   Status status;
@@ -42,7 +43,7 @@ struct MetaUnlinkInodeResp {
 struct MetaLinkInodeReq {
   static constexpr const char* kRpcName = "MetaLinkInode";
   PartitionId pid = 0;
-  InodeId ino = 0;
+  InodeId ino = 0;  obs::TraceContext trace;
 };
 struct MetaLinkInodeResp {
   Status status;
@@ -52,7 +53,7 @@ struct MetaLinkInodeResp {
 struct MetaEvictInodeReq {
   static constexpr const char* kRpcName = "MetaEvictInode";
   PartitionId pid = 0;
-  InodeId ino = 0;
+  InodeId ino = 0;  obs::TraceContext trace;
 };
 struct MetaEvictInodeResp {
   Status status;
@@ -62,7 +63,7 @@ struct MetaEvictInodeResp {
 struct MetaGetInodeReq {
   static constexpr const char* kRpcName = "MetaGetInode";
   PartitionId pid = 0;
-  InodeId ino = 0;
+  InodeId ino = 0;  obs::TraceContext trace;
 };
 struct MetaGetInodeResp {
   Status status;
@@ -75,7 +76,7 @@ struct MetaBatchInodeGetReq {
   static constexpr const char* kRpcName = "MetaBatchInodeGet";
   PartitionId pid = 0;
   std::vector<InodeId> inos;
-  size_t WireBytes() const { return 32 + inos.size() * 8; }
+  size_t WireBytes() const { return 32 + inos.size() * 8; }  obs::TraceContext trace;
 };
 struct MetaBatchInodeGetResp {
   Status status;
@@ -89,7 +90,7 @@ struct MetaCreateDentryReq {
   static constexpr const char* kRpcName = "MetaCreateDentry";
   PartitionId pid = 0;
   Dentry dentry;
-  size_t WireBytes() const { return 64 + dentry.name.size(); }
+  size_t WireBytes() const { return 64 + dentry.name.size(); }  obs::TraceContext trace;
 };
 struct MetaCreateDentryResp {
   Status status;
@@ -100,7 +101,7 @@ struct MetaDeleteDentryReq {
   PartitionId pid = 0;
   InodeId parent = 0;
   std::string name;
-  size_t WireBytes() const { return 48 + name.size(); }
+  size_t WireBytes() const { return 48 + name.size(); }  obs::TraceContext trace;
 };
 struct MetaDeleteDentryResp {
   Status status;
@@ -112,7 +113,7 @@ struct MetaLookupReq {
   PartitionId pid = 0;
   InodeId parent = 0;
   std::string name;
-  size_t WireBytes() const { return 48 + name.size(); }
+  size_t WireBytes() const { return 48 + name.size(); }  obs::TraceContext trace;
 };
 struct MetaLookupResp {
   Status status;
@@ -122,7 +123,7 @@ struct MetaLookupResp {
 struct MetaReadDirReq {
   static constexpr const char* kRpcName = "MetaReadDir";
   PartitionId pid = 0;
-  InodeId parent = 0;
+  InodeId parent = 0;  obs::TraceContext trace;
 };
 struct MetaReadDirResp {
   Status status;
@@ -137,7 +138,7 @@ struct MetaAppendExtentReq {
   PartitionId pid = 0;
   InodeId ino = 0;
   ExtentKey key;
-  uint64_t new_size = 0;
+  uint64_t new_size = 0;  obs::TraceContext trace;
 };
 struct MetaAppendExtentResp {
   Status status;
@@ -149,7 +150,7 @@ struct MetaSetAttrReq {
   PartitionId pid = 0;
   InodeId ino = 0;
   uint64_t size = 0;
-  int64_t mtime = 0;
+  int64_t mtime = 0;  obs::TraceContext trace;
 };
 struct MetaSetAttrResp {
   Status status;
@@ -159,7 +160,7 @@ struct MetaTruncateReq {
   static constexpr const char* kRpcName = "MetaTruncate";
   PartitionId pid = 0;
   InodeId ino = 0;
-  uint64_t new_size = 0;
+  uint64_t new_size = 0;  obs::TraceContext trace;
 };
 struct MetaTruncateResp {
   Status status;

@@ -44,7 +44,8 @@ Status MetaNode::CheckLeader(PartitionId pid) const {
   return Status::OK();
 }
 
-Task<ApplyResult> MetaNode::Execute(PartitionId pid, std::string cmd) {
+Task<ApplyResult> MetaNode::Execute(PartitionId pid, std::string cmd,
+                                    obs::TraceContext trace) {
   ApplyResult res;
   MetaPartition* mp = GetPartition(pid);
   if (!mp) {
@@ -60,7 +61,7 @@ Task<ApplyResult> MetaNode::Execute(PartitionId pid, std::string cmd) {
     res.status = Status::Unavailable("partition is read-only");
     co_return res;
   }
-  auto idx = co_await node->ProposeIndexed(std::move(cmd));
+  auto idx = co_await node->ProposeIndexed(std::move(cmd), trace);
   if (!idx.ok()) {
     res.status = idx.status();
     co_return res;
@@ -128,8 +129,10 @@ void MetaNode::RegisterHandlers() {
         ops_++;
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(
-            req.pid, MetaPartition::EncodeCreateInode(req.type, req.link_target,
-                                                      net_->scheduler()->Now()));
+            req.pid,
+            MetaPartition::EncodeCreateInode(req.type, req.link_target,
+                                             net_->scheduler()->Now()),
+            req.trace);
         co_return MetaCreateInodeResp{res.status, std::move(res.inode)};
       });
 
@@ -137,7 +140,8 @@ void MetaNode::RegisterHandlers() {
       [this](MetaUnlinkInodeReq req, sim::NodeId) -> Task<MetaUnlinkInodeResp> {
         ops_++;
         co_await host_->cpu().Use(opts_.cpu_per_op);
-        ApplyResult res = co_await Execute(req.pid, MetaPartition::EncodeUnlinkInode(req.ino));
+        ApplyResult res = co_await Execute(req.pid, MetaPartition::EncodeUnlinkInode(req.ino),
+                                           req.trace);
         co_return MetaUnlinkInodeResp{res.status, res.value, std::move(res.inode)};
       });
 
@@ -145,7 +149,8 @@ void MetaNode::RegisterHandlers() {
       [this](MetaLinkInodeReq req, sim::NodeId) -> Task<MetaLinkInodeResp> {
         ops_++;
         co_await host_->cpu().Use(opts_.cpu_per_op);
-        ApplyResult res = co_await Execute(req.pid, MetaPartition::EncodeLinkInode(req.ino));
+        ApplyResult res = co_await Execute(req.pid, MetaPartition::EncodeLinkInode(req.ino),
+                                           req.trace);
         co_return MetaLinkInodeResp{res.status, std::move(res.inode)};
       });
 
@@ -153,7 +158,8 @@ void MetaNode::RegisterHandlers() {
       [this](MetaEvictInodeReq req, sim::NodeId) -> Task<MetaEvictInodeResp> {
         ops_++;
         co_await host_->cpu().Use(opts_.cpu_per_op);
-        ApplyResult res = co_await Execute(req.pid, MetaPartition::EncodeEvictInode(req.ino));
+        ApplyResult res = co_await Execute(req.pid, MetaPartition::EncodeEvictInode(req.ino),
+                                           req.trace);
         co_return MetaEvictInodeResp{res.status, std::move(res.inode)};
       });
 
@@ -161,8 +167,8 @@ void MetaNode::RegisterHandlers() {
       [this](MetaCreateDentryReq req, sim::NodeId) -> Task<MetaCreateDentryResp> {
         ops_++;
         co_await host_->cpu().Use(opts_.cpu_per_op);
-        ApplyResult res =
-            co_await Execute(req.pid, MetaPartition::EncodeCreateDentry(req.dentry));
+        ApplyResult res = co_await Execute(
+            req.pid, MetaPartition::EncodeCreateDentry(req.dentry), req.trace);
         co_return MetaCreateDentryResp{res.status};
       });
 
@@ -171,7 +177,7 @@ void MetaNode::RegisterHandlers() {
         ops_++;
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(
-            req.pid, MetaPartition::EncodeDeleteDentry(req.parent, req.name));
+            req.pid, MetaPartition::EncodeDeleteDentry(req.parent, req.name), req.trace);
         co_return MetaDeleteDentryResp{res.status, std::move(res.dentry)};
       });
 
@@ -180,7 +186,8 @@ void MetaNode::RegisterHandlers() {
         ops_++;
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(
-            req.pid, MetaPartition::EncodeAppendExtent(req.ino, req.key, req.new_size));
+            req.pid, MetaPartition::EncodeAppendExtent(req.ino, req.key, req.new_size),
+            req.trace);
         co_return MetaAppendExtentResp{res.status, std::move(res.inode)};
       });
 
@@ -189,7 +196,7 @@ void MetaNode::RegisterHandlers() {
         ops_++;
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(
-            req.pid, MetaPartition::EncodeSetAttr(req.ino, req.size, req.mtime));
+            req.pid, MetaPartition::EncodeSetAttr(req.ino, req.size, req.mtime), req.trace);
         co_return MetaSetAttrResp{res.status};
       });
 
@@ -197,8 +204,8 @@ void MetaNode::RegisterHandlers() {
       [this](MetaTruncateReq req, sim::NodeId) -> Task<MetaTruncateResp> {
         ops_++;
         co_await host_->cpu().Use(opts_.cpu_per_op);
-        ApplyResult res =
-            co_await Execute(req.pid, MetaPartition::EncodeTruncate(req.ino, req.new_size));
+        ApplyResult res = co_await Execute(
+            req.pid, MetaPartition::EncodeTruncate(req.ino, req.new_size), req.trace);
         co_return MetaTruncateResp{res.status, std::move(res.inode)};
       });
 

@@ -72,7 +72,8 @@ class MetaNode {
   void RegisterHandlers();
 
   /// Propose `cmd` on the partition's raft group and fetch the apply result.
-  sim::Task<ApplyResult> Execute(PartitionId pid, std::string cmd);
+  sim::Task<ApplyResult> Execute(PartitionId pid, std::string cmd,
+                                 obs::TraceContext trace = {});
 
   /// Leader check for serving reads.
   Status CheckLeader(PartitionId pid) const;

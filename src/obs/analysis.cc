@@ -1,0 +1,98 @@
+#include "obs/analysis.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cfs::obs {
+
+double TraceBreakdown::Coverage() const {
+  if (total_usec <= 0) return 0.0;
+  SimDuration sum = 0;
+  for (const auto& [name, st] : stages) sum += st.sum_usec;
+  return static_cast<double>(sum) / static_cast<double>(total_usec);
+}
+
+std::string TraceBreakdown::DumpJson() const {
+  char cov[32];
+  std::snprintf(cov, sizeof(cov), "%.3f", Coverage());
+  std::string out = "{\"trace_id\":" + std::to_string(trace_id) + ",\"root\":\"" + root_name +
+                    "\",\"total_usec\":" + std::to_string(total_usec) +
+                    ",\"coverage\":" + cov + ",\"stages\":{";
+  bool first = true;
+  for (const auto& [name, st] : stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(st.count) +
+           ",\"sum_usec\":" + std::to_string(st.sum_usec) +
+           ",\"max_usec\":" + std::to_string(st.max_usec) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+TraceBreakdown StageBreakdown(const Tracer& tracer, uint64_t trace_id) {
+  TraceBreakdown b;
+  for (const Span& s : tracer.spans()) {
+    if (s.trace_id != trace_id) continue;
+    b.trace_id = trace_id;
+    const SimDuration d = s.end - s.start;
+    if (s.parent_id == 0) {
+      b.root_name = s.name;
+      b.total_usec = d;
+      continue;
+    }
+    StageTotal& st = b.stages[s.name];
+    st.count++;
+    st.sum_usec += d;
+    st.max_usec = std::max(st.max_usec, d);
+  }
+  return b;
+}
+
+uint64_t FindLastTrace(const Tracer& tracer, std::string_view name_prefix) {
+  uint64_t found = 0;
+  for (const Span& s : tracer.spans()) {
+    if (s.parent_id == 0 && s.name.rfind(name_prefix, 0) == 0) found = s.trace_id;
+  }
+  return found;
+}
+
+namespace {
+
+void PrintTree(const std::vector<const Span*>& spans, const Span* parent, int depth,
+               SimTime t0, std::string* out) {
+  for (const Span* s : spans) {
+    const bool child = parent ? s->parent_id == parent->span_id : s->parent_id == 0;
+    if (!child) continue;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%8lld %8lld us  %*s%s (node %u",
+                  static_cast<long long>(s->start - t0),
+                  static_cast<long long>(s->end - s->start), depth * 2, "",
+                  s->name.c_str(), s->node);
+    *out += line;
+    for (const auto& [k, v] : s->notes) {
+      *out += ", " + k + "=" + std::to_string(v);
+    }
+    *out += ")\n";
+    PrintTree(spans, s, depth + 1, t0, out);
+  }
+}
+
+}  // namespace
+
+std::string CriticalPath(const Tracer& tracer, uint64_t trace_id) {
+  std::vector<const Span*> spans;
+  for (const Span& s : tracer.spans()) {
+    if (s.trace_id == trace_id) spans.push_back(&s);
+  }
+  if (spans.empty()) return "trace " + std::to_string(trace_id) + ": no spans\n";
+  std::stable_sort(spans.begin(), spans.end(), [](const Span* a, const Span* b) {
+    return a->start < b->start;
+  });
+  SimTime t0 = spans.front()->start;
+  std::string out = "trace " + std::to_string(trace_id) + " (start+offset, duration):\n";
+  PrintTree(spans, nullptr, 0, t0, &out);
+  return out;
+}
+
+}  // namespace cfs::obs

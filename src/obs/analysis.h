@@ -1,0 +1,52 @@
+// Trace analysis: per-stage latency breakdown of one trace, and a printable
+// critical-path report. Used by bench_fig7/bench_fig8 ("stage_breakdown"
+// JSON lines) and by EXPERIMENTS.md A6; tools/trace2chrome.py does the
+// heavier Perfetto visualization offline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace cfs::obs {
+
+/// Aggregated time of all spans sharing one name inside one trace.
+struct StageTotal {
+  uint64_t count = 0;
+  SimDuration sum_usec = 0;
+  SimDuration max_usec = 0;
+};
+
+struct TraceBreakdown {
+  uint64_t trace_id = 0;
+  /// Duration of the root span (parent_id == 0); the end-to-end latency.
+  SimDuration total_usec = 0;
+  std::string root_name;
+  /// Per-stage sums keyed by span name, root excluded. Stages overlap
+  /// (pipelining), so the sums may legitimately exceed total_usec.
+  std::map<std::string, StageTotal> stages;
+
+  /// Sum over stages / total; >= 1 means the spans fully tile (or overlap)
+  /// the end-to-end window. 0 when the trace has no root span.
+  double Coverage() const;
+  /// {"trace_id":...,"root":"...","total_usec":...,"coverage":...,
+  ///  "stages":{"<name>":{"count":n,"sum_usec":n,"max_usec":n},...}}
+  std::string DumpJson() const;
+};
+
+/// Group the spans of `trace_id` by name. Returns an empty breakdown (id 0)
+/// if the trace does not exist.
+TraceBreakdown StageBreakdown(const Tracer& tracer, uint64_t trace_id);
+
+/// Id of the most recent root span whose name starts with `name_prefix`, or
+/// 0 if none. Benches use this to pick the op they just issued.
+uint64_t FindLastTrace(const Tracer& tracer, std::string_view name_prefix);
+
+/// Human-readable per-stage report of one trace: an indented span tree in
+/// start-time order with durations and annotations. The CriticalPath(...)
+/// helper of the observability layer — reads like a flame graph in text.
+std::string CriticalPath(const Tracer& tracer, uint64_t trace_id);
+
+}  // namespace cfs::obs

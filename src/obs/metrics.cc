@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace cfs::obs {
+
+constexpr uint64_t Histogram::kBounds[];
+
+void Histogram::Add(SimDuration latency_usec) {
+  uint64_t v = latency_usec < 0 ? 0 : static_cast<uint64_t>(latency_usec);
+  int b = 0;
+  while (b < kNumBounds && v > kBounds[b]) b++;
+  buckets[b]++;
+  count++;
+  sum_usec += v;
+  if (v > max_usec) max_usec = v;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (int i = 0; i <= kNumBounds; i++) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_usec += other.sum_usec;
+  if (other.max_usec > max_usec) max_usec = other.max_usec;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (int i = 0; i <= kNumBounds; i++) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cum + buckets[i];
+    if (rank <= static_cast<double>(next)) {
+      const double lo = i == 0 ? 0.0 : static_cast<double>(kBounds[i - 1]);
+      // Overflow bucket: we know no sample exceeded max_usec, so use it as
+      // the upper edge instead of pretending the bucket is unbounded.
+      const double hi = i < kNumBounds
+                            ? static_cast<double>(kBounds[i])
+                            : std::max(lo, static_cast<double>(max_usec));
+      const double frac = (rank - static_cast<double>(cum)) / static_cast<double>(buckets[i]);
+      const double v = lo + frac * (hi - lo);
+      return std::min(v, static_cast<double>(max_usec));
+    }
+    cum = next;
+  }
+  return static_cast<double>(max_usec);
+}
+
+std::string Histogram::DumpJson() const {
+  std::string out = "{\"count\":" + std::to_string(count) +
+                    ",\"sum_usec\":" + std::to_string(sum_usec) +
+                    ",\"max_usec\":" + std::to_string(max_usec) + ",\"buckets\":[";
+  for (int i = 0; i <= kNumBounds; i++) {
+    if (i) out += ",";
+    out += std::to_string(buckets[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+void Registry::Add(std::string_view name, uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Registry::Set(std::string_view name, int64_t value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Registry::SetMax(std::string_view name, int64_t value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else if (value > it->second) {
+    it->second = value;
+  }
+}
+
+void Registry::Observe(std::string_view name, SimDuration value) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) it = hists_.emplace(std::string(name), Histogram{}).first;
+  it->second.Add(value);
+}
+
+void Registry::MergeHistogram(std::string_view name, const Histogram& h) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) it = hists_.emplace(std::string(name), Histogram{}).first;
+  it->second.MergeFrom(h);
+}
+
+uint64_t Registry::counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+int64_t Registry::gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const Histogram* Registry::FindHistogram(std::string_view name) const {
+  auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+void Registry::MergeFrom(const Registry& other) {
+  for (const auto& [k, v] : other.counters_) Add(k, v);
+  for (const auto& [k, v] : other.gauges_) SetMax(k, v);
+  for (const auto& [k, h] : other.hists_) MergeHistogram(k, h);
+}
+
+void Registry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+}
+
+std::string Registry::DumpJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + k + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + k + "\":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, h] : hists_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + k + "\":" + h.DumpJson();
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace cfs::obs

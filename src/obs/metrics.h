@@ -1,0 +1,91 @@
+// Unified metric primitives: counters, gauges, and fixed-bucket histograms
+// in one Registry with deterministic (std::map) iteration, dumpable as JSON.
+//
+// The Histogram here is the generalization of the former
+// rpc::LatencyHistogram (which is now an alias); rpc::MetricRegistry keeps
+// its per-RPC outcome semantics but exports into an obs::Registry so
+// harness::Cluster can merge every per-node source — RPC registries, raft
+// group-commit counters, client stats, disk and network accounting — behind
+// one DumpJson().
+//
+// Naming convention (DESIGN.md "Observability"): dot-separated
+// "<subsystem>.<metric>", e.g. "raft.gc.batches", "client.cache_hits",
+// "disk.write_bytes", "rpc.WritePacket.ok". Counters are monotonic sums,
+// gauges merge by taking the max (cluster-wide high-watermark semantics).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace cfs::obs {
+
+/// Fixed-bucket histogram (bucket upper bounds in virtual microseconds,
+/// geometric-ish ladder from 100us to 5s, plus overflow).
+struct Histogram {
+  static constexpr uint64_t kBounds[] = {100,    200,     500,     1000,   2000,
+                                         5000,   10000,   20000,   50000,  100000,
+                                         200000, 500000,  1000000, 2000000, 5000000};
+  static constexpr int kNumBounds = static_cast<int>(sizeof(kBounds) / sizeof(kBounds[0]));
+
+  uint64_t buckets[kNumBounds + 1] = {};  // last = overflow
+  uint64_t count = 0;
+  uint64_t sum_usec = 0;
+  uint64_t max_usec = 0;
+
+  void Add(SimDuration v);
+  void MergeFrom(const Histogram& other);
+
+  /// Interpolated quantile estimate, q in [0, 1]. Linear interpolation
+  /// within the bucket containing the q-th sample; the overflow bucket is
+  /// clamped to max_usec (we know no sample exceeded it). Returns 0 on an
+  /// empty histogram.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  /// {"count":n,"sum_usec":n,"max_usec":n,"buckets":[...]}
+  std::string DumpJson() const;
+};
+
+/// Counters + gauges + histograms keyed by name. All maps are ordered so
+/// DumpJson() is byte-stable across same-seed runs.
+class Registry {
+ public:
+  /// Increment counter `name` by `delta`.
+  void Add(std::string_view name, uint64_t delta = 1);
+  /// Set gauge `name` (last-write-wins locally; merges take the max).
+  void Set(std::string_view name, int64_t value);
+  /// Raise gauge `name` to at least `value` (high-watermark).
+  void SetMax(std::string_view name, int64_t value);
+  /// Add one sample to histogram `name`.
+  void Observe(std::string_view name, SimDuration value);
+  /// Fold a pre-aggregated histogram into histogram `name`.
+  void MergeHistogram(std::string_view name, const Histogram& h);
+
+  uint64_t counter(std::string_view name) const;
+  int64_t gauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  const std::map<std::string, uint64_t, std::less<>>& counters() const { return counters_; }
+  const std::map<std::string, int64_t, std::less<>>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const { return hists_; }
+
+  /// Counters sum, gauges max, histograms bucket-wise sum.
+  void MergeFrom(const Registry& other);
+  void Clear();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} — stable key order.
+  std::string DumpJson() const;
+
+ private:
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, int64_t, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> hists_;
+};
+
+}  // namespace cfs::obs

@@ -1,0 +1,28 @@
+#include "obs/trace.h"
+
+namespace cfs::obs {
+
+std::string Tracer::DumpLog() const {
+  std::string out;
+  for (const Span& s : spans_) {
+    out += "{\"trace_id\":" + std::to_string(s.trace_id) +
+           ",\"span_id\":" + std::to_string(s.span_id) +
+           ",\"parent_id\":" + std::to_string(s.parent_id) + ",\"name\":\"" + s.name +
+           "\",\"node\":" + std::to_string(s.node) +
+           ",\"start\":" + std::to_string(s.start) + ",\"end\":" + std::to_string(s.end);
+    if (!s.notes.empty()) {
+      out += ",\"notes\":{";
+      bool first = true;
+      for (const auto& [k, v] : s.notes) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + k + "\":" + std::to_string(v);
+      }
+      out += "}";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace cfs::obs

@@ -1,0 +1,172 @@
+// Deterministic distributed tracing for the simulated cluster (Dapper-style
+// spans over virtual time).
+//
+// Every traced request carries a TraceContext (trace id, span id, parent)
+// through RPC request structs; each layer the request crosses — client
+// workflow, service handler, raft propose/batch/apply, disk queue, chain
+// hop — opens a child span stamped with virtual-time start/end and typed
+// numeric annotations (batch size, queue depth, retry number, ...).
+//
+// The zero-schedule-cost invariant (DESIGN.md "Observability"): tracing must
+// never perturb the simulation schedule. The Tracer therefore
+//   - owns a PRIVATE Rng (derived from the simulation seed, so ids are
+//     reproducible) and never draws from the scheduler's RNG,
+//   - never schedules events, charges resources, or changes message sizes,
+//   - is disabled by default; a disabled tracer mints no ids and records
+//     nothing, and an enabled one only appends to a side log.
+// A traced and an untraced run of the same seed must produce identical
+// Network::MixTrace hashes; tests/determinism_test.cc audits exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace cfs::obs {
+
+/// Wire-propagated identity of one request: which trace it belongs to and
+/// which span is the parent of work done on its behalf. A zero trace id
+/// means "not traced"; every propagation site treats that as a no-op, so
+/// untraced runs carry only zero bytes of inert struct fields.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  // the span that is the parent of downstream work
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Handle to an open span. Invalid (idx < 0) when the tracer is disabled or
+/// the parent context is untraced; all operations on an invalid ref no-op.
+struct SpanRef {
+  TraceContext ctx;   // context downstream work should adopt as parent
+  int64_t idx = -1;
+
+  bool valid() const { return idx >= 0; }
+};
+
+/// One completed (or still-open) span in the log.
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 for a root span
+  std::string name;        // "<subsystem>:<op>", e.g. "rpc:WritePacket"
+  uint32_t node = 0;       // NodeId the work ran on (0 = client/none)
+  SimTime start = 0;
+  SimTime end = 0;         // == start while still open
+  /// Typed numeric annotations in insertion order (deterministic).
+  std::vector<std::pair<std::string, int64_t>> notes;
+};
+
+class Tracer {
+ public:
+  /// `now` must outlive the tracer (the owning scheduler's clock). The id
+  /// stream is derived from `seed` but decorrelated from the scheduler RNG.
+  Tracer(uint64_t seed, const SimTime* now)
+      : rng_(seed ^ 0x0b5efacade5eedull), now_(now) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Open a root span (a new trace). Returns an invalid ref when disabled.
+  SpanRef BeginTrace(std::string_view name, uint32_t node) {
+    if (!enabled_) return {};
+    return Open(name, NewId(), 0, node);
+  }
+
+  /// Open a child span of `parent`. No-op when disabled or parent untraced.
+  SpanRef BeginSpan(std::string_view name, const TraceContext& parent, uint32_t node) {
+    if (!enabled_ || !parent.valid()) return {};
+    return Open(name, parent.trace_id, parent.span_id, node);
+  }
+
+  /// Attach a typed numeric annotation to an open span.
+  void Note(const SpanRef& ref, std::string_view key, int64_t value) {
+    if (!ref.valid()) return;
+    spans_[static_cast<size_t>(ref.idx)].notes.emplace_back(std::string(key), value);
+  }
+
+  /// Close a span at the current virtual time.
+  void End(const SpanRef& ref) {
+    if (!ref.valid()) return;
+    spans_[static_cast<size_t>(ref.idx)].end = *now_;
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  size_t num_spans() const { return spans_.size(); }
+  void Clear() { spans_.clear(); }
+
+  /// Serialize the span log as JSON lines (one span per line, creation
+  /// order). Two same-seed runs must produce byte-identical dumps.
+  std::string DumpLog() const;
+
+ private:
+  SpanRef Open(std::string_view name, uint64_t trace_id, uint64_t parent, uint32_t node) {
+    Span s;
+    s.trace_id = trace_id;
+    s.span_id = NewId();
+    s.parent_id = parent;
+    s.name = std::string(name);
+    s.node = node;
+    s.start = s.end = *now_;
+    spans_.push_back(std::move(s));
+    SpanRef ref;
+    ref.ctx = TraceContext{trace_id, spans_.back().span_id};
+    ref.idx = static_cast<int64_t>(spans_.size() - 1);
+    return ref;
+  }
+
+  uint64_t NewId() {
+    uint64_t id = rng_.Next();
+    return id ? id : 1;  // 0 is the "untraced" sentinel
+  }
+
+  bool enabled_ = false;
+  Rng rng_;              // private id stream: never the scheduler's RNG
+  const SimTime* now_;
+  std::vector<Span> spans_;
+};
+
+/// RAII helper for spans that should close when a coroutine (or scope)
+/// finishes: locals are destroyed at co_return, stamping the end time there.
+class SpanScope {
+ public:
+  SpanScope() = default;
+  SpanScope(Tracer* tracer, SpanRef ref) : tracer_(tracer), ref_(ref) {}
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  SpanScope(SpanScope&& o) noexcept
+      : tracer_(std::exchange(o.tracer_, nullptr)), ref_(std::exchange(o.ref_, {})) {}
+  SpanScope& operator=(SpanScope&& o) noexcept {
+    if (this != &o) {
+      Close();
+      tracer_ = std::exchange(o.tracer_, nullptr);
+      ref_ = std::exchange(o.ref_, {});
+    }
+    return *this;
+  }
+  ~SpanScope() { Close(); }
+
+  const TraceContext& ctx() const { return ref_.ctx; }
+  void Note(std::string_view key, int64_t value) {
+    if (tracer_) tracer_->Note(ref_, key, value);
+  }
+
+ private:
+  void Close() {
+    if (tracer_) tracer_->End(ref_);
+    tracer_ = nullptr;
+  }
+
+  Tracer* tracer_ = nullptr;
+  SpanRef ref_;
+};
+
+}  // namespace cfs::obs

@@ -77,7 +77,8 @@ Term LogStore::TermAt(Index index) const {
   return At(index).term;
 }
 
-sim::Task<Status> LogStore::Append(std::span<const LogEntry> entries) {
+sim::Task<Status> LogStore::Append(std::span<const LogEntry> entries,
+                                   obs::TraceContext trace) {
   Encoder enc;
   for (const auto& e : entries) {
     if (e.index != last_index() + 1) co_return Status::Corruption("append index gap");
@@ -89,7 +90,7 @@ sim::Task<Status> LogStore::Append(std::span<const LogEntry> entries) {
   persisted_bytes_ += bytes;
   append_writes_++;
   appended_entries_ += entries.size();
-  co_return co_await disk_->Write(bytes);
+  co_return co_await disk_->Write(bytes, trace);
 }
 
 sim::Task<Status> LogStore::TruncateFrom(Index from) {

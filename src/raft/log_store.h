@@ -46,7 +46,9 @@ class LogStore {
   const LogEntry& At(Index index) const { return entries_[index - first_index()]; }
 
   /// Append entries (already indexed/termed by the caller) and persist them.
-  sim::Task<Status> Append(std::span<const LogEntry> entries);
+  /// A traced caller (the group-commit batcher) passes its batch span
+  /// context so the WAL flush shows up as a "disk:write" child span.
+  sim::Task<Status> Append(std::span<const LogEntry> entries, obs::TraceContext trace = {});
 
   /// Drop all entries with index >= `from` (follower conflict resolution)
   /// and rewrite the log file.

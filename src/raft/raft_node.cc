@@ -197,17 +197,25 @@ void RaftNode::BecomeLeader() {
 
 // --- Proposals -----------------------------------------------------------
 
-Task<Status> RaftNode::Propose(std::string cmd) {
-  auto r = co_await ProposeIndexed(std::move(cmd));
+Task<Status> RaftNode::Propose(std::string cmd, obs::TraceContext trace) {
+  auto r = co_await ProposeIndexed(std::move(cmd), trace);
   co_return r.status();
 }
 
-Task<Result<Index>> RaftNode::ProposeIndexed(std::string cmd) {
+Task<Result<Index>> RaftNode::ProposeIndexed(std::string cmd, obs::TraceContext trace) {
   if (!host_->up() || !running_) co_return Status::Unavailable("node down");
   if (role_ != Role::kLeader) {
     co_return Status::NotLeader(std::to_string(leader_));
   }
   auto w = std::make_shared<ProposeWaiter>(&sched());
+  obs::Tracer& tracer = sched().tracer();
+  obs::SpanRef propose_span;
+  if (tracer.enabled() && trace.valid()) {
+    propose_span = tracer.BeginSpan("raft:propose", trace, self_);
+    tracer.Note(propose_span, "gid", static_cast<int64_t>(gid_));
+    tracer.Note(propose_span, "queue_depth", static_cast<int64_t>(propose_queue_.size()));
+    w->trace = propose_span.ctx;
+  }
   propose_queue_.emplace_back(std::move(cmd), w);
   gc_stats_.queue_high_watermark =
       std::max<uint64_t>(gc_stats_.queue_high_watermark, propose_queue_.size());
@@ -217,6 +225,7 @@ Task<Result<Index>> RaftNode::ProposeIndexed(std::string cmd) {
   KickBatcher();
 
   auto st = co_await w->done.future().WithTimeout(opts_.propose_timeout);
+  tracer.End(propose_span);  // covers enqueue -> commit+apply (or failure)
   if (!st) {
     w->cancelled = true;
     auto it = pending_.find(w->index);
@@ -279,7 +288,21 @@ Task<void> RaftNode::BatcherLoop(uint64_t gen) {
     channel_->metrics()->RecordLeg("RaftBatchBytes", rpc::Outcome::kOk,
                                    static_cast<SimDuration>(bytes));
 
-    Status st = co_await log_.Append(std::span<const LogEntry>(entries));
+    // The batch's WAL flush runs under a "raft:batch" span chained to the
+    // first traced proposer (one span per batch, annotated with its shape).
+    obs::Tracer& tracer = sched().tracer();
+    obs::SpanRef batch_span;
+    if (tracer.enabled()) {
+      for (const auto& w : waiters) {
+        if (!w->trace.valid()) continue;
+        batch_span = tracer.BeginSpan("raft:batch", w->trace, self_);
+        tracer.Note(batch_span, "entries", static_cast<int64_t>(entries.size()));
+        tracer.Note(batch_span, "bytes", static_cast<int64_t>(bytes));
+        break;
+      }
+    }
+    Status st = co_await log_.Append(std::span<const LogEntry>(entries), batch_span.ctx);
+    tracer.End(batch_span);
     if (!running_ || gen_ != gen) co_return;
     if (!st.ok()) {
       for (auto& w : waiters) {
@@ -428,8 +451,12 @@ Task<void> RaftNode::ApplyLoop(uint64_t gen) {
         sm_->Apply(idx, e.data);
       }
       applied_ = idx;
+      obs::SpanRef apply_span;
       auto it = pending_.find(idx);
       if (it != pending_.end()) {
+        obs::Tracer& tracer = sched().tracer();
+        apply_span = tracer.BeginSpan("raft:apply", it->second.second->trace, self_);
+        tracer.Note(apply_span, "index", static_cast<int64_t>(idx));
         Status st = it->second.first == e.term
                         ? Status::OK()
                         : Status::NotLeader("entry overwritten by new leader");
@@ -437,6 +464,7 @@ Task<void> RaftNode::ApplyLoop(uint64_t gen) {
         pending_.erase(it);
       }
       co_await host_->cpu().Use(2);  // apply cost
+      sched().tracer().End(apply_span);
     }
     if (!running_ || gen_ != gen) break;
     co_await MaybeCompact();

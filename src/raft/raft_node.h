@@ -56,13 +56,15 @@ class RaftNode {
 
   /// Replicate a command; resolves once the command is committed AND applied
   /// on this replica. Returns NotLeader (with leader_hint) when this replica
-  /// is not the leader.
-  sim::Task<Status> Propose(std::string cmd);
+  /// is not the leader. A traced caller passes its span context: the whole
+  /// consensus round runs under a "raft:propose" span with "raft:batch"
+  /// (group-commit WAL flush) and "raft:apply" children.
+  sim::Task<Status> Propose(std::string cmd, obs::TraceContext trace = {});
 
   /// Like Propose, but returns the log index the command committed at, so
   /// state machines can hand back per-command apply results (see
   /// MetaPartition::TakeResult).
-  sim::Task<Result<Index>> ProposeIndexed(std::string cmd);
+  sim::Task<Result<Index>> ProposeIndexed(std::string cmd, obs::TraceContext trace = {});
 
   // --- Observers ---
   GroupId gid() const { return gid_; }
@@ -102,6 +104,7 @@ class RaftNode {
     sim::Promise<Status> done;
     Index index = 0;        // 0 until the batcher assigns one
     bool cancelled = false; // proposer timed out; skip if still queued
+    obs::TraceContext trace;  // propose-span context; batch/apply spans chain here
   };
   using WaiterPtr = std::shared_ptr<ProposeWaiter>;
 

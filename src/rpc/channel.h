@@ -16,17 +16,11 @@ namespace cfs::rpc {
 /// Request structs name themselves for the metric key; anything without a
 /// kRpcName falls back to the (mangled, but stable-within-a-build) RTTI name.
 template <typename T>
-concept HasRpcName = requires {
-  { T::kRpcName } -> std::convertible_to<const char*>;
-};
+concept HasRpcName = sim::HasMsgName<T>;
 
 template <typename T>
 const char* RpcNameOf() {
-  if constexpr (HasRpcName<T>) {
-    return T::kRpcName;
-  } else {
-    return typeid(T).name();
-  }
+  return sim::MsgNameOf<T>();
 }
 
 /// Responses carrying an application-level Status get NotLeader legs metered
@@ -47,32 +41,48 @@ class Channel {
   /// One metered RPC leg; no retries, no routing. Plain function forwarding
   /// by value into the Impl coroutine (the repo-wide gcc 12 braced-init
   /// workaround; see sim/network.h and client/client.h).
+  ///
+  /// Traced callers pass `parent`: the leg runs under an "rpc:<name>" span
+  /// whose context is stamped onto the request (when the request struct has
+  /// a `trace` field), so the receiving host's handler span chains to it.
   template <typename Req, typename Resp>
   sim::Task<Result<Resp>> Unary(sim::NodeId from, sim::NodeId to, Req req,
-                                SimDuration timeout = sim::kDefaultRpcTimeout) {
-    return UnaryImpl<Req, Resp>(from, to, std::move(req), timeout);
+                                SimDuration timeout = sim::kDefaultRpcTimeout,
+                                obs::TraceContext parent = {}) {
+    return UnaryImpl<Req, Resp>(from, to, std::move(req), timeout, parent);
   }
 
  private:
   template <typename Req, typename Resp>
   sim::Task<Result<Resp>> UnaryImpl(sim::NodeId from, sim::NodeId to, Req req,
-                                    SimDuration timeout) {
+                                    SimDuration timeout, obs::TraceContext parent) {
     sim::Scheduler* sched = net_->scheduler();
+    const char* name = RpcNameOf<Req>();
+    obs::Tracer& tracer = sched->tracer();
+    obs::SpanRef leg;
+    if (tracer.enabled() && parent.valid()) {
+      leg = tracer.BeginSpan(std::string("rpc:") + name, parent, from);
+    }
+    if constexpr (sim::HasTraceContext<Req>) {
+      if (leg.valid()) req.trace = leg.ctx;
+    }
     const SimTime start = sched->Now();
     auto r = co_await net_->Call<Req, Resp>(from, to, std::move(req), timeout);  // lint:allow(raw-rpc)
     const SimDuration latency = sched->Now() - start;
-    const char* name = RpcNameOf<Req>();
     if (!r.ok()) {
       metrics_->RecordLeg(name, Outcome::kTimeout, latency);
+      tracer.Note(leg, "ok", 0);
     } else if constexpr (HasStatusField<Resp>) {
       if (r->status.IsNotLeader()) {
         metrics_->RecordLeg(name, Outcome::kNotLeader, latency);
+        tracer.Note(leg, "not_leader", 1);
       } else {
         metrics_->RecordLeg(name, Outcome::kOk, latency);
       }
     } else {
       metrics_->RecordLeg(name, Outcome::kOk, latency);
     }
+    tracer.End(leg);
     co_return std::move(r);
   }
 

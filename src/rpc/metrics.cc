@@ -2,8 +2,6 @@
 
 namespace cfs::rpc {
 
-constexpr uint64_t LatencyHistogram::kBounds[];
-
 std::string_view OutcomeName(Outcome o) {
   switch (o) {
     case Outcome::kOk: return "ok";
@@ -13,23 +11,6 @@ std::string_view OutcomeName(Outcome o) {
     case Outcome::kDeadlineExceeded: return "deadline_exceeded";
     default: return "unknown";
   }
-}
-
-void LatencyHistogram::Add(SimDuration latency_usec) {
-  uint64_t v = latency_usec < 0 ? 0 : static_cast<uint64_t>(latency_usec);
-  int b = 0;
-  while (b < kNumBounds && v > kBounds[b]) b++;
-  buckets[b]++;
-  count++;
-  sum_usec += v;
-  if (v > max_usec) max_usec = v;
-}
-
-void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
-  for (int i = 0; i <= kNumBounds; i++) buckets[i] += other.buckets[i];
-  count += other.count;
-  sum_usec += other.sum_usec;
-  if (other.max_usec > max_usec) max_usec = other.max_usec;
 }
 
 void RpcMetrics::MergeFrom(const RpcMetrics& other) {
@@ -98,6 +79,20 @@ std::string MetricRegistry::DumpJson() const {
   }
   out += "}";
   return out;
+}
+
+void MetricRegistry::ExportTo(obs::Registry* out, std::string_view prefix) const {
+  for (const auto& [name, m] : by_rpc_) {
+    const std::string base = std::string(prefix) + name;
+    for (int i = 0; i < static_cast<int>(Outcome::kNumOutcomes); i++) {
+      if (m.outcomes[i]) {
+        out->Add(base + "." + std::string(OutcomeName(static_cast<Outcome>(i))),
+                 m.outcomes[i]);
+      }
+    }
+    if (m.retries) out->Add(base + ".retries", m.retries);
+    out->MergeHistogram(base + ".latency_usec", m.latency);
+  }
 }
 
 }  // namespace cfs::rpc

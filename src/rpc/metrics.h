@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace cfs::rpc {
 
@@ -31,22 +32,10 @@ enum class Outcome : int {
 
 std::string_view OutcomeName(Outcome o);
 
-/// Fixed-bucket latency histogram (bucket upper bounds in virtual
-/// microseconds, geometric-ish ladder from 100us to 5s, plus overflow).
-struct LatencyHistogram {
-  static constexpr uint64_t kBounds[] = {100,    200,     500,     1000,   2000,
-                                         5000,   10000,   20000,   50000,  100000,
-                                         200000, 500000,  1000000, 2000000, 5000000};
-  static constexpr int kNumBounds = static_cast<int>(sizeof(kBounds) / sizeof(kBounds[0]));
-
-  uint64_t buckets[kNumBounds + 1] = {};  // last = overflow
-  uint64_t count = 0;
-  uint64_t sum_usec = 0;
-  uint64_t max_usec = 0;
-
-  void Add(SimDuration latency_usec);
-  void MergeFrom(const LatencyHistogram& other);
-};
+/// Fixed-bucket latency histogram; now the shared obs::Histogram (which
+/// added p50/p95/p99 interpolated quantiles). The alias keeps every
+/// existing rpc:: call site and test working unchanged.
+using LatencyHistogram = obs::Histogram;
 
 struct RpcMetrics {
   uint64_t outcomes[static_cast<int>(Outcome::kNumOutcomes)] = {};
@@ -79,6 +68,10 @@ class MetricRegistry {
   /// {"<rpc>":{"ok":n,...,"retries":n,"latency":{"count":n,"sum_usec":n,
   /// "max_usec":n,"buckets":[...]}},...} — stable key order (std::map).
   std::string DumpJson() const;
+
+  /// Fold into a unified registry: counters "<prefix><rpc>.<outcome>" and
+  /// "<prefix><rpc>.retries", histogram "<prefix><rpc>.latency_usec".
+  void ExportTo(obs::Registry* out, std::string_view prefix = "rpc.") const;
 
  private:
   std::map<std::string, RpcMetrics, std::less<>> by_rpc_;

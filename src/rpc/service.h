@@ -26,6 +26,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
 #include "rpc/channel.h"
 #include "rpc/deadline.h"
 #include "rpc/metrics.h"
@@ -37,12 +38,24 @@ namespace cfs::rpc {
 struct CallOptions {
   Deadline deadline;                   // default: unbounded
   const RetryPolicy* policy = nullptr; // default: the service's policy
+  obs::TraceContext trace;             // parent span for this logical call
 };
 
 /// Network-level failures on this many legs of one logical call trigger the
 /// timeout-report hook (§2.3.3). One lost message is noise; a repeatedly
 /// unreachable partition is reported.
 inline constexpr int kReportAfterRpcFailures = 2;
+
+/// A traced logical call runs under one "call:<rpc>" span; each leg chains
+/// an "rpc:<rpc>" child under it (Channel) and retries are annotated here.
+inline obs::SpanScope BeginCallSpan(sim::Scheduler* sched, const char* rpc_name,
+                                    const obs::TraceContext& parent, sim::NodeId self) {
+  obs::Tracer& t = sched->tracer();
+  if (t.enabled() && parent.valid()) {
+    return obs::SpanScope(&t, t.BeginSpan(std::string("call:") + rpc_name, parent, self));
+  }
+  return {};
+}
 
 class MasterService {
  public:
@@ -64,6 +77,7 @@ class MasterService {
   sim::Task<Result<Resp>> CallImpl(Req req, CallOptions opts) {
     const RetryPolicy& policy = opts.policy ? *opts.policy : policy_;
     sim::Scheduler* sched = channel_.net()->scheduler();
+    obs::SpanScope call = BeginCallSpan(sched, RpcNameOf<Req>(), opts.trace, self_);
     Backoff backoff(sched, policy);
     Status last = Status::TimedOut("no master leader reachable");
     while (backoff.NextAttempt()) {
@@ -74,9 +88,13 @@ class MasterService {
       sim::NodeId target = router_->MasterTarget(backoff.attempt());
       if (target == sim::kInvalidNode) break;
       if (rpc_counter_) (*rpc_counter_)++;
-      if (backoff.attempt() > 0) channel_.metrics()->RecordRetry(RpcNameOf<Req>());
+      if (backoff.attempt() > 0) {
+        channel_.metrics()->RecordRetry(RpcNameOf<Req>());
+        call.Note("retry", backoff.attempt());
+      }
       auto r = co_await channel_.Unary<Req, Resp>(
-          self_, target, req, opts.deadline.ClampTimeout(sched->Now(), policy.rpc_timeout));
+          self_, target, req, opts.deadline.ClampTimeout(sched->Now(), policy.rpc_timeout),
+          call.ctx());
       if (!r.ok()) {
         router_->MasterLegFailed();
         last = r.status();
@@ -132,6 +150,7 @@ class PartitionService {
   sim::Task<Result<Resp>> PartitionCallImpl(PartitionId pid, Req req, CallOptions opts) {
     const RetryPolicy& policy = opts.policy ? *opts.policy : policy_;
     sim::Scheduler* sched = channel_.net()->scheduler();
+    obs::SpanScope call = BeginCallSpan(sched, RpcNameOf<Req>(), opts.trace, self_);
     CFS_CO_RETURN_IF_ERROR((co_await EnsureView(pid)));
     Backoff backoff(sched, policy);
     int rpc_failures = 0;
@@ -145,9 +164,13 @@ class PartitionService {
       sim::NodeId target = router_->PartitionTarget(is_meta_, pid, backoff.attempt());
       if (target == sim::kInvalidNode) break;
       if (rpc_counter_) (*rpc_counter_)++;
-      if (backoff.attempt() > 0) channel_.metrics()->RecordRetry(RpcNameOf<Req>());
+      if (backoff.attempt() > 0) {
+        channel_.metrics()->RecordRetry(RpcNameOf<Req>());
+        call.Note("retry", backoff.attempt());
+      }
       auto r = co_await channel_.Unary<Req, Resp>(
-          self_, target, req, opts.deadline.ClampTimeout(sched->Now(), policy.rpc_timeout));
+          self_, target, req, opts.deadline.ClampTimeout(sched->Now(), policy.rpc_timeout),
+          call.ctx());
       if (!r.ok()) {
         rpc_failures++;
         router_->LegFailed(is_meta_, pid, target);
@@ -256,7 +279,7 @@ class DataService : public PartitionService {
     if (rpc_counter_) (*rpc_counter_)++;
     auto r = co_await channel_.Unary<Req, Resp>(
         self_, view->replicas[0], std::move(req),
-        opts.deadline.ClampTimeout(sched->Now(), policy.rpc_timeout));
+        opts.deadline.ClampTimeout(sched->Now(), policy.rpc_timeout), opts.trace);
     co_return std::move(r);
   }
 };

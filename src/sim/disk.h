@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "sim/resource.h"
 
 namespace cfs::sim {
@@ -30,12 +32,17 @@ struct DiskOptions {
 
 class Disk {
  public:
-  Disk(Scheduler* sched, const DiskOptions& opts = {})
-      : opts_(opts), queue_(sched, opts.queue_depth) {}
+  /// `node` labels this disk's spans with the owning host (0 = unattached),
+  /// so per-node tracks line up in trace viewers.
+  Disk(Scheduler* sched, const DiskOptions& opts = {}, uint32_t node = 0)
+      : sched_(sched), opts_(opts), queue_(sched, opts.queue_depth), node_(node) {}
 
-  /// Charge time for reading `bytes`.
-  Task<Status> Read(uint64_t bytes) {
+  /// Charge time for reading `bytes`. A traced caller passes its context so
+  /// the queue+service interval shows up as a "disk:read" span (bytes and
+  /// the queue backlog at entry annotated).
+  Task<Status> Read(uint64_t bytes, obs::TraceContext trace = {}) {
     if (failed_) co_return Status::IOError("disk failed");
+    obs::SpanScope span = OpenSpan("disk:read", trace, bytes);
     co_await queue_.Use(ServiceTime(bytes, opts_.read_latency_usec));
     reads_++;
     read_bytes_ += bytes;
@@ -43,9 +50,10 @@ class Disk {
   }
 
   /// Charge time for writing `bytes` and account the space.
-  Task<Status> Write(uint64_t bytes) {
+  Task<Status> Write(uint64_t bytes, obs::TraceContext trace = {}) {
     if (failed_) co_return Status::IOError("disk failed");
     if (used_ + bytes > opts_.capacity_bytes) co_return Status::NoSpace("disk full");
+    obs::SpanScope span = OpenSpan("disk:write", trace, bytes);
     co_await queue_.Use(ServiceTime(bytes, opts_.write_latency_usec));
     used_ += bytes;
     writes_++;
@@ -83,8 +91,21 @@ class Disk {
     return base + static_cast<SimDuration>(bytes * kSec / (opts_.bandwidth_mib * kMiB));
   }
 
+  obs::SpanScope OpenSpan(std::string_view name, const obs::TraceContext& trace,
+                          uint64_t bytes) {
+    obs::Tracer& t = sched_->tracer();
+    obs::SpanRef ref = t.BeginSpan(name, trace, node_);
+    if (ref.valid()) {
+      t.Note(ref, "bytes", static_cast<int64_t>(bytes));
+      t.Note(ref, "queue_usec", queue_.QueueDelay());
+    }
+    return obs::SpanScope(&t, ref);
+  }
+
+  Scheduler* sched_;
   DiskOptions opts_;
   Resource queue_;
+  uint32_t node_ = 0;
   bool failed_ = false;
   uint64_t used_ = 0;
   uint64_t reads_ = 0, writes_ = 0;

@@ -17,10 +17,12 @@
 #include <set>
 #include <string>
 #include <typeindex>
+#include <typeinfo>
 #include <vector>
 
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "sim/disk.h"
 #include "sim/resource.h"
 #include "sim/scheduler.h"
@@ -48,6 +50,31 @@ size_t WireBytesOf(const T& v) {
     return sizeof(T) + 64;
   }
 }
+
+/// Messages name themselves (kRpcName) for metrics and span labels; anything
+/// without one falls back to the (mangled, stable-within-a-build) RTTI name.
+template <typename T>
+concept HasMsgName = requires {
+  { T::kRpcName } -> std::convertible_to<const char*>;
+};
+
+template <typename T>
+const char* MsgNameOf() {
+  if constexpr (HasMsgName<T>) {
+    return T::kRpcName;
+  } else {
+    return typeid(T).name();
+  }
+}
+
+/// Requests carrying a TraceContext propagate it across the wire: the rpc
+/// layer stamps it on send and the receiving host opens a handler span
+/// under it. The field is inert (all zero) on untraced requests, so its
+/// presence never changes scheduling.
+template <typename T>
+concept HasTraceContext = requires(const T& t) {
+  { t.trace } -> std::convertible_to<obs::TraceContext>;
+};
 
 /// Durable per-node blob store: stands in for the node's local file system
 /// (raft logs, snapshots, extent files survive a crash). Backed by an
@@ -99,13 +126,14 @@ class Network;
 class Host {
  public:
   Host(Scheduler* sched, NodeId id, const HostOptions& opts)
-      : id_(id),
+      : sched_(sched),
+        id_(id),
         opts_(opts),
         cpu_(sched, opts.cpu_cores),
         nic_in_(sched, 1),
         nic_out_(sched, 1) {
     for (int i = 0; i < opts.num_disks; i++) {
-      disks_.push_back(std::make_unique<Disk>(sched, opts.disk));
+      disks_.push_back(std::make_unique<Disk>(sched, opts.disk, id));
     }
   }
 
@@ -164,9 +192,9 @@ class Host {
   /// `Task<Resp>(Req, NodeId from)`.
   template <typename Req, typename Resp, typename F>
   void Register(F h) {
-    handlers_[std::type_index(typeid(Req))] = [h = std::move(h)](std::any req, NodeId from,
-                                                                 ReplyFn reply) {
-      Spawn(InvokeHandler<Req, Resp, F>(h, std::any_cast<Req>(std::move(req)), from,
+    handlers_[std::type_index(typeid(Req))] = [this, h = std::move(h)](std::any req, NodeId from,
+                                                                       ReplyFn reply) {
+      Spawn(InvokeHandler<Req, Resp, F>(this, h, std::any_cast<Req>(std::move(req)), from,
                                         std::move(reply)));
     };
   }
@@ -180,13 +208,30 @@ class Host {
   }
 
  private:
+  /// Every registered handler runs under a "handler:<rpc>" span when the
+  /// request is traced: the one interception point that covers master, meta
+  /// and data services alike.
   template <typename Req, typename Resp, typename F>
-  static Task<void> InvokeHandler(F h, Req req, NodeId from, ReplyFn reply) {
+  static Task<void> InvokeHandler(Host* self, F h, Req req, NodeId from, ReplyFn reply) {
+    obs::SpanScope span = self->OpenHandlerSpan(req);
     Resp resp = co_await h(std::move(req), from);
     size_t bytes = WireBytesOf(resp);
     reply(std::any(std::move(resp)), bytes);
   }
 
+  template <typename Req>
+  obs::SpanScope OpenHandlerSpan(const Req& req) {
+    if constexpr (HasTraceContext<Req>) {
+      obs::Tracer& t = sched_->tracer();
+      if (t.enabled() && req.trace.valid()) {
+        return obs::SpanScope(
+            &t, t.BeginSpan(std::string("handler:") + MsgNameOf<Req>(), req.trace, id_));
+      }
+    }
+    return {};
+  }
+
+  Scheduler* sched_;
   NodeId id_;
   HostOptions opts_;
   bool up_ = true;

@@ -19,8 +19,10 @@
 #include <queue>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "obs/trace.h"
 
 namespace cfs::sim {
 
@@ -50,7 +52,12 @@ class TraceHasher {
 
 class Scheduler {
  public:
-  explicit Scheduler(uint64_t seed = 1) : rng_(seed) {}
+  explicit Scheduler(uint64_t seed = 1) : rng_(seed), tracer_(seed, &now_) {
+    // Log lines carry virtual timestamps while this scheduler is the active
+    // one (see common/logging.h — keeps same-seed log diffs clean).
+    internal::PushSimClock(&now_);
+  }
+  ~Scheduler() { internal::PopSimClock(&now_); }
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -115,6 +122,12 @@ class Scheduler {
   TraceHasher& trace() { return trace_; }
   uint64_t trace_hash() const { return trace_.hash(); }
 
+  /// Distributed-tracing span collector (obs/trace.h). Disabled by default;
+  /// enabling it must not perturb the schedule (the tracer owns a private
+  /// Rng and never schedules events) — the determinism tests audit that.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
  private:
   struct Event {
     SimTime time;
@@ -131,6 +144,7 @@ class Scheduler {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   Rng rng_;
   TraceHasher trace_;
+  obs::Tracer tracer_;
 };
 
 }  // namespace cfs::sim

@@ -94,7 +94,8 @@ Status ExtentStore::ImportExtent(ExtentId id, uint64_t size, bool tiny) {
   return Status::OK();
 }
 
-sim::Task<Status> ExtentStore::PlaceAt(ExtentId id, uint64_t offset, std::string_view data) {
+sim::Task<Status> ExtentStore::PlaceAt(ExtentId id, uint64_t offset, std::string_view data,
+                                       obs::TraceContext trace) {
   Extent* e = FindMutable(id);
   if (!e) co_return Status::NotFound("extent " + std::to_string(id));
   if (offset != e->size) co_return Status::InvalidArgument("out-of-order placement");
@@ -104,7 +105,7 @@ sim::Task<Status> ExtentStore::PlaceAt(ExtentId id, uint64_t offset, std::string
   e->size += data.size();
   logical_bytes_ += data.size();
   physical_bytes_ += data.size();
-  co_return co_await disk_->Write(data.size());
+  co_return co_await disk_->Write(data.size(), trace);
 }
 
 Extent* ExtentStore::FindMutable(ExtentId id) {
@@ -169,14 +170,15 @@ bool ExtentStore::RangeIsPunched(const Extent& e, uint64_t offset, uint64_t len)
   return false;
 }
 
-sim::Task<Result<std::string>> ExtentStore::Read(ExtentId id, uint64_t offset, uint64_t len) {
+sim::Task<Result<std::string>> ExtentStore::Read(ExtentId id, uint64_t offset, uint64_t len,
+                                                 obs::TraceContext trace) {
   const Extent* e = Find(id);
   if (!e) co_return Status::NotFound("extent " + std::to_string(id));
   if (offset + len > e->size) co_return Status::InvalidArgument("read beyond extent end");
   if (RangeIsPunched(*e, offset, len)) {
     co_return Status::InvalidArgument("read from punched hole");
   }
-  CFS_CO_RETURN_IF_ERROR(co_await disk_->Read(len));
+  CFS_CO_RETURN_IF_ERROR(co_await disk_->Read(len, trace));
   if (!opts_.track_contents) co_return std::string(len, '\0');
   std::string out = e->data.substr(offset, len);
   // Whole-extent reads verify against the cached CRC.
@@ -189,7 +191,7 @@ sim::Task<Result<std::string>> ExtentStore::Read(ExtentId id, uint64_t offset, u
 }
 
 sim::Task<Result<std::pair<ExtentId, uint64_t>>> ExtentStore::WriteSmall(
-    std::string_view data) {
+    std::string_view data, obs::TraceContext trace) {
   if (data.size() > opts_.small_file_threshold) {
     co_return Status::InvalidArgument("not a small file");
   }
@@ -209,7 +211,7 @@ sim::Task<Result<std::pair<ExtentId, uint64_t>>> ExtentStore::WriteSmall(
   tiny->size += data.size();
   logical_bytes_ += data.size();
   physical_bytes_ += data.size();
-  CFS_CO_RETURN_IF_ERROR(co_await disk_->Write(data.size()));
+  CFS_CO_RETURN_IF_ERROR(co_await disk_->Write(data.size(), trace));
   co_return std::make_pair(id, offset);
 }
 

@@ -81,8 +81,10 @@ class ExtentStore {
 
   /// Replica path: place bytes at an exact offset, which must equal the
   /// extent's current size (the chain delivers placements in order; callers
-  /// buffer out-of-order arrivals).
-  sim::Task<Status> PlaceAt(ExtentId id, uint64_t offset, std::string_view data);
+  /// buffer out-of-order arrivals). A traced caller passes its span context
+  /// so the disk write shows up as a "disk:write" child span.
+  sim::Task<Status> PlaceAt(ExtentId id, uint64_t offset, std::string_view data,
+                            obs::TraceContext trace = {});
 
   /// Visit (id, extent) pairs in id order.
   template <typename F>
@@ -107,11 +109,13 @@ class ExtentStore {
 
   /// Read `len` bytes at `offset`; verifies the cached CRC when contents are
   /// tracked. Reading a punched range is a caller bug -> InvalidArgument.
-  sim::Task<Result<std::string>> Read(ExtentId id, uint64_t offset, uint64_t len);
+  sim::Task<Result<std::string>> Read(ExtentId id, uint64_t offset, uint64_t len,
+                                      obs::TraceContext trace = {});
 
   /// Small-file write: aggregate into the current tiny extent. Returns the
   /// (extent id, physical offset) pair the meta node records.
-  sim::Task<Result<std::pair<ExtentId, uint64_t>>> WriteSmall(std::string_view data);
+  sim::Task<Result<std::pair<ExtentId, uint64_t>>> WriteSmall(std::string_view data,
+                                                              obs::TraceContext trace = {});
 
   /// Release a small file's range via fallocate(PUNCH_HOLE). The extent is
   /// removed entirely once every byte of it has been punched.

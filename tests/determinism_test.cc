@@ -100,6 +100,64 @@ TEST(Determinism, MessageLossReplaysIdentically) {
   EXPECT_EQ(first, second);
 }
 
+/// A mixed metadata + data workload used by the tracing audits below.
+void TracedScenario(Cluster& cluster) {
+  Client* client = BootAndMount(cluster);
+  ASSERT_NE(client, nullptr);
+  for (int i = 0; i < 4; i++) {
+    auto f = RunTask(cluster.sched(),
+                     client->Create(kRootInode, "t" + std::to_string(i), FileType::kFile));
+    ASSERT_TRUE(f && f->ok());
+    ASSERT_TRUE(RunTask(cluster.sched(),
+                        client->Write((*f)->id, 0, std::string(192 * kKiB, 'x')))
+                    ->ok());
+    (void)RunTask(cluster.sched(), client->Read((*f)->id, 0, 64 * kKiB));
+  }
+  (void)RunTask(cluster.sched(), client->ReadDirPlus(kRootInode));
+  cluster.sched().RunFor(1 * kSec);
+}
+
+TEST(Determinism, TracingIsScheduleNeutral) {
+  // The zero-schedule-cost invariant (obs/trace.h): enabling the span
+  // tracer must not perturb a single event or message — a traced and an
+  // untraced run of the same seed produce identical MixTrace hashes.
+  auto run = [](bool trace) {
+    ClusterOptions opts = SmallCluster(41);
+    opts.trace = trace;
+    Cluster cluster(opts);
+    TracedScenario(cluster);
+    return cluster.sched().trace_hash();
+  };
+  uint64_t untraced = run(false);
+  uint64_t traced = run(true);
+  EXPECT_EQ(untraced, traced);
+}
+
+TEST(Determinism, TracedRunsProduceByteIdenticalObservability) {
+  // Same-seed traced runs must agree byte for byte on every observability
+  // artifact: the span log (ids come from the tracer's private seeded Rng)
+  // and the unified metric registry dump (ordered maps only).
+  auto run = [](std::string* span_log, std::string* metrics_json) {
+    ClusterOptions opts = SmallCluster(43);
+    opts.trace = true;
+    Cluster cluster(opts);
+    TracedScenario(cluster);
+    *span_log = cluster.tracer().DumpLog();
+    *metrics_json = cluster.MetricsJson();
+    return cluster.tracer().num_spans();
+  };
+  std::string log1, log2, metrics1, metrics2;
+  size_t spans1 = run(&log1, &metrics1);
+  size_t spans2 = run(&log2, &metrics2);
+  EXPECT_GT(spans1, 0u) << "traced workload recorded no spans";
+  EXPECT_EQ(spans1, spans2);
+  EXPECT_EQ(log1, log2);
+  EXPECT_EQ(metrics1, metrics2);
+  // The registry absorbed the span count and at least one rpc metric.
+  EXPECT_NE(metrics1.find("\"obs.spans\""), std::string::npos);
+  EXPECT_NE(metrics1.find("\"rpc."), std::string::npos);
+}
+
 TEST(Determinism, DifferentSeedsDiverge) {
   // Sanity check on the auditor's sensitivity: the same scenario under a
   // different seed takes a different event path (timers, jitter, drops).

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Run the six ablation benches with --smoke and collect the results.
+
+Each bench prints human-readable tables plus machine-readable lines of the
+form `<kind> <label> {json}` (kinds: rpc_metrics, group_commit,
+latency_quantiles, stage_breakdown, ablation rows). This script executes all
+six binaries, parses every machine line, and writes one JSON document —
+BENCH_smoke.json by default — with the schema documented in EXPERIMENTS.md
+("BENCH_smoke.json schema"):
+
+  {
+    "benches": {
+      "<bench name>": {
+        "returncode": 0,
+        "machine_lines": [{"kind": "...", "label": "...", "data": {...}}, ...],
+        "stdout": "full captured stdout"
+      }, ...
+    }
+  }
+
+Usage: tools/collect_bench.py [--build-dir build] [-o BENCH_smoke.json]
+Exit status is non-zero if any bench fails to run or exits non-zero.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+BENCHES = [
+    "bench_ablation_replication",
+    "bench_ablation_placement",
+    "bench_ablation_raftset",
+    "bench_ablation_batchget",
+    "bench_ablation_write_window",
+    "bench_ablation_group_commit",
+]
+
+# `<kind> <label> {json}` — kind and label are whitespace-free tokens. The
+# ablation benches also print bare `{json}` result rows (one per sweep cell);
+# those are collected with kind "row" and the row's own "bench" field as the
+# label.
+MACHINE_LINE = re.compile(r"^(\w+) (\S+) (\{.*\})$")
+BARE_ROW = re.compile(r"^\{.*\}$")
+
+
+def parse_machine_lines(stdout: str):
+    lines = []
+    for line in stdout.splitlines():
+        m = MACHINE_LINE.match(line)
+        if m:
+            kind, label, payload = m.group(1), m.group(2), m.group(3)
+        elif BARE_ROW.match(line):
+            kind, label, payload = "row", "", line
+        else:
+            continue
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError:
+            continue  # a table row that happens to look like a machine line
+        if kind == "row":
+            label = str(data.get("bench", ""))
+        lines.append({"kind": kind, "label": label, "data": data})
+    return lines
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build", help="cmake build dir (default: build)")
+    ap.add_argument("-o", "--output", default="BENCH_smoke.json")
+    ap.add_argument("--timeout", type=int, default=600, help="per-bench seconds")
+    args = ap.parse_args()
+
+    bench_dir = pathlib.Path(args.build_dir) / "bench"
+    result = {"benches": {}}
+    failures = 0
+    for name in BENCHES:
+        binary = bench_dir / name
+        if not binary.is_file():
+            print(f"{name}: missing (build it first: cmake --build {args.build_dir} "
+                  f"--target {name})", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"running {name} --smoke ...", file=sys.stderr)
+        try:
+            proc = subprocess.run([str(binary), "--smoke"], capture_output=True,
+                                  text=True, timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            print(f"{name}: timed out after {args.timeout}s", file=sys.stderr)
+            failures += 1
+            continue
+        if proc.returncode != 0:
+            print(f"{name}: exit {proc.returncode}\n{proc.stderr}", file=sys.stderr)
+            failures += 1
+        result["benches"][name] = {
+            "returncode": proc.returncode,
+            "machine_lines": parse_machine_lines(proc.stdout),
+            "stdout": proc.stdout,
+        }
+
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(result, f, indent=1)
+        f.write("\n")
+    print(f"{args.output}: {len(result['benches'])} benches, {failures} failure(s)",
+          file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

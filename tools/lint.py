@@ -24,8 +24,14 @@ source-level rules that keep those promises true:
       deadlines and per-RPC metrics stay uniform (DESIGN.md "RPC service
       layer"). The raft transport routes through rpc::Channel too (see
       raft/multiraft.h), so the only remaining raw call is Channel itself.
+  R5  no raw stdout/stderr printing inside src/: library code must report
+      through CFS_LOG (common/logging.h, virtual-clock timestamps) or
+      return a Status — raw printf/std::cout bypasses the log level gate
+      and interleaves wall text into machine-readable bench output. The
+      sanctioned sinks (src/common/logging.*, src/common/check.*) are
+      exempt; bench/, tools/, tests/ and examples/ are not scanned.
 
-A line may opt out of R1/R2/R4 with a trailing `// lint:allow(<rule>)` comment
+A line may opt out of R1/R2/R4/R5 with a trailing `// lint:allow(<rule>)` comment
 naming the rule, e.g. `// lint:allow(unordered)` — the escape hatch exists
 for future code that can prove order-independence, and every use is visible
 in review.
@@ -62,6 +68,12 @@ UNORDERED_RULE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
 # one place allowed to touch the transport.
 RAW_RPC_RULE = re.compile(r"\bnet\w*(?:\(\))?\s*(?:->|\.)\s*Call<")
 
+# R5: raw console output from library code. printf-family on stdout/stderr
+# and iostream writes; CFS_LOG and the logging/check sinks are the sanctioned
+# paths. (bench/, tools/, tests/, examples/ are outside src/ and unscanned.)
+RAW_PRINT_RULE = re.compile(
+    r"\b(?:std::)?(?:printf|fprintf|vfprintf|puts|putchar)\s*\(|std::c(?:out|err)\b")
+
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
 
 
@@ -70,7 +82,8 @@ def allowed(line: str, token: str) -> bool:
     return bool(m) and m.group(1) == token
 
 
-def lint_file(path: pathlib.Path, findings: list, in_rpc_layer: bool) -> None:
+def lint_file(path: pathlib.Path, findings: list, in_rpc_layer: bool,
+              is_print_sink: bool) -> None:
     try:
         text = path.read_text(encoding="utf-8")
     except UnicodeDecodeError:
@@ -92,6 +105,12 @@ def lint_file(path: pathlib.Path, findings: list, in_rpc_layer: bool) -> None:
                  "R4 raw Network::Call outside src/rpc/; go through the rpc "
                  "service layer (rpc::Channel / typed stubs) or add "
                  "// lint:allow(raw-rpc)"))
+        if (not is_print_sink and RAW_PRINT_RULE.search(line)
+                and not allowed(line, "raw-print")):
+            findings.append(
+                (path, lineno,
+                 "R5 raw stdout/stderr print in src/; use CFS_LOG "
+                 "(common/logging.h) or add // lint:allow(raw-print)"))
 
 
 def lint_nodiscard(root: pathlib.Path, findings: list) -> None:
@@ -123,9 +142,12 @@ def main() -> int:
     findings: list = []
     src = root / "src"
     rpc_dir = src / "rpc"
+    print_sinks = {src / "common" / "logging.h", src / "common" / "logging.cc",
+                   src / "common" / "check.h", src / "common" / "check.cc"}
     for path in sorted(src.rglob("*")):
         if path.suffix in SRC_SUFFIXES and path.is_file():
-            lint_file(path, findings, in_rpc_layer=rpc_dir in path.parents)
+            lint_file(path, findings, in_rpc_layer=rpc_dir in path.parents,
+                      is_print_sink=path in print_sinks)
     lint_nodiscard(root, findings)
 
     for path, lineno, msg in findings:

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Convert an obs::Tracer span log into Chrome trace-event JSON.
+
+Input: the JSON-lines span log written by Tracer::DumpLog() (one span per
+line, e.g. via `bench_fig8_largefile_single_client --trace-out spans.jsonl`).
+Output: a trace-event file loadable in chrome://tracing or ui.perfetto.dev.
+
+Mapping: each span becomes a complete ("ph":"X") event; the pid is the
+simulated NodeId the work ran on (0 = client/none), the tid is the span's
+subsystem (the part of the name before ':'), so each node row splits into
+client/call/rpc/handler/raft/disk tracks. Timestamps are virtual-time
+microseconds, which is exactly the unit the trace-event format expects.
+Span/trace ids are emitted as strings inside "args" — they are full 64-bit
+values and would lose precision as JSON numbers.
+
+Usage: tools/trace2chrome.py spans.jsonl [-o out.json] [--trace-id ID]
+"""
+
+import argparse
+import json
+import sys
+
+
+def subsystem(name: str) -> str:
+    return name.split(":", 1)[0] if ":" in name else name
+
+
+def convert(lines, only_trace_id=0):
+    events = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            span = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"line {lineno}: not valid JSON: {e}")
+        for key in ("trace_id", "span_id", "parent_id", "name", "node", "start", "end"):
+            if key not in span:
+                raise SystemExit(f"line {lineno}: span missing field {key!r}")
+        if only_trace_id and span["trace_id"] != only_trace_id:
+            continue
+        args = {
+            "trace_id": str(span["trace_id"]),
+            "span_id": str(span["span_id"]),
+            "parent_id": str(span["parent_id"]),
+        }
+        for key, value in span.get("notes", {}).items():
+            args[key] = value
+        events.append({
+            "ph": "X",
+            "name": span["name"],
+            "cat": subsystem(span["name"]),
+            "pid": span["node"],
+            "tid": subsystem(span["name"]),
+            "ts": span["start"],
+            "dur": max(0, span["end"] - span["start"]),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("input", help="span log (JSON lines) from Tracer::DumpLog()")
+    ap.add_argument("-o", "--output", default="-", help="output path (default: stdout)")
+    ap.add_argument("--trace-id", type=int, default=0,
+                    help="emit only the spans of this trace id (default: all)")
+    args = ap.parse_args()
+
+    with open(args.input, encoding="utf-8") as f:
+        doc = convert(f, args.trace_id)
+
+    out = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
+    json.dump(doc, out, separators=(",", ":"))
+    out.write("\n")
+    if out is not sys.stdout:
+        out.close()
+        print(f"{args.output}: {len(doc['traceEvents'])} events", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
