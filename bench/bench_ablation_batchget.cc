@@ -78,6 +78,7 @@ Sample Measure(Mode mode, int files, int scans) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  WallclockReporter wallclock("bench_ablation_batchget");
   const bool smoke = SmokeMode(argc, argv);
   const int kFiles = smoke ? 12 : 64;
   const int kScans = smoke ? 3 : 20;
@@ -94,5 +95,6 @@ int main(int argc, char** argv) {
       "\nbatchInodeGet collapses N inode fetches into one RPC per meta partition\n"
       "(§4.2); the client-side cache then serves repeated scans locally, which is\n"
       "what separates CFS from Ceph in the DirStat test by ~an order of magnitude.\n");
+  wallclock.Print();
   return 0;
 }

@@ -124,6 +124,7 @@ CellResult RunCell(bool batching_on, int clients, int ops_per_client, uint64_t s
 }  // namespace
 
 int main(int argc, char** argv) {
+  WallclockReporter wallclock("bench_ablation_group_commit");
   const bool smoke = SmokeMode(argc, argv);
   const std::vector<int> kClients = smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 8, 32};
   const int kOpsPerClient = smoke ? 4 : 25;
@@ -165,5 +166,6 @@ int main(int argc, char** argv) {
   PrintRow("batch off", off_wpp);
   PrintRow("batch on", on_wpp);
   PrintRow("avg batch(on)", on_batch);
+  wallclock.Print();
   return 0;
 }

@@ -40,6 +40,7 @@ double HashReshuffleFraction(int partitions, int before_nodes, int after_nodes) 
 }  // namespace
 
 int main(int argc, char** argv) {
+  WallclockReporter wallclock("bench_ablation_placement");
   const bool smoke = SmokeMode(argc, argv);
   std::printf("Ablation A2: utilization-based vs hash vs random placement (§2.3.1)%s\n",
               smoke ? " [smoke]" : "");
@@ -98,5 +99,6 @@ int main(int argc, char** argv) {
       "\nUtilization-based placement avoids both data migration on expansion and\n"
       "placing new partitions on already-loaded nodes — at the cost of needing the\n"
       "heartbeat-borne utilization reports the resource manager already collects.\n");
+  wallclock.Print();
   return 0;
 }

@@ -57,6 +57,7 @@ HeartbeatSample Measure(int partitions, bool coalesce, bool raft_sets,
 }  // namespace
 
 int main(int argc, char** argv) {
+  WallclockReporter wallclock("bench_ablation_raftset");
   const bool smoke = SmokeMode(argc, argv);
   std::printf("Ablation A3: heartbeat traffic vs partition count (50 ms interval)%s\n",
               smoke ? " [smoke]" : "");
@@ -80,5 +81,6 @@ int main(int argc, char** argv) {
       "\nPlain raft heartbeats grow with the partition count; MultiRaft coalesces\n"
       "them per node pair; Raft sets additionally bound each node's peer fan-out\n"
       "to the set size (§2.5.1).\n");
+  wallclock.Print();
   return 0;
 }

@@ -28,6 +28,7 @@ uint64_t TotalDiskWrites(harness::Cluster* c) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  WallclockReporter wallclock("bench_ablation_replication");
   const bool smoke = SmokeMode(argc, argv);
   const int kClients = smoke ? 1 : 4;
   const int kProcs = smoke ? 4 : 32;
@@ -91,5 +92,6 @@ int main(int argc, char** argv) {
         "eventually require defragmentation (§2.2.4); CFS avoids implementing that\n"
         "path entirely by reusing the meta-subsystem raft for in-place writes.\n");
   }
+  wallclock.Print();
   return 0;
 }

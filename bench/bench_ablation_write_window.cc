@@ -17,6 +17,7 @@ using namespace cfs;
 using namespace cfs::bench;
 
 int main(int argc, char** argv) {
+  WallclockReporter wallclock("bench_ablation_write_window");
   const bool smoke = SmokeMode(argc, argv);
   const std::vector<int> kWindows = smoke ? std::vector<int>{1, 4}
                                           : std::vector<int>{1, 2, 4, 8};
@@ -64,5 +65,6 @@ int main(int argc, char** argv) {
     for (double v : mibps_row) speedup.push_back(mibps_row[0] > 0 ? v / mibps_row[0] : 0);
     PrintRow("vs w=1", speedup);
   }
+  wallclock.Print();
   return 0;
 }

@@ -9,6 +9,7 @@
 // prints the simulated-time IOPS for CFS and Ceph side by side.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -34,10 +35,10 @@ inline CfsBench MakeCfsBench(int num_clients, uint64_t seed = 1,
                              uint32_t meta_partitions = 30, uint32_t data_partitions = 40,
                              uint64_t nic_mib = 0,
                              std::optional<client::ClientOptions> client_opts = std::nullopt,
-                             bool trace = false) {
+                             bool trace = false, int num_nodes = 10) {
   CfsBench b;
   harness::ClusterOptions opts;
-  opts.num_nodes = 10;  // paper testbed
+  opts.num_nodes = num_nodes;  // paper testbed default: 10 machines
   opts.seed = seed;
   opts.track_contents = false;
   opts.trace = trace;  // span tracing never perturbs the schedule (obs/trace.h)
@@ -144,6 +145,38 @@ inline void PrintGroupCommitStats(const char* label, const harness::Cluster& clu
       static_cast<unsigned long long>(lw.appended_entries),
       static_cast<unsigned long long>(lw.persisted_bytes));
 }
+
+/// Simulator-throughput reporter: constructed at the top of a bench main, it
+/// snapshots wall-clock time and the process-wide executed-event counter
+/// (sim::Scheduler::process_executed_events), and Print() emits one machine
+/// line `bench_wallclock <bench> {json}` with wall seconds, events retired
+/// and events/sec. tools/collect_bench.py folds these into
+/// BENCH_wallclock.json (schema in EXPERIMENTS.md) so simulator-throughput
+/// regressions are caught like any other perf bug. Wall-clock use is fine
+/// here: bench/ is outside the determinism lint's src/ scope and the value
+/// never feeds the schedule.
+class WallclockReporter {
+ public:
+  explicit WallclockReporter(const char* bench)
+      : bench_(bench),
+        start_(std::chrono::steady_clock::now()),
+        events0_(sim::Scheduler::process_executed_events()) {}
+
+  void Print() const {
+    std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start_;
+    uint64_t events = sim::Scheduler::process_executed_events() - events0_;
+    double sec = wall.count();
+    std::printf(
+        "bench_wallclock %s {\"wall_sec\":%.3f,\"events\":%llu,\"events_per_sec\":%.0f}\n",
+        bench_, sec, static_cast<unsigned long long>(events),
+        sec > 0 ? static_cast<double>(events) / sec : 0.0);
+  }
+
+ private:
+  const char* bench_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t events0_;
+};
 
 /// Shared tiny-parameter switch for the ablation benches: `--smoke` shrinks
 /// every sweep so CI can execute each binary end to end in seconds.

@@ -15,6 +15,7 @@ using namespace cfs;
 using namespace cfs::bench;
 
 int main() {
+  WallclockReporter wallclock("bench_fig10_small_files");
   const std::vector<uint64_t> kSizesKb = {1, 2, 4, 8, 16, 32, 64, 128};
   const int kClients = 8;
   const int kProcs = 64;
@@ -63,5 +64,6 @@ int main() {
     PrintLatencyQuantiles(std::string("cfs:") + name, cfs_lat);
     PrintLatencyQuantiles(std::string("ceph:") + name, ceph_lat);
   }
+  wallclock.Print();
   return 0;
 }

@@ -14,6 +14,7 @@ using namespace cfs;
 using namespace cfs::bench;
 
 int main() {
+  WallclockReporter wallclock("bench_fig6_metadata_single_client");
   const std::vector<int> kProcs = {1, 4, 16, 64};
   const std::vector<MdTest> kTests = {
       MdTest::kDirCreation, MdTest::kDirStat,      MdTest::kDirRemoval,
@@ -63,5 +64,6 @@ int main() {
   }
   PrintRpcMetrics("cfs", cfs_rpc_metrics);
   PrintRpcMetrics("ceph", ceph_rpc_metrics);
+  wallclock.Print();
   return 0;
 }

@@ -16,6 +16,7 @@ using namespace cfs;
 using namespace cfs::bench;
 
 int main() {
+  WallclockReporter wallclock("bench_fig7_table3_metadata_multi_client");
   const std::vector<int> kClients = {1, 2, 4, 8};
   const int kProcsPerClient = 64;
   const std::vector<MdTest> kTests = {
@@ -109,5 +110,6 @@ int main() {
       std::fprintf(stderr, "traced create failed\n");
     }
   }
+  wallclock.Print();
   return 0;
 }

@@ -23,6 +23,7 @@ using namespace cfs;
 using namespace cfs::bench;
 
 int main(int argc, char** argv) {
+  WallclockReporter wallclock("bench_fig8_largefile_single_client");
   const bool smoke = SmokeMode(argc, argv);
   const char* trace_out = FlagValue(argc, argv, "--trace-out");
   const bool critical_path = HasFlag(argc, argv, "--critical-path");
@@ -115,5 +116,6 @@ int main(int argc, char** argv) {
                   b.cluster->tracer().num_spans());
     }
   }
+  wallclock.Print();
   return 0;
 }

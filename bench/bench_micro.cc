@@ -5,10 +5,13 @@
 // on the metadata hot path.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <map>
 
+#include "common/buffer.h"
 #include "common/codec.h"
 #include "common/crc32.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "kv/kvstore.h"
 #include "meta/btree.h"
@@ -156,6 +159,100 @@ void BM_ExtentStoreSmallWrite(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExtentStoreSmallWrite);
+
+// --- Simulator hot-path microbenches (DESIGN.md "Simulator performance") --
+// One per rebuilt component, so a regression in the timer wheel, event pool,
+// payload sharing, or flat-map routing shows up here before it shows up as
+// fig9 wall-clock.
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  // Steady-state schedule/dispatch cycle: `width` events in flight, each
+  // firing re-arms the next. Exercises wheel insert, level-0 collection,
+  // seq-sort, and node recycling with zero allocations after warmup.
+  const int64_t width = state.range(0);
+  sim::Scheduler sched;
+  uint64_t fired = 0;
+  std::function<void()> rearm;  // self-referential: must outlive the loop
+  rearm = [&] {
+    fired++;
+    sched.After(1 + fired % 7, [&] { rearm(); });
+  };
+  for (int64_t i = 0; i < width; i++) sched.After(1 + i % 7, [&] { rearm(); });
+  for (auto _ : state) {
+    uint64_t target = fired + width;
+    while (fired < target) sched.RunOne();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(fired));
+}
+BENCHMARK(BM_SchedulerChurn)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_TimerCancel(benchmark::State& state) {
+  // The RPC-timeout pattern: arm a far watchdog, cancel it almost always.
+  // Measures Insert + lazy Cancel + the wheel's debris reclamation.
+  sim::Scheduler sched;
+  uint64_t armed = 0;
+  for (auto _ : state) {
+    sim::Scheduler::TimerId id = sched.ScheduleAfter(1'000'000, [] {});
+    armed++;
+    if (armed % 64 != 0) {
+      benchmark::DoNotOptimize(sched.Cancel(id));
+    }
+    if (armed % 4096 == 0) sched.RunFor(2'000'000);  // drain survivors + debris
+  }
+  sched.Run();
+  state.SetItemsProcessed(static_cast<int64_t>(armed));
+}
+BENCHMARK(BM_TimerCancel);
+
+void BM_PayloadFanout(benchmark::State& state) {
+  // A 1 MiB client write fanned out as 128 KiB packet slices to 3 replicas,
+  // each verifying the payload CRC: with shared Buffers and the CRC memo the
+  // bytes are touched once per packet, not once per replica.
+  Buffer payload = Buffer::Filled(1 * kMiB, 'w');
+  const size_t kPacket = 128 * kKiB;
+  for (auto _ : state) {
+    uint32_t crc = 0;
+    for (size_t off = 0; off < payload.size(); off += kPacket) {
+      Buffer packet = payload.Slice(off, kPacket);
+      for (int replica = 0; replica < 3; replica++) {
+        Buffer hop = packet;  // refcount bump, no copy
+        crc ^= hop.Crc0();
+      }
+    }
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(state.iterations() * 3 * static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_PayloadFanout);
+
+void BM_FlatMapVsStdMapLookup(benchmark::State& state) {
+  // The rpc-router / handler-registry shape: a small, rarely-mutated map
+  // probed on every delivered message. FlatMap (sorted vector) vs std::map.
+  const int64_t n = state.range(0);
+  FlatMap<uint64_t, uint64_t> flat;
+  std::map<uint64_t, uint64_t> tree;
+  Rng rng(7);
+  std::vector<uint64_t> keys;
+  for (int64_t i = 0; i < n; i++) {
+    uint64_t k = rng.Next();
+    keys.push_back(k);
+    flat[k] = i;
+    tree[k] = i;
+  }
+  size_t i = 0;
+  if (state.range(1) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(flat.find(keys[i++ % keys.size()]));
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(tree.find(keys[i++ % keys.size()]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatMapVsStdMapLookup)
+    ->ArgsProduct({{16, 256}, {0 /* flat */, 1 /* std::map */}});
 
 void BM_KvStorePut(benchmark::State& state) {
   sim::Scheduler sched;

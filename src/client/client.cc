@@ -482,7 +482,7 @@ sim::Task<Status> Client::Fsync(InodeId ino) {
   co_return Status::OK();
 }
 
-sim::Task<Status> Client::WriteSmallFile(OpenFile& of, std::string_view data,
+sim::Task<Status> Client::WriteSmallFile(OpenFile& of, Buffer data,
                                          rpc::Deadline dl, obs::TraceContext trace) {
   // §4.4: "the CFS client does not need to ask the resource manager for new
   // extents; instead, it sends the write request to the data node directly."
@@ -500,7 +500,7 @@ sim::Task<Status> Client::WriteSmallFile(OpenFile& of, std::string_view data,
       }
     }
     const PartitionId pid = view->pid;
-    data::WriteSmallReq req{pid, std::string(data)};
+    data::WriteSmallReq req{pid, data};  // refcount share; retries re-send the same buffer
     auto r = co_await data_svc_.ChainCall<data::WriteSmallReq, data::WriteSmallResp>(
         pid, std::move(req), rpc::CallOptions{dl, nullptr, trace});
     if (!r.ok()) {
@@ -581,7 +581,7 @@ Task<void> SendWindowPacket(rpc::Channel* channel, sim::NodeId self, sim::NodeId
 }  // namespace
 
 sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
-                                     std::string_view data, rpc::Deadline dl,
+                                     Buffer data, rpc::Deadline dl,
                                      obs::TraceContext trace) {
   // Sliding-window pipeline: up to write_window_packets WritePacketReqs in
   // flight against the active extent; the committed prefix (and with it
@@ -670,7 +670,7 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
       pkt.pid = of.append_pid;
       pkt.extent_id = of.append_extent;
       pkt.offset = next_off;
-      pkt.data = std::string(data.substr(send_pos, chunk));
+      pkt.data = data.Slice(send_pos, chunk);  // view of the caller's buffer, no copy
       ctl->inflight++;
       packets++;
       max_occupancy = std::max<int64_t>(max_occupancy, ctl->inflight);
@@ -736,7 +736,7 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
 }
 
 sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
-                                        std::string_view data, rpc::Deadline dl,
+                                        Buffer data, rpc::Deadline dl,
                                         obs::TraceContext trace) {
   // In-place (§2.7.2): locate the covering extent keys; offsets don't move;
   // NO metadata update is needed — the paper's key overwrite advantage.
@@ -750,7 +750,7 @@ sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
     if (k_end <= offset || k->file_offset >= end) continue;
     uint64_t piece_begin = std::max(offset, k->file_offset);
     uint64_t piece_end = std::min(end, k_end);
-    std::string piece(data.substr(piece_begin - offset, piece_end - piece_begin));
+    Buffer piece = data.Slice(piece_begin - offset, piece_end - piece_begin);
     uint64_t extent_off = k->extent_offset + (piece_begin - k->file_offset);
     data::OverwriteReq req{k->partition_id, k->extent_id, extent_off, std::move(piece)};
     auto r = co_await DataLeaderCall<data::OverwriteReq, data::OverwriteResp>(
@@ -761,7 +761,7 @@ sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
   co_return Status::OK();
 }
 
-sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, std::string data) {
+sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, Buffer buf) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
   const rpc::Deadline dl = OpDeadline();
   auto it = open_files_.find(ino);
@@ -770,33 +770,32 @@ sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, std::string data) 
     it = open_files_.find(ino);
   }
   obs::SpanScope op = BeginOp("op:write");
-  op.Note("bytes", static_cast<int64_t>(data.size()));
+  op.Note("bytes", static_cast<int64_t>(buf.size()));
   OpenFile& of = it->second;
   uint64_t size = of.pending_size;
   if (offset > size) co_return Status::InvalidArgument("write beyond EOF (no holes)");
 
   // Small-file fast path (§2.2.3): whole file fits under the threshold.
-  if (offset == 0 && size == 0 && data.size() <= opts_.small_file_threshold &&
+  if (offset == 0 && size == 0 && buf.size() <= opts_.small_file_threshold &&
       of.inode.extents.empty() && of.pending_keys.empty()) {
-    co_return co_await WriteSmallFile(of, data, dl, op.ctx());
+    co_return co_await WriteSmallFile(of, std::move(buf), dl, op.ctx());
   }
 
   // §2.7.2: split into the overwritten portion and the appended portion.
-  uint64_t overwrite_end = std::min<uint64_t>(offset + data.size(), size);
+  uint64_t overwrite_end = std::min<uint64_t>(offset + buf.size(), size);
   if (offset < overwrite_end) {
     CFS_CO_RETURN_IF_ERROR(co_await OverwriteData(
-        of, offset, std::string_view(data).substr(0, overwrite_end - offset), dl,
-        op.ctx()));
+        of, offset, buf.Slice(0, overwrite_end - offset), dl, op.ctx()));
   }
-  if (overwrite_end < offset + data.size()) {
+  if (overwrite_end < offset + buf.size()) {
     CFS_CO_RETURN_IF_ERROR(co_await AppendData(
-        of, overwrite_end, std::string_view(data).substr(overwrite_end - offset), dl,
+        of, overwrite_end, buf.Slice(overwrite_end - offset, buf.size()), dl,
         op.ctx()));
   }
   co_return Status::OK();
 }
 
-sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64_t len) {
+sim::Task<Result<Buffer>> Client::Read(InodeId ino, uint64_t offset, uint64_t len) {
   co_await host_->cpu().Use(opts_.client_cpu_per_op);
   const rpc::Deadline dl = OpDeadline();
   obs::SpanScope op = BeginOp("op:read");
@@ -821,9 +820,8 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
   }
   for (const auto& k : inode->extents) keys.push_back(&k);
 
-  if (offset >= size) co_return std::string();
+  if (offset >= size) co_return Buffer();
   len = std::min(len, size - offset);
-  std::string out(len, '\0');
   uint64_t end = offset + len;
 
   // Collect the covering pieces up front. Keys are copied by value: the
@@ -842,8 +840,9 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
     pieces.push_back(std::move(pc));
   }
 
-  if (pieces.size() == 1) {
-    // Single extent (the common random-read case): stay inline.
+  if (pieces.size() == 1 && pieces[0].begin == offset && pieces[0].end == end) {
+    // Single extent covering the whole range (the common random-read case):
+    // stay inline and hand the data node's payload back without a copy.
     const Piece& pc = pieces[0];
     uint64_t extent_off = pc.key.extent_offset + (pc.begin - pc.key.file_offset);
     data::ReadExtentReq req{pc.key.partition_id, pc.key.extent_id, extent_off,
@@ -852,9 +851,10 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
         pc.key.partition_id, std::move(req), dl, op.ctx());
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
-    out.replace(pc.begin - offset, r->data.size(), r->data);
-    co_return out;
+    co_return std::move(r->data);
   }
+
+  std::string out(len, '\0');
 
   // Multi-extent read: fan the per-extent ReadExtentReqs out concurrently and
   // stitch the pieces into `out` (alive across the join — this frame owns it).
@@ -878,7 +878,7 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
         } else if (!r->status.ok()) {
           *st = r->status;
         } else {
-          out->replace(pc.begin - offset, r->data.size(), r->data);
+          out->replace(pc.begin - offset, r->data.size(), r->data.data(), r->data.size());
         }
         done();
       }(this, std::move(pc), offset, dl, op.ctx(), &out, &piece_status[i], join.Arrive()));
@@ -888,7 +888,7 @@ sim::Task<Result<std::string>> Client::Read(InodeId ino, uint64_t offset, uint64
       if (!st.ok()) co_return st;  // fail the read on the first piece error
     }
   }
-  co_return out;
+  co_return Buffer::FromString(std::move(out));
 }
 
 void Client::InjectPreparedFile(InodeId ino, std::vector<ExtentKey> keys, uint64_t size) {

@@ -230,10 +230,18 @@ class Client {
 
   /// Random writes are in-place for the overwritten range and sequential
   /// for the appended remainder (§2.7.2). Returns after all replicas
-  /// committed the data; metadata syncs on Fsync/Close.
-  sim::Task<Status> Write(InodeId ino, uint64_t offset, std::string data);
+  /// committed the data; metadata syncs on Fsync/Close. The payload Buffer
+  /// is shared, never copied: every packet, chain hop, retry and raft entry
+  /// below carries a slice of it.
+  sim::Task<Status> Write(InodeId ino, uint64_t offset, Buffer data);
+  sim::Task<Status> Write(InodeId ino, uint64_t offset, std::string data) {
+    return Write(ino, offset, Buffer::FromString(std::move(data)));
+  }
 
-  sim::Task<Result<std::string>> Read(InodeId ino, uint64_t offset, uint64_t len);
+  /// Zero-copy where possible: a single-extent read returns the data node's
+  /// payload Buffer as-is; only multi-extent reads stitch pieces into a
+  /// fresh allocation. Callers needing owned bytes use Buffer::ToString().
+  sim::Task<Result<Buffer>> Read(InodeId ino, uint64_t offset, uint64_t len);
 
   /// Push cached size/extent updates to the meta node (fsync, §2.7.1).
   sim::Task<Status> Fsync(InodeId ino);
@@ -334,11 +342,11 @@ class Client {
     bool dirty = false;
   };
 
-  sim::Task<Status> AppendData(OpenFile& of, uint64_t file_offset, std::string_view data,
+  sim::Task<Status> AppendData(OpenFile& of, uint64_t file_offset, Buffer data,
                                rpc::Deadline dl, obs::TraceContext trace);
-  sim::Task<Status> OverwriteData(OpenFile& of, uint64_t offset, std::string_view data,
+  sim::Task<Status> OverwriteData(OpenFile& of, uint64_t offset, Buffer data,
                                   rpc::Deadline dl, obs::TraceContext trace);
-  sim::Task<Status> WriteSmallFile(OpenFile& of, std::string_view data, rpc::Deadline dl,
+  sim::Task<Status> WriteSmallFile(OpenFile& of, Buffer data, rpc::Deadline dl,
                                    obs::TraceContext trace);
 
   void CacheInode(const Inode& ino);

@@ -227,7 +227,7 @@ void DataNode::RegisterHandlers() {
         // reads the payload in place and only the forward hop copies it.
         Status local_st, fwd_st;
         sim::Join join(net_->scheduler(), 2);
-        Spawn([](DataPartition* p, ExtentId extent, uint64_t offset, std::string_view data,
+        Spawn([](DataPartition* p, ExtentId extent, uint64_t offset, Buffer data,
                  obs::TraceContext trace, Status* out, std::function<void()> done) -> Task<void> {
           *out = co_await p->store().PlaceAt(extent, offset, data, trace);
           if (out->ok()) p->placement_gate().NotifyAll();
@@ -327,7 +327,8 @@ void DataNode::RegisterHandlers() {
           co_return OverwriteResp{Status::InvalidArgument("overwrite beyond extent end")};
         }
         auto idx = co_await rn->ProposeIndexed(
-            DataPartition::EncodeOverwrite(req.extent_id, req.offset, req.data), req.trace);
+            DataPartition::EncodeOverwrite(req.extent_id, req.offset, req.data.view()),
+            req.trace);
         if (!idx.ok()) co_return OverwriteResp{idx.status()};
         auto st = p->TakeResult(*idx);
         co_return OverwriteResp{st.value_or(Status::OK())};

@@ -37,7 +37,7 @@ void DataPartition::MarkDurable(storage::ExtentId id, uint64_t begin, uint64_t e
 }
 
 Task<Status> DataPartition::ApplyChainAppend(storage::ExtentId extent, uint64_t offset,
-                                             std::string_view data, bool tiny,
+                                             Buffer data, bool tiny,
                                              obs::TraceContext trace) {
   if (!store_->Has(extent)) {
     // Tiny extents materialize lazily on replicas the first time a
@@ -51,8 +51,8 @@ Task<Status> DataPartition::ApplyChainAppend(storage::ExtentId extent, uint64_t 
   uint64_t cur = store_->ExtentSize(extent);
   if (offset < cur) co_return Status::OK();  // duplicate (client retry)
   if (offset > cur) {
-    // Out of order: buffer until the gap fills (the only path that copies).
-    pending_[extent].emplace(offset, std::string(data));
+    // Out of order: park the shared buffer until the gap fills.
+    pending_[extent].emplace(offset, std::move(data));
     co_return Status::OK();
   }
   CFS_CO_RETURN_IF_ERROR(co_await store_->PlaceAt(extent, offset, data, trace));
@@ -68,12 +68,12 @@ void DataPartition::TryDrainPending(storage::ExtentId extent) {
     auto first = waiting.begin();
     uint64_t cur = store_->ExtentSize(extent);
     if (first->first != cur) break;
-    std::string data = std::move(first->second);
+    Buffer data = std::move(first->second);
     waiting.erase(first);
     // Structural mutation inside PlaceAt is synchronous; the disk charge
     // completes asynchronously.
     Spawn([](storage::ExtentStore* store, storage::ExtentId extent, uint64_t off,
-             std::string data) -> Task<void> {
+             Buffer data) -> Task<void> {
       (void)co_await store->PlaceAt(extent, off, data);
     }(store_.get(), extent, cur, std::move(data)));
   }
@@ -117,10 +117,13 @@ void DataPartition::Apply(raft::Index index, std::string_view cmd) {
     switch (static_cast<DataOp>(op)) {
       case DataOp::kOverwrite: {
         uint64_t id, offset;
-        std::string data;
+        // View into `cmd` (the log entry outlives the apply): overwrites are
+        // the raft hot path, and copying the payload out would double its
+        // memory traffic.
+        std::string_view data;
         st = dec.GetVarint(&id);
         if (st.ok()) st = dec.GetVarint(&offset);
-        if (st.ok()) st = dec.GetString(&data);
+        if (st.ok()) st = dec.GetStringView(&data);
         if (st.ok()) st = store_->OverwriteSync(id, offset, data);
         break;
       }

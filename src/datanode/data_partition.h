@@ -12,6 +12,8 @@
 #include <map>
 #include <memory>
 
+#include "common/flat_map.h"
+
 #include "datanode/messages.h"
 #include "raft/multiraft.h"
 #include "sim/sync.h"
@@ -86,11 +88,11 @@ class DataPartition : public raft::StateMachine {
   sim::Notifier& placement_gate() { return placement_gate_; }
 
   /// Replica-side chain placement with buffering of out-of-order arrivals
-  /// (shared tiny extents interleave placements from many clients). Takes a
-  /// view so the in-order fast path applies and forwards one buffer per hop;
-  /// only an out-of-order arrival copies (into the pending buffer).
+  /// (shared tiny extents interleave placements from many clients). Takes
+  /// the shared Buffer: the in-order fast path applies a view of it, and an
+  /// out-of-order arrival parks the Buffer itself (refcount, no copy).
   sim::Task<Status> ApplyChainAppend(storage::ExtentId extent, uint64_t offset,
-                                     std::string_view data, bool tiny,
+                                     Buffer data, bool tiny,
                                      obs::TraceContext trace = {});
 
   // --- Raft state machine (overwrite/purge path) ---
@@ -131,15 +133,16 @@ class DataPartition : public raft::StateMachine {
   raft::RaftNode* raft_node_ = nullptr;
 
   storage::ExtentId next_extent_id_ = 1;
-  std::map<storage::ExtentId, uint64_t> committed_;
+  FlatMap<storage::ExtentId, uint64_t> committed_;  // point-looked-up per packet
   /// extent -> begin -> end: all-replica durable ranges beyond the
   /// contiguous committed prefix (out-of-order completions in the window).
   std::map<storage::ExtentId, std::map<uint64_t, uint64_t>> durable_;
   sim::Notifier placement_gate_;
   bool read_only_ = false;
 
-  /// extent -> offset -> (data, tiny): buffered until contiguous.
-  std::map<storage::ExtentId, std::map<uint64_t, std::string>> pending_;
+  /// extent -> offset -> payload: buffered until contiguous (refcounted, so
+  /// parking an out-of-order arrival shares the sender's bytes).
+  std::map<storage::ExtentId, std::map<uint64_t, Buffer>> pending_;
 
   std::map<raft::Index, Status> results_;
   static constexpr size_t kMaxResults = 4096;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "obs/trace.h"
@@ -49,7 +50,7 @@ struct WritePacketReq {
   PartitionId pid = 0;
   ExtentId extent_id = 0;
   uint64_t offset = 0;
-  std::string data;
+  Buffer data;
   obs::TraceContext trace;
   size_t WireBytes() const { return 64 + data.size(); }
 };
@@ -65,7 +66,7 @@ struct WritePacketResp {
 struct WriteSmallReq {
   static constexpr const char* kRpcName = "WriteSmall";
   PartitionId pid = 0;
-  std::string data;
+  Buffer data;
   obs::TraceContext trace;
   size_t WireBytes() const { return 48 + data.size(); }
 };
@@ -82,7 +83,7 @@ struct OverwriteReq {
   PartitionId pid = 0;
   ExtentId extent_id = 0;
   uint64_t offset = 0;
-  std::string data;
+  Buffer data;
   obs::TraceContext trace;
   size_t WireBytes() const { return 64 + data.size(); }
 };
@@ -102,7 +103,7 @@ struct ReadExtentReq {
 };
 struct ReadExtentResp {
   Status status;
-  std::string data;
+  Buffer data;
   size_t WireBytes() const { return 32 + data.size(); }
 };
 
@@ -148,7 +149,9 @@ struct ChainAppendReq {
   ExtentId extent_id = 0;
   uint64_t offset = 0;
   bool tiny = false;  // small-file placement vs large-file append
-  std::string data;
+  /// Shared with the upstream hop: forwarding down the chain or retrying a
+  /// leg re-sends the same refcounted bytes, never a fresh copy.
+  Buffer data;
   uint32_t chain_index = 0;
   obs::TraceContext trace;
   size_t WireBytes() const { return 64 + data.size(); }
@@ -188,7 +191,7 @@ struct FetchRangeReq {
 };
 struct FetchRangeResp {
   Status status;
-  std::string data;
+  Buffer data;
   size_t WireBytes() const { return 32 + data.size(); }
 };
 

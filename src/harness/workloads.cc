@@ -83,10 +83,16 @@ Task<Result<uint64_t>> CfsDataOps::PrepareFile(uint64_t bytes) {
   co_return ino;
 }
 
+Buffer CfsDataOps::FillPayload(uint64_t len) {
+  if (fill_.size() < len) {
+    fill_ = Buffer::Filled(std::max<uint64_t>(len, 4 * 1024 * 1024), 'w');
+  }
+  return fill_.Slice(0, len);
+}
+
 Task<Status> CfsDataOps::Write(uint64_t file, uint64_t offset, uint64_t len, bool overwrite) {
   (void)overwrite;  // the client splits overwrite/append itself (§2.7.2)
-  std::string payload(len, 'w');
-  CFS_CO_RETURN_IF_ERROR(co_await c_->Write(file, offset, std::move(payload)));
+  CFS_CO_RETURN_IF_ERROR(co_await c_->Write(file, offset, FillPayload(len)));
   if (!overwrite) {
     // Appends sync size/extent metadata (fsync-per-op keeps parity with the
     // Ceph model's per-op size persist).

@@ -12,6 +12,7 @@
 
 #include "ceph/ceph.h"
 #include "client/client.h"
+#include "common/buffer.h"
 #include "harness/cluster.h"
 #include "sim/task.h"
 
@@ -74,10 +75,17 @@ class CfsDataOps : public DataOps {
   sim::Task<Status> Read(uint64_t file, uint64_t offset, uint64_t len) override;
 
  private:
+  /// Fill-pattern payload of at least `len` bytes, shared across every write
+  /// this adapter issues: the client's zero-copy path slices it per packet,
+  /// so no per-op payload is materialized (and the Buffer CRC memo hits on
+  /// every repeated (offset, len) slice).
+  Buffer FillPayload(uint64_t len);
+
   harness::Cluster* cluster_;
   client::Client* c_;
   uint64_t small_threshold_;
   uint64_t prepared_ = 0;
+  Buffer fill_;
 };
 
 // --- Ceph adapters -------------------------------------------------------------

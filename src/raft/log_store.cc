@@ -3,7 +3,14 @@
 namespace cfs::raft {
 
 LogStore::LogStore(sim::StableStorage* storage, sim::Disk* disk, GroupId gid)
-    : storage_(storage), disk_(disk), gid_(gid) {}
+    : storage_(storage),
+      disk_(disk),
+      gid_(gid),
+      // Blob names are fixed for the store's lifetime; building them once
+      // keeps the per-batch WAL append free of string concatenation.
+      key_hs_(Key("hs")),
+      key_snap_(Key("snap")),
+      key_log_(Key("log")) {}
 
 std::string LogStore::Key(const char* what) const {
   return "raft/" + std::to_string(gid_) + "/" + what;
@@ -12,18 +19,21 @@ std::string LogStore::Key(const char* what) const {
 void LogStore::EncodeEntry(Encoder* enc, const LogEntry& e) {
   enc->PutU64(e.term);
   enc->PutU64(e.index);
-  enc->PutString(e.data);
+  enc->PutString(e.data.view());
 }
 
 Status LogStore::DecodeEntry(Decoder* dec, LogEntry* e) {
   CFS_RETURN_IF_ERROR(dec->GetU64(&e->term));
   CFS_RETURN_IF_ERROR(dec->GetU64(&e->index));
-  return dec->GetString(&e->data);
+  std::string data;
+  CFS_RETURN_IF_ERROR(dec->GetString(&data));
+  e->data = Buffer::FromString(std::move(data));
+  return Status::OK();
 }
 
 sim::Task<Status> LogStore::Load() {
   std::string hs;
-  if (storage_->Get(Key("hs"), &hs)) {
+  if (storage_->Get(key_hs_, &hs)) {
     Decoder dec(hs);
     uint64_t term, vote;
     CFS_CO_RETURN_IF_ERROR(dec.GetU64(&term));
@@ -32,7 +42,7 @@ sim::Task<Status> LogStore::Load() {
     voted_for_ = static_cast<NodeId>(vote);
   }
   std::string snap;
-  if (storage_->Get(Key("snap"), &snap)) {
+  if (storage_->Get(key_snap_, &snap)) {
     Decoder dec(snap);
     std::string data;
     CFS_CO_RETURN_IF_ERROR(dec.GetU64(&snap_index_));
@@ -42,7 +52,7 @@ sim::Task<Status> LogStore::Load() {
   }
   entries_.clear();
   std::string log;
-  if (storage_->Get(Key("log"), &log)) {
+  if (storage_->Get(key_log_, &log)) {
     Decoder dec(log);
     while (!dec.Done()) {
       LogEntry e;
@@ -65,7 +75,7 @@ sim::Task<Status> LogStore::SaveHardState(Term term, NodeId voted_for) {
   Encoder enc;
   enc.PutU64(term_);
   enc.PutU64(voted_for_);
-  storage_->Put(Key("hs"), enc.Take());
+  storage_->Put(key_hs_, enc.Take());
   // Hard-state updates must be durable before acting on them (fsync).
   co_return co_await disk_->Write(16);
 }
@@ -86,7 +96,7 @@ sim::Task<Status> LogStore::Append(std::span<const LogEntry> entries,
     entries_.push_back(e);
   }
   size_t bytes = enc.size();
-  storage_->Append(Key("log"), enc.data());
+  storage_->Append(key_log_, enc.data());
   persisted_bytes_ += bytes;
   append_writes_++;
   appended_entries_ += entries.size();
@@ -103,7 +113,7 @@ sim::Task<Status> LogStore::RewriteLog() {
   Encoder enc;
   for (const auto& e : entries_) EncodeEntry(&enc, e);
   size_t bytes = enc.size();
-  storage_->Put(Key("log"), enc.Take());
+  storage_->Put(key_log_, enc.Take());
   persisted_bytes_ += bytes;
   co_return co_await disk_->Write(bytes + 64);
 }
@@ -122,7 +132,7 @@ sim::Task<Status> LogStore::SaveSnapshot(Index index, Term term, std::string dat
   enc.PutU64(snap_term_);
   enc.PutString(snap_data_);
   size_t bytes = enc.size();
-  storage_->Put(Key("snap"), enc.Take());
+  storage_->Put(key_snap_, enc.Take());
   persisted_bytes_ += bytes;
   CFS_CO_RETURN_IF_ERROR(co_await disk_->Write(bytes));
   co_return co_await RewriteLog();
@@ -139,7 +149,7 @@ sim::Task<Status> LogStore::InstallSnapshot(Index index, Term term, std::string 
   enc.PutU64(snap_term_);
   enc.PutString(snap_data_);
   size_t bytes = enc.size();
-  storage_->Put(Key("snap"), enc.Take());
+  storage_->Put(key_snap_, enc.Take());
   persisted_bytes_ += bytes;
   CFS_CO_RETURN_IF_ERROR(co_await disk_->Write(bytes));
   co_return co_await RewriteLog();

@@ -83,6 +83,9 @@ class LogStore {
   sim::StableStorage* storage_;
   sim::Disk* disk_;
   GroupId gid_;
+  // Built once from gid_ (declared after it: init order); keeps per-batch
+  // WAL appends free of string concatenation.
+  const std::string key_hs_, key_snap_, key_log_;
 
   Term term_ = 0;
   NodeId voted_for_ = sim::kInvalidNode;

@@ -185,7 +185,7 @@ void RaftNode::BecomeLeader() {
   // committable (Raft §5.4.2).
   Spawn([](RaftNode* self) -> Task<void> {
     if (self->role_ != Role::kLeader) co_return;
-    LogEntry noop{self->log_.term(), self->log_.last_index() + 1, ""};
+    LogEntry noop{self->log_.term(), self->log_.last_index() + 1, {}};
     (void)co_await self->log_.Append(std::span<const LogEntry>(&noop, 1));
     for (NodeId peer : self->peers_) {
       if (peer != self->self_) self->KickPeer(peer);
@@ -216,7 +216,7 @@ Task<Result<Index>> RaftNode::ProposeIndexed(std::string cmd, obs::TraceContext 
     tracer.Note(propose_span, "queue_depth", static_cast<int64_t>(propose_queue_.size()));
     w->trace = propose_span.ctx;
   }
-  propose_queue_.emplace_back(std::move(cmd), w);
+  propose_queue_.emplace_back(Buffer::FromString(std::move(cmd)), w);
   gc_stats_.queue_high_watermark =
       std::max<uint64_t>(gc_stats_.queue_high_watermark, propose_queue_.size());
   // Spawn runs the batcher synchronously up to its first await (the log
@@ -448,7 +448,7 @@ Task<void> RaftNode::ApplyLoop(uint64_t gen) {
       if (!log_.Has(idx)) break;  // should not happen; wait for entries
       const LogEntry& e = log_.At(idx);
       if (!e.data.empty()) {
-        sm_->Apply(idx, e.data);
+        sm_->Apply(idx, e.data.view());
       }
       applied_ = idx;
       obs::SpanRef apply_span;

@@ -157,8 +157,10 @@ class RaftNode {
   std::map<NodeId, Index> match_index_;
   std::map<NodeId, bool> pump_active_;
 
-  /// Leader-side group commit: commands awaiting a batch slot.
-  std::deque<std::pair<std::string, WaiterPtr>> propose_queue_;
+  /// Leader-side group commit: commands awaiting a batch slot. Commands are
+  /// adopted into shared Buffers at Propose(), so the batcher, log store and
+  /// every replication leg share one allocation per command.
+  std::deque<std::pair<Buffer, WaiterPtr>> propose_queue_;
   bool batcher_running_ = false;
   GroupCommitStats gc_stats_;
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/status.h"
 #include "sim/network.h"
 
@@ -25,7 +26,10 @@ using sim::NodeId;
 struct LogEntry {
   Term term = 0;
   Index index = 0;
-  std::string data;
+  /// Shared immutable payload: copying an entry (into an AppendEntries
+  /// batch, a peer catch-up, a ReplicaSnapshot) bumps a refcount instead of
+  /// duplicating the command bytes.
+  Buffer data;
 
   size_t WireBytes() const { return 24 + data.size(); }
 };

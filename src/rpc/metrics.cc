@@ -22,13 +22,18 @@ void RpcMetrics::MergeFrom(const RpcMetrics& other) {
 }
 
 void MetricRegistry::RecordLeg(std::string_view rpc, Outcome o, SimDuration latency_usec) {
-  auto& m = by_rpc_[std::string(rpc)];
+  // Transparent find first: the steady-state hit path must not materialize a
+  // std::string per leg (this runs once per RPC in the cluster).
+  auto it = by_rpc_.find(rpc);
+  RpcMetrics& m = it != by_rpc_.end() ? it->second : by_rpc_[std::string(rpc)];
   m.outcomes[static_cast<int>(o)]++;
   m.latency.Add(latency_usec);
 }
 
 void MetricRegistry::RecordRetry(std::string_view rpc) {
-  by_rpc_[std::string(rpc)].retries++;
+  auto it = by_rpc_.find(rpc);
+  RpcMetrics& m = it != by_rpc_.end() ? it->second : by_rpc_[std::string(rpc)];
+  m.retries++;
 }
 
 void MetricRegistry::RecordCallOutcome(std::string_view rpc, Outcome o) {

@@ -14,10 +14,10 @@
 // stub retries the hinted node immediately.
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "master/messages.h"
 #include "sim/network.h"
@@ -105,9 +105,10 @@ class Router {
 
   std::vector<master::MetaPartitionView> meta_views_;
   std::vector<master::DataPartitionView> data_views_;
-  std::map<PartitionId, sim::NodeId> meta_leaders_;
-  std::map<PartitionId, sim::NodeId> data_leaders_;
-  std::map<PartitionId, SimTime> unwritable_until_;
+  // Flat vectors: consulted on every routed RPC, tens of entries at most.
+  FlatMap<PartitionId, sim::NodeId> meta_leaders_;
+  FlatMap<PartitionId, sim::NodeId> data_leaders_;
+  FlatMap<PartitionId, SimTime> unwritable_until_;
 
   RouterStats stats_;
   uint64_t* ext_cache_hits_ = nullptr;

@@ -12,14 +12,13 @@
 #include <any>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <typeindex>
 #include <typeinfo>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "obs/trace.h"
@@ -77,19 +76,33 @@ concept HasTraceContext = requires(const T& t) {
 };
 
 /// Durable per-node blob store: stands in for the node's local file system
-/// (raft logs, snapshots, extent files survive a crash). Backed by an
-/// ordered map so List() enumerates in name order — recovery paths iterate
+/// (raft logs, snapshots, extent files survive a crash). Backed by a sorted
+/// flat map so List() enumerates in name order — recovery paths iterate
 /// the listing, and their scheduling order must not depend on hash layout.
+///
+/// Blobs are ropes (base string + appended chunks): the raft WAL appends a
+/// few-KiB record per commit batch to a blob that grows to many MiB, and
+/// keeping it contiguous meant geometric reallocation copied the whole log
+/// over and over. Appends now push a chunk; Get() — recovery only —
+/// compacts the rope back into the base string.
 class StableStorage {
  public:
-  void Put(const std::string& name, std::string data) { blobs_[name] = std::move(data); }
+  void Put(const std::string& name, std::string data) {
+    Blob& b = blobs_[name];
+    b.base = std::move(data);
+    b.chunks.clear();
+    b.size = b.base.size();
+  }
   void Append(const std::string& name, std::string_view data) {
-    blobs_[name].append(data.data(), data.size());
+    Blob& b = blobs_[name];
+    b.chunks.emplace_back(data);
+    b.size += data.size();
   }
   bool Get(const std::string& name, std::string* out) const {
     auto it = blobs_.find(name);
     if (it == blobs_.end()) return false;
-    *out = it->second;
+    it->second.Compact();
+    *out = it->second.base;
     return true;
   }
   bool Has(const std::string& name) const { return blobs_.count(name) > 0; }
@@ -103,12 +116,24 @@ class StableStorage {
   }
   uint64_t TotalBytes() const {
     uint64_t n = 0;
-    for (const auto& [k, v] : blobs_) n += v.size();
+    for (const auto& [k, v] : blobs_) n += v.size;
     return n;
   }
 
  private:
-  std::map<std::string, std::string> blobs_;
+  struct Blob {
+    void Compact() const {
+      if (chunks.empty()) return;
+      base.reserve(size);
+      for (const std::string& c : chunks) base.append(c);
+      chunks.clear();
+    }
+    // Compaction is caching, not mutation: the logical value is unchanged.
+    mutable std::string base;
+    mutable std::vector<std::string> chunks;
+    size_t size = 0;
+  };
+  FlatMap<std::string, Blob> blobs_;
 };
 
 struct HostOptions {
@@ -241,9 +266,10 @@ class Host {
   std::vector<std::unique_ptr<Disk>> disks_;
   StableStorage storage_;
   uint64_t memory_used_ = 0;
-  /// Ordered by type_index so the registry itself is iteration-safe; all
-  /// lookups are point queries either way.
-  std::map<std::type_index, RawHandler> handlers_;
+  /// Sorted flat vector keyed by type_index: the registry is looked up on
+  /// every delivered message, and a dozen-entry sorted array beats node
+  /// chasing; ordered, so iteration stays hash-layout independent.
+  FlatMap<std::type_index, RawHandler> handlers_;
 };
 
 struct NetworkOptions {
@@ -398,7 +424,7 @@ class Network {
   Scheduler* sched_;
   NetworkOptions opts_;
   std::vector<std::unique_ptr<Host>> hosts_;
-  std::set<std::pair<NodeId, NodeId>> partitions_;
+  FlatSet<std::pair<NodeId, NodeId>> partitions_;
   double drop_prob_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;

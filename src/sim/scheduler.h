@@ -3,7 +3,10 @@
 // All cluster components (raft groups, meta/data nodes, clients) run as
 // C++20 coroutines scheduled on a single virtual-time event loop. Events at
 // the same timestamp execute in scheduling order, so runs are fully
-// deterministic given a seed.
+// deterministic given a seed. The queue itself is a hierarchical timer
+// wheel over pooled event nodes (sim/timer_wheel.h; DESIGN.md "Simulator
+// performance") — O(1) insert/pop and allocation-free steady state, with
+// dispatch order identical to the (time, seq) heap it replaced.
 //
 // The determinism contract is audited, not assumed: the scheduler folds
 // every executed event into a running FNV-1a trace hash, and the network
@@ -15,14 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "obs/trace.h"
+#include "sim/timer_wheel.h"
 
 namespace cfs::sim {
 
@@ -52,6 +53,8 @@ class TraceHasher {
 
 class Scheduler {
  public:
+  using TimerId = TimerWheel::TimerId;
+
   explicit Scheduler(uint64_t seed = 1) : rng_(seed), tracer_(seed, &now_) {
     // Log lines carry virtual timestamps while this scheduler is the active
     // one (see common/logging.h — keeps same-seed log diffs clean).
@@ -66,25 +69,44 @@ class Scheduler {
   SimTime Now() const { return now_; }
 
   /// Schedule `fn` to run at absolute virtual time `t` (clamped to Now()).
-  void At(SimTime t, std::function<void()> fn) {
+  /// Accepts any callable (EventFn is a drop-in for std::function<void()>
+  /// with small-buffer storage inside the pooled event node).
+  void At(SimTime t, EventFn fn) {
     if (t < now_) t = now_;
-    queue_.push(Event{t, seq_++, std::move(fn)});
+    (void)wheel_.Insert(t, seq_++, std::move(fn));
   }
 
   /// Schedule `fn` to run `d` microseconds from now.
-  void After(SimDuration d, std::function<void()> fn) { At(now_ + d, std::move(fn)); }
+  void After(SimDuration d, EventFn fn) { At(now_ + d, std::move(fn)); }
+
+  /// Cancellable variants: same scheduling semantics as At/After (a seq
+  /// number is consumed either way), but the returned TimerId can revoke the
+  /// event before it fires. Cancellation is O(1)-lazy in the wheel. NOTE:
+  /// cancelling events that the copying engine used to let fire as no-ops
+  /// (e.g. RPC timeout watchdogs) CHANGES the executed-event stream and
+  /// therefore the schedule hash — adopting cancellation on an existing path
+  /// is a deliberate, golden-hash-re-baselining change, not a free cleanup.
+  TimerId ScheduleAt(SimTime t, EventFn fn) {
+    if (t < now_) t = now_;
+    return wheel_.Insert(t, seq_++, std::move(fn));
+  }
+  TimerId ScheduleAfter(SimDuration d, EventFn fn) { return ScheduleAt(now_ + d, std::move(fn)); }
+
+  /// Cancel a pending event scheduled via ScheduleAt/ScheduleAfter. Returns
+  /// false if it already ran or was already cancelled.
+  bool Cancel(TimerId id) { return wheel_.Cancel(id); }
 
   /// Run a single event. Returns false if the queue is empty.
   bool RunOne() {
-    if (queue_.empty()) return false;
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    trace_.Mix(ev.time);
-    trace_.Mix(ev.seq);
-    ev.fn();
+    EventNode* n = wheel_.PopRunnable(TimerWheel::kNoLimit);
+    if (n == nullptr) return false;
+    Dispatch(n);
     return true;
   }
+
+  /// Process-wide count of executed events across every Scheduler instance
+  /// (single-threaded process; benches report events/sec wall-clock from it).
+  static uint64_t process_executed_events() { return g_process_executed_events; }
 
   /// Run until the queue is empty.
   void Run() {
@@ -95,7 +117,7 @@ class Scheduler {
   /// Run all events with time <= t, then set Now() to t. Events scheduled
   /// after t remain queued (periodic timers keep the queue non-empty).
   void RunUntil(SimTime t) {
-    while (!queue_.empty() && queue_.top().time <= t) RunOne();
+    while (EventNode* n = wheel_.PopRunnable(t)) Dispatch(n);
     if (now_ < t) now_ = t;
   }
 
@@ -110,8 +132,8 @@ class Scheduler {
     return n;
   }
 
-  bool empty() const { return queue_.empty(); }
-  size_t pending() const { return queue_.size(); }
+  bool empty() const { return wheel_.empty(); }
+  size_t pending() const { return wheel_.live(); }
 
   /// The simulation-wide RNG: every stochastic decision draws from it.
   Rng& rng() { return rng_; }
@@ -129,19 +151,22 @@ class Scheduler {
   const obs::Tracer& tracer() const { return tracer_; }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
-  };
+  /// Execute one popped event: advance the clock, fold (time, seq) into the
+  /// determinism digest, invoke, recycle the node into the slab.
+  void Dispatch(EventNode* n) {
+    now_ = n->time;
+    trace_.Mix(n->time);
+    trace_.Mix(static_cast<uint64_t>(n->seq));
+    g_process_executed_events++;
+    n->fn();
+    wheel_.Recycle(n);
+  }
+
+  static inline uint64_t g_process_executed_events = 0;
 
   SimTime now_ = 0;
   uint64_t seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  TimerWheel wheel_;
   Rng rng_;
   TraceHasher trace_;
   obs::Tracer tracer_;

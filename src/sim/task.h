@@ -11,6 +11,7 @@
 
 #include <cassert>
 #include <coroutine>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -24,9 +25,53 @@ class Task;
 
 namespace detail {
 
+/// Size-class recycler for coroutine frames (DESIGN.md "Simulator
+/// performance"). Every simulated op spawns a handful of short-lived
+/// coroutines, so frame allocation is a hot malloc/free pair; this keeps
+/// freed frames on per-size free lists (64-byte classes up to 4 KiB) and
+/// hands them back LIFO — still-warm memory, no allocator round trip.
+/// Sized operator delete gives the class back without a header byte.
+/// Single-threaded by simulator convention; frames larger than the largest
+/// class (rare: big inline locals) fall through to the global allocator.
+class FramePool {
+ public:
+  static void* Alloc(size_t n) {
+    size_t cls = (n + kGran - 1) / kGran;
+    if (cls >= kClasses) return ::operator new(n);
+    void*& head = Buckets()[cls];
+    if (head != nullptr) {
+      void* p = head;
+      head = *static_cast<void**>(p);
+      return p;
+    }
+    return ::operator new(cls * kGran);
+  }
+  static void Free(void* p, size_t n) {
+    size_t cls = (n + kGran - 1) / kGran;
+    if (cls >= kClasses) {
+      ::operator delete(p);
+      return;
+    }
+    *static_cast<void**>(p) = Buckets()[cls];
+    Buckets()[cls] = p;
+  }
+
+ private:
+  static constexpr size_t kGran = 64;
+  static constexpr size_t kClasses = 64;  // pools frames up to 4 KiB
+
+  static void** Buckets() {
+    static void* buckets[kClasses] = {};
+    return buckets;
+  }
+};
+
 template <typename T>
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation;
+
+  static void* operator new(size_t n) { return FramePool::Alloc(n); }
+  static void operator delete(void* p, size_t n) { FramePool::Free(p, n); }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -148,6 +193,8 @@ namespace detail {
 /// frame on completion.
 struct Detached {
   struct promise_type {
+    static void* operator new(size_t n) { return FramePool::Alloc(n); }
+    static void operator delete(void* p, size_t n) { FramePool::Free(p, n); }
     Detached get_return_object() { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }

@@ -94,14 +94,14 @@ Status ExtentStore::ImportExtent(ExtentId id, uint64_t size, bool tiny) {
   return Status::OK();
 }
 
-sim::Task<Status> ExtentStore::PlaceAt(ExtentId id, uint64_t offset, std::string_view data,
+sim::Task<Status> ExtentStore::PlaceAt(ExtentId id, uint64_t offset, Buffer data,
                                        obs::TraceContext trace) {
   Extent* e = FindMutable(id);
   if (!e) co_return Status::NotFound("extent " + std::to_string(id));
   if (offset != e->size) co_return Status::InvalidArgument("out-of-order placement");
   if (e->size + data.size() > opts_.extent_size_limit) co_return Status::NoSpace("extent full");
   if (opts_.track_contents) e->data.append(data.data(), data.size());
-  e->crc = Crc32c(data, e->crc);
+  e->crc = Crc32cConcat(e->crc, data.Crc0(), data.size());
   e->size += data.size();
   logical_bytes_ += data.size();
   physical_bytes_ += data.size();
@@ -123,7 +123,7 @@ uint64_t ExtentStore::ExtentSize(ExtentId id) const {
   return e ? e->size : 0;
 }
 
-sim::Task<Status> ExtentStore::Append(ExtentId id, uint64_t offset, std::string_view data) {
+sim::Task<Status> ExtentStore::Append(ExtentId id, uint64_t offset, Buffer data) {
   Extent* e = FindMutable(id);
   if (!e) co_return Status::NotFound("extent " + std::to_string(id));
   if (offset != e->size) {
@@ -132,20 +132,16 @@ sim::Task<Status> ExtentStore::Append(ExtentId id, uint64_t offset, std::string_
   if (e->size + data.size() > opts_.extent_size_limit) {
     co_return Status::NoSpace("extent full");
   }
-  if (opts_.track_contents) {
-    e->data.append(data.data(), data.size());
-    // Appends extend the cached CRC incrementally.
-    e->crc = Crc32c(data, e->crc);
-  } else {
-    e->crc = Crc32c(data, e->crc);
-  }
+  if (opts_.track_contents) e->data.append(data.data(), data.size());
+  // Appends extend the cached CRC incrementally (memo-assisted).
+  e->crc = Crc32cConcat(e->crc, data.Crc0(), data.size());
   e->size += data.size();
   logical_bytes_ += data.size();
   physical_bytes_ += data.size();
   co_return co_await disk_->Write(data.size());
 }
 
-sim::Task<Status> ExtentStore::Overwrite(ExtentId id, uint64_t offset, std::string_view data) {
+sim::Task<Status> ExtentStore::Overwrite(ExtentId id, uint64_t offset, Buffer data) {
   Extent* e = FindMutable(id);
   if (!e) co_return Status::NotFound("extent " + std::to_string(id));
   if (offset + data.size() > e->size) {
@@ -158,20 +154,31 @@ sim::Task<Status> ExtentStore::Overwrite(ExtentId id, uint64_t offset, std::stri
     e->data.replace(offset, data.size(), data.data(), data.size());
     e->crc = Crc32c(e->data);  // full recompute: overwrites break incremental CRC
   } else {
-    e->crc ^= Crc32c(data);
+    e->crc ^= data.Crc0();
   }
   co_return co_await disk_->Write(data.size());
 }
 
 bool ExtentStore::RangeIsPunched(const Extent& e, uint64_t offset, uint64_t len) const {
+  if (e.punched_bytes == 0) return false;  // hot path: most extents have no holes
   for (const auto& [ho, hl] : e.holes) {
     if (offset < ho + hl && ho < offset + len) return true;  // overlap
   }
   return false;
 }
 
-sim::Task<Result<std::string>> ExtentStore::Read(ExtentId id, uint64_t offset, uint64_t len,
-                                                 obs::TraceContext trace) {
+namespace {
+/// Accounting-mode reads serve slices of one shared zero block instead of
+/// allocating and zero-filling a fresh string per read.
+Buffer ZeroBlock(uint64_t len) {
+  static const Buffer zeros = Buffer::Filled(256 * kKiB, '\0');
+  if (len <= zeros.size()) return zeros.Slice(0, len);
+  return Buffer::Filled(len, '\0');
+}
+}  // namespace
+
+sim::Task<Result<Buffer>> ExtentStore::Read(ExtentId id, uint64_t offset, uint64_t len,
+                                            obs::TraceContext trace) {
   const Extent* e = Find(id);
   if (!e) co_return Status::NotFound("extent " + std::to_string(id));
   if (offset + len > e->size) co_return Status::InvalidArgument("read beyond extent end");
@@ -179,19 +186,18 @@ sim::Task<Result<std::string>> ExtentStore::Read(ExtentId id, uint64_t offset, u
     co_return Status::InvalidArgument("read from punched hole");
   }
   CFS_CO_RETURN_IF_ERROR(co_await disk_->Read(len, trace));
-  if (!opts_.track_contents) co_return std::string(len, '\0');
-  std::string out = e->data.substr(offset, len);
+  if (!opts_.track_contents) co_return ZeroBlock(len);
   // Whole-extent reads verify against the cached CRC.
   if (offset == 0 && len == e->size && e->punched_bytes == 0) {
     if (Crc32c(e->data) != e->crc) {
       co_return Status::Corruption("extent crc mismatch");
     }
   }
-  co_return out;
+  co_return Buffer::CopyOf(std::string_view(e->data).substr(offset, len));
 }
 
 sim::Task<Result<std::pair<ExtentId, uint64_t>>> ExtentStore::WriteSmall(
-    std::string_view data, obs::TraceContext trace) {
+    Buffer data, obs::TraceContext trace) {
   if (data.size() > opts_.small_file_threshold) {
     co_return Status::InvalidArgument("not a small file");
   }
@@ -207,7 +213,7 @@ sim::Task<Result<std::pair<ExtentId, uint64_t>>> ExtentStore::WriteSmall(
   if (opts_.track_contents) {
     tiny->data.append(data.data(), data.size());
   }
-  tiny->crc = Crc32c(data, tiny->crc);
+  tiny->crc = Crc32cConcat(tiny->crc, data.Crc0(), data.size());
   tiny->size += data.size();
   logical_bytes_ += data.size();
   physical_bytes_ += data.size();

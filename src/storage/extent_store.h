@@ -15,12 +15,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/check.h"
+#include "common/flat_map.h"
 #include "common/crc32.h"
 #include "common/status.h"
 #include "common/units.h"
@@ -83,8 +84,18 @@ class ExtentStore {
   /// extent's current size (the chain delivers placements in order; callers
   /// buffer out-of-order arrivals). A traced caller passes its span context
   /// so the disk write shows up as a "disk:write" child span.
-  sim::Task<Status> PlaceAt(ExtentId id, uint64_t offset, std::string_view data,
+  ///
+  /// Write paths take the shared Buffer (by value — a refcount bump): its
+  /// memoized payload CRC (Buffer::Crc0) lets the second and third chain
+  /// replicas extend their cached extent CRC via Crc32cConcat instead of
+  /// re-checksumming the same bytes. The string_view overloads below are
+  /// conveniences for tests/tools and pay a copy.
+  sim::Task<Status> PlaceAt(ExtentId id, uint64_t offset, Buffer data,
                             obs::TraceContext trace = {});
+  sim::Task<Status> PlaceAt(ExtentId id, uint64_t offset, std::string_view data,
+                            obs::TraceContext trace = {}) {
+    return PlaceAt(id, offset, Buffer::CopyOf(data), trace);
+  }
 
   /// Visit (id, extent) pairs in id order.
   template <typename F>
@@ -101,21 +112,33 @@ class ExtentStore {
 
   /// Sequential write: `offset` must equal the extent's current size.
   /// Returns NoSpace once the extent reaches its size limit.
-  sim::Task<Status> Append(ExtentId id, uint64_t offset, std::string_view data);
+  sim::Task<Status> Append(ExtentId id, uint64_t offset, Buffer data);
+  sim::Task<Status> Append(ExtentId id, uint64_t offset, std::string_view data) {
+    return Append(id, offset, Buffer::CopyOf(data));
+  }
 
   /// In-place overwrite of already-written bytes (§2.7.2: random writes in
   /// CFS are in-place; the extent layout and file offsets do not change).
-  sim::Task<Status> Overwrite(ExtentId id, uint64_t offset, std::string_view data);
+  sim::Task<Status> Overwrite(ExtentId id, uint64_t offset, Buffer data);
+  sim::Task<Status> Overwrite(ExtentId id, uint64_t offset, std::string_view data) {
+    return Overwrite(id, offset, Buffer::CopyOf(data));
+  }
 
   /// Read `len` bytes at `offset`; verifies the cached CRC when contents are
   /// tracked. Reading a punched range is a caller bug -> InvalidArgument.
-  sim::Task<Result<std::string>> Read(ExtentId id, uint64_t offset, uint64_t len,
-                                      obs::TraceContext trace = {});
+  /// Returns a shared Buffer: the response path ships it without copying
+  /// (accounting mode serves slices of one static zero block).
+  sim::Task<Result<Buffer>> Read(ExtentId id, uint64_t offset, uint64_t len,
+                                 obs::TraceContext trace = {});
 
   /// Small-file write: aggregate into the current tiny extent. Returns the
   /// (extent id, physical offset) pair the meta node records.
-  sim::Task<Result<std::pair<ExtentId, uint64_t>>> WriteSmall(std::string_view data,
+  sim::Task<Result<std::pair<ExtentId, uint64_t>>> WriteSmall(Buffer data,
                                                               obs::TraceContext trace = {});
+  sim::Task<Result<std::pair<ExtentId, uint64_t>>> WriteSmall(std::string_view data,
+                                                              obs::TraceContext trace = {}) {
+    return WriteSmall(Buffer::CopyOf(data), trace);
+  }
 
   /// Release a small file's range via fallocate(PUNCH_HOLE). The extent is
   /// removed entirely once every byte of it has been punched.
@@ -158,7 +181,10 @@ class ExtentStore {
 
   sim::Disk* disk_;
   ExtentStoreOptions opts_;
-  std::map<ExtentId, Extent> extents_;
+  /// Sorted flat vector: every packet of every write/read does a point
+  /// lookup here; stores hold at most a few hundred extents, so binary
+  /// search over contiguous memory wins. ForEach stays id-ordered.
+  FlatMap<ExtentId, Extent> extents_;
   ExtentId next_id_ = 1;
   /// Current tiny extent receiving small-file appends (0 = none yet).
   ExtentId active_tiny_ = 0;

@@ -208,13 +208,15 @@ Task<Result<std::string>> FileSystem::Read(Fd fd, uint64_t len) {
   auto r = co_await client_->Read(it->second.ino, it->second.offset, len);
   if (!r.ok()) co_return r.status();
   it->second.offset += r->size();
-  co_return std::move(*r);
+  co_return r->ToString();  // VFS hands out owned bytes (POSIX read semantics)
 }
 
 Task<Result<std::string>> FileSystem::Pread(Fd fd, uint64_t offset, uint64_t len) {
   auto it = fds_.find(fd);
   if (it == fds_.end()) co_return Status::InvalidArgument("bad fd");
-  co_return co_await client_->Read(it->second.ino, offset, len);
+  auto r = co_await client_->Read(it->second.ino, offset, len);
+  if (!r.ok()) co_return r.status();
+  co_return r->ToString();
 }
 
 Task<Result<uint64_t>> FileSystem::Seek(Fd fd, uint64_t offset) {

@@ -33,7 +33,7 @@ raft::ReplicaSnapshot MakeReplica(sim::NodeId node, raft::Term term,
     raft::LogEntry e;
     e.index = index++;
     e.term = t;
-    e.data = data;
+    e.data = cfs::Buffer::CopyOf(data);
     r.entries.push_back(std::move(e));
   }
   return r;

@@ -20,6 +20,15 @@ BENCH_smoke.json by default — with the schema documented in EXPERIMENTS.md
 
 Usage: tools/collect_bench.py [--build-dir build] [-o BENCH_smoke.json]
 Exit status is non-zero if any bench fails to run or exits non-zero.
+
+--wallclock switches to the simulator-throughput suite: the benches and
+arguments listed in tools/bench_wallclock_baseline.json are run and each
+binary's `bench_wallclock <name> {json}` line (wall seconds, events retired,
+events/sec — printed by bench::WallclockReporter) is folded into
+BENCH_wallclock.json (schema: EXPERIMENTS.md "BENCH_wallclock.json schema")
+together with the committed pre-PR baseline, so simulator-throughput
+regressions are caught like any other perf bug
+(tools/check_bench_wallclock.py enforces the budgets).
 """
 
 import argparse
@@ -66,14 +75,71 @@ def parse_machine_lines(stdout: str):
     return lines
 
 
+def collect_wallclock(bench_dir: pathlib.Path, baseline_path: pathlib.Path,
+                      output: str, timeout: int) -> int:
+    """Run the wallclock suite from the baseline file; write BENCH_wallclock.json."""
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    result = {"benches": {}}
+    failures = 0
+    for name, base in baseline["benches"].items():
+        binary = bench_dir / name
+        argv = [str(binary)] + list(base.get("args", []))
+        if not binary.is_file():
+            print(f"{name}: missing (build it first)", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"running {' '.join(argv[1:])} ...", file=sys.stderr)
+        try:
+            proc = subprocess.run(argv, capture_output=True, text=True, timeout=timeout)
+        except subprocess.TimeoutExpired:
+            print(f"{name}: timed out after {timeout}s", file=sys.stderr)
+            failures += 1
+            continue
+        entry = {"args": base.get("args", []), "returncode": proc.returncode}
+        for line in parse_machine_lines(proc.stdout):
+            if line["kind"] == "bench_wallclock":
+                entry.update(line["data"])
+        if "events_per_sec" not in entry:
+            print(f"{name}: no bench_wallclock line in output", file=sys.stderr)
+            failures += 1
+        if proc.returncode != 0:
+            print(f"{name}: exit {proc.returncode}\n{proc.stderr}", file=sys.stderr)
+            failures += 1
+        if "pre_pr" in base:
+            entry["pre_pr"] = base["pre_pr"]
+            if entry.get("events_per_sec") and base["pre_pr"].get("events_per_sec"):
+                entry["speedup_vs_pre_pr"] = round(
+                    entry["events_per_sec"] / base["pre_pr"]["events_per_sec"], 2)
+        result["benches"][name] = entry
+    with open(output, "w", encoding="utf-8") as f:
+        json.dump(result, f, indent=1)
+        f.write("\n")
+    print(f"{output}: {len(result['benches'])} benches, {failures} failure(s)",
+          file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default="build", help="cmake build dir (default: build)")
-    ap.add_argument("-o", "--output", default="BENCH_smoke.json")
+    ap.add_argument("-o", "--output", default=None)
     ap.add_argument("--timeout", type=int, default=600, help="per-bench seconds")
+    ap.add_argument("--wallclock", action="store_true",
+                    help="run the simulator-throughput suite from "
+                         "tools/bench_wallclock_baseline.json instead of the "
+                         "ablation set; write BENCH_wallclock.json")
+    ap.add_argument("--baseline",
+                    default=str(pathlib.Path(__file__).resolve().parent /
+                                "bench_wallclock_baseline.json"),
+                    help="wallclock suite definition + pre-PR baseline")
     args = ap.parse_args()
 
     bench_dir = pathlib.Path(args.build_dir) / "bench"
+    if args.wallclock:
+        return collect_wallclock(bench_dir, pathlib.Path(args.baseline),
+                                 args.output or "BENCH_wallclock.json", args.timeout)
+    args.output = args.output or "BENCH_smoke.json"
     result = {"benches": {}}
     failures = 0
     for name in BENCHES:

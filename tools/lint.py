@@ -30,8 +30,16 @@ source-level rules that keep those promises true:
       and interleaves wall text into machine-readable bench output. The
       sanctioned sinks (src/common/logging.*, src/common/check.*) are
       exempt; bench/, tools/, tests/ and examples/ are not scanned.
+  R6  no by-value payload-vector parameters inside src/: a
+      `std::vector<uint8_t>` / `std::vector<char>` / `std::vector<std::byte>`
+      parameter taken by value copies the whole payload at every call —
+      exactly the per-hop copying the zero-copy Buffer work removed
+      (DESIGN.md "Simulator performance"). Take `const&`, a
+      std::string_view, or a cfs::Buffer instead; sink functions that
+      genuinely consume the bytes take a Buffer by value (refcount bump,
+      not a copy).
 
-A line may opt out of R1/R2/R4/R5 with a trailing `// lint:allow(<rule>)` comment
+A line may opt out of R1/R2/R4/R5/R6 with a trailing `// lint:allow(<rule>)` comment
 naming the rule, e.g. `// lint:allow(unordered)` — the escape hatch exists
 for future code that can prove order-independence, and every use is visible
 in review.
@@ -74,6 +82,15 @@ RAW_RPC_RULE = re.compile(r"\bnet\w*(?:\(\))?\s*(?:->|\.)\s*Call<")
 RAW_PRINT_RULE = re.compile(
     r"\b(?:std::)?(?:printf|fprintf|vfprintf|puts|putchar)\s*\(|std::c(?:out|err)\b")
 
+# R6: a byte-vector parameter passed by value. Matches the vector type
+# followed directly by a parameter name and a `,` or `)` — a reference
+# (`>&`), pointer (`>*`), or local declaration (`name;` / `name =` /
+# `name(...)`/`name{...}`) does not match. Payload element types only;
+# vectors of structs are not payload buffers.
+BYVALUE_PAYLOAD_RULE = re.compile(
+    r"std::vector<\s*(?:std::)?(?:uint8_t|int8_t|char|unsigned char|byte)\s*>"
+    r"\s+\w+\s*[,)]")
+
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
 
 
@@ -111,6 +128,12 @@ def lint_file(path: pathlib.Path, findings: list, in_rpc_layer: bool,
                 (path, lineno,
                  "R5 raw stdout/stderr print in src/; use CFS_LOG "
                  "(common/logging.h) or add // lint:allow(raw-print)"))
+        if BYVALUE_PAYLOAD_RULE.search(line) and not allowed(line, "byvalue-payload"):
+            findings.append(
+                (path, lineno,
+                 "R6 byte-vector parameter passed by value copies the payload; "
+                 "take const&/string_view/cfs::Buffer or add "
+                 "// lint:allow(byvalue-payload)"))
 
 
 def lint_nodiscard(root: pathlib.Path, findings: list) -> None:
