@@ -153,8 +153,10 @@ Task<MdsResp> Mds::Handle(MdsReq req) {
         resp.status = Status::NotFound("inode");
         co_return resp;
       }
-      if (TouchCache(req.ino)) co_await ChargeMiss();
+      // Copy before the cache-miss suspension: a concurrent remove can erase
+      // the inode while this coroutine is parked, invalidating `it` (A1).
       resp.inode = it->second;
+      if (TouchCache(req.ino)) co_await ChargeMiss();
       resp.status = Status::OK();
       co_return resp;
     }
@@ -204,7 +206,11 @@ Task<MdsResp> Mds::Handle(MdsReq req) {
         }
       }
       if (TouchCache(ino)) co_await ChargeMiss();
-      dit->second.erase(req.name);
+      // Re-look the parent up: dirs_ may have been mutated while this
+      // coroutine was suspended in the readdir probe / cache-miss charge
+      // above, invalidating the earlier iterator (A1).
+      dit = dirs_.find(req.dir);
+      if (dit != dirs_.end()) dit->second.erase(req.name);
       inodes_.erase(ino);
       if (req.op == MetaOp::kRmdir) dirs_.erase(ino);
       co_await Journal();

@@ -448,22 +448,30 @@ sim::Task<Status> Client::Close(InodeId ino) {
 sim::Task<Status> Client::Fsync(InodeId ino) {
   auto it = open_files_.find(ino);
   if (it == open_files_.end()) co_return Status::OK();
-  OpenFile& of = it->second;
-  if (!of.dirty) co_return Status::OK();
+  if (!it->second.dirty) co_return Status::OK();
   const rpc::Deadline dl = OpDeadline();
   obs::SpanScope op = BeginOp("op:fsync");
   MetaPartitionView* view = MetaViewForInode(ino);
   if (!view) co_return Status::NotFound("inode partition");
   const PartitionId pid = view->pid;
-  for (const ExtentKey& key : of.pending_keys) {
+  // Snapshot the pending extents: open_files_ can be mutated by concurrent
+  // ops while this coroutine is suspended in MetaCall, invalidating any
+  // reference into the map (A1).
+  const std::vector<ExtentKey> pending = it->second.pending_keys;
+  const uint64_t pending_size = it->second.pending_size;
+  for (const ExtentKey& key : pending) {
     auto r = co_await MetaCall<meta::MetaAppendExtentReq, meta::MetaAppendExtentResp>(
-        pid, meta::MetaAppendExtentReq{pid, ino, key, of.pending_size}, dl, op.ctx());
+        pid, meta::MetaAppendExtentReq{pid, ino, key, pending_size}, dl, op.ctx());
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
   }
   // Keep the local inode view current (§2.7.1: update cache immediately,
-  // sync with meta node on fsync).
-  for (const ExtentKey& key : of.pending_keys) {
+  // sync with meta node on fsync).  Re-look the entry up: the map may have
+  // rehomed it while we were suspended above.
+  it = open_files_.find(ino);
+  if (it == open_files_.end()) co_return Status::OK();
+  OpenFile& of = it->second;
+  for (const ExtentKey& key : pending) {
     bool merged = false;
     for (auto& e : of.inode.extents) {
       if (e.partition_id == key.partition_id && e.extent_id == key.extent_id &&
@@ -475,7 +483,7 @@ sim::Task<Status> Client::Fsync(InodeId ino) {
     }
     if (!merged) of.inode.extents.push_back(key);
   }
-  of.inode.size = std::max(of.inode.size, of.pending_size);
+  of.inode.size = std::max(of.inode.size, pending_size);
   of.pending_keys.clear();
   of.dirty = false;
   CacheInode(of.inode);
@@ -741,20 +749,22 @@ sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
   // In-place (§2.7.2): locate the covering extent keys; offsets don't move;
   // NO metadata update is needed — the paper's key overwrite advantage.
   uint64_t end = offset + data.size();
-  // Consider both synced and pending keys.
-  std::vector<const ExtentKey*> keys;
-  for (const auto& k : of.inode.extents) keys.push_back(&k);
-  for (const auto& k : of.pending_keys) keys.push_back(&k);
-  for (const ExtentKey* k : keys) {
-    uint64_t k_end = k->file_offset + k->size;
-    if (k_end <= offset || k->file_offset >= end) continue;
-    uint64_t piece_begin = std::max(offset, k->file_offset);
+  // Consider both synced and pending keys.  Snapshot them by value: the
+  // OpenFile's extent vectors can grow (and reallocate) while this coroutine
+  // is suspended in DataLeaderCall, so interior pointers would dangle (A1).
+  std::vector<ExtentKey> keys;
+  for (const auto& k : of.inode.extents) keys.push_back(k);
+  for (const auto& k : of.pending_keys) keys.push_back(k);
+  for (const ExtentKey& k : keys) {
+    uint64_t k_end = k.file_offset + k.size;
+    if (k_end <= offset || k.file_offset >= end) continue;
+    uint64_t piece_begin = std::max(offset, k.file_offset);
     uint64_t piece_end = std::min(end, k_end);
     Buffer piece = data.Slice(piece_begin - offset, piece_end - piece_begin);
-    uint64_t extent_off = k->extent_offset + (piece_begin - k->file_offset);
-    data::OverwriteReq req{k->partition_id, k->extent_id, extent_off, std::move(piece)};
+    uint64_t extent_off = k.extent_offset + (piece_begin - k.file_offset);
+    data::OverwriteReq req{k.partition_id, k.extent_id, extent_off, std::move(piece)};
     auto r = co_await DataLeaderCall<data::OverwriteReq, data::OverwriteResp>(
-        k->partition_id, std::move(req), dl, trace);
+        k.partition_id, std::move(req), dl, trace);
     if (!r.ok()) co_return r.status();
     if (!r->status.ok()) co_return r->status;
   }
@@ -771,25 +781,28 @@ sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, Buffer buf) {
   }
   obs::SpanScope op = BeginOp("op:write");
   op.Note("bytes", static_cast<int64_t>(buf.size()));
-  OpenFile& of = it->second;
-  uint64_t size = of.pending_size;
+  uint64_t size = it->second.pending_size;
   if (offset > size) co_return Status::InvalidArgument("write beyond EOF (no holes)");
 
   // Small-file fast path (§2.2.3): whole file fits under the threshold.
   if (offset == 0 && size == 0 && buf.size() <= opts_.small_file_threshold &&
-      of.inode.extents.empty() && of.pending_keys.empty()) {
-    co_return co_await WriteSmallFile(of, std::move(buf), dl, op.ctx());
+      it->second.inode.extents.empty() && it->second.pending_keys.empty()) {
+    co_return co_await WriteSmallFile(it->second, std::move(buf), dl, op.ctx());
   }
 
   // §2.7.2: split into the overwritten portion and the appended portion.
   uint64_t overwrite_end = std::min<uint64_t>(offset + buf.size(), size);
   if (offset < overwrite_end) {
     CFS_CO_RETURN_IF_ERROR(co_await OverwriteData(
-        of, offset, buf.Slice(0, overwrite_end - offset), dl, op.ctx()));
+        it->second, offset, buf.Slice(0, overwrite_end - offset), dl, op.ctx()));
   }
   if (overwrite_end < offset + buf.size()) {
+    // Re-look the entry up after the overwrite suspension: open_files_ may
+    // have been mutated while this coroutine was parked (A1).
+    it = open_files_.find(ino);
+    if (it == open_files_.end()) co_return Status::NotFound("file closed during write");
     CFS_CO_RETURN_IF_ERROR(co_await AppendData(
-        of, overwrite_end, buf.Slice(overwrite_end - offset, buf.size()), dl,
+        it->second, overwrite_end, buf.Slice(overwrite_end - offset, buf.size()), dl,
         op.ctx()));
   }
   co_return Status::OK();

@@ -66,19 +66,31 @@ std::vector<DataPartitionReport> DataNode::Reports() const {
 }
 
 sim::Task<void> DataNode::RecoverAll() {
+  // Snapshot the partition ids: recovery suspends on peer RPCs, and
+  // partitions_ can gain entries (CreateDataPartition) while this coroutine
+  // is parked, invalidating live iterators into the map (A1).
+  std::vector<PartitionId> pids;
+  for (const auto& [pid, dp] : partitions_) pids.push_back(pid);
   // Phase 1 (§2.2.5): primary-backup recovery — check and align all extents.
-  for (auto& [pid, dp] : partitions_) {
-    dp->ReinitAfterRecovery();
-    co_await AlignPartition(dp.get());
+  for (PartitionId pid : pids) {
+    auto it = partitions_.find(pid);
+    if (it == partitions_.end()) continue;
+    it->second->ReinitAfterRecovery();
+    co_await AlignPartition(it->second.get());
   }
   // Phase 2: raft recovery of the overwrite groups.
-  for (auto& [pid, dp] : partitions_) {
-    (void)co_await dp->raft_node()->Recover();
+  for (PartitionId pid : pids) {
+    auto it = partitions_.find(pid);
+    if (it == partitions_.end()) continue;
+    (void)co_await it->second->raft_node()->Recover();
   }
 }
 
 sim::Task<void> DataNode::AlignPartition(DataPartition* p) {
-  for (sim::NodeId peer : p->config().replicas) {
+  // Copy the replica list: the partition's config lives outside this frame
+  // and the loop body suspends on peer RPCs (A1).
+  const std::vector<sim::NodeId> replicas = p->config().replicas;
+  for (sim::NodeId peer : replicas) {
     if (peer == host_->id()) continue;
     auto info = co_await channel_.Unary<ExtentInfoReq, ExtentInfoResp>(
         host_->id(), peer, ExtentInfoReq{p->id()}, opts_.chain_rpc_timeout);

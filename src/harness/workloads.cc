@@ -215,178 +215,207 @@ Task<Status> BuildTree(MetaOps* ops, uint64_t root, int depth, int branch,
   co_return Status::OK();
 }
 
+/// Shared context for the per-process mdtest coroutines.  The coroutines
+/// take this as an explicit pointer parameter instead of capturing the
+/// enclosing frame by reference: by-ref captures live in the lambda OBJECT,
+/// not the coroutine frame, and dangle if the task outlives the scope (A2).
+/// RunMdtest pumps the scheduler until every proc joins, so the context
+/// strictly outlives the coroutines.
+struct MdCtx {
+  sim::Scheduler* sched;
+  MdTest test;
+  const std::vector<MetaOps*>* procs;
+  const MdtestParams* params;
+  std::vector<ProcState>* state;
+  int n;
+  uint64_t total_ops = 0;
+  obs::Histogram latency;
+};
+
+Task<void> MdtestSetupProc(MdCtx* c, int i) {
+  MetaOps* ops = (*c->procs)[i];
+  const MdtestParams& params = *c->params;
+  std::string tag = params.phase_tag + "p" + std::to_string(i);
+  auto dir = co_await ops->Mkdir(ops->Root(), tag);
+  if (!dir.ok()) co_return;
+  (*c->state)[i].parent = *dir;
+  const uint64_t parent = *dir;
+  switch (c->test) {
+    case MdTest::kDirStat: {
+      for (int k = 0; k < params.stat_dir_files; k++) {
+        std::string name = tag + "-s" + std::to_string(k);
+        (void)co_await ops->Create(parent, name);
+      }
+      break;
+    }
+    case MdTest::kDirRemoval: {
+      for (int k = 0; k < params.items_per_proc; k++) {
+        std::string name = tag + "-d" + std::to_string(k);
+        auto d = co_await ops->Mkdir(parent, name);
+        if (d.ok()) (*c->state)[i].names.push_back(name);
+      }
+      break;
+    }
+    case MdTest::kFileRemoval: {
+      for (int k = 0; k < params.items_per_proc; k++) {
+        std::string name = tag + "-f" + std::to_string(k);
+        auto f = co_await ops->Create(parent, name);
+        if (f.ok()) (*c->state)[i].names.push_back(name);
+      }
+      break;
+    }
+    case MdTest::kTreeRemoval: {
+      (void)co_await BuildTree(ops, parent, params.tree_depth, params.tree_branch,
+                               tag, &(*c->state)[i].tree_dirs,
+                               &(*c->state)[i].tree_order);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+Task<void> MdtestMeasuredProc(MdCtx* c, int i) {
+  MetaOps* ops = (*c->procs)[i];
+  const MdtestParams& params = *c->params;
+  sim::Scheduler* sched = c->sched;
+  std::string tag = params.phase_tag + "p" + std::to_string(i);
+  const uint64_t parent = (*c->state)[i].parent;
+  switch (c->test) {
+    case MdTest::kDirCreation: {
+      for (int k = 0; k < params.items_per_proc; k++) {
+        SimTime s = sched->Now();
+        auto d = co_await ops->Mkdir(parent, tag + "-d" + std::to_string(k));
+        if (d.ok()) {
+          c->total_ops++;
+          c->latency.Add(sched->Now() - s);
+        }
+      }
+      break;
+    }
+    case MdTest::kFileCreation: {
+      for (int k = 0; k < params.items_per_proc; k++) {
+        SimTime s = sched->Now();
+        auto f = co_await ops->Create(parent, tag + "-f" + std::to_string(k));
+        if (f.ok()) {
+          c->total_ops++;
+          c->latency.Add(sched->Now() - s);
+        }
+      }
+      break;
+    }
+    case MdTest::kDirStat: {
+      // mdtest counts one op per stat'ed entry; the -N rank shift makes
+      // process i stat another process's directory. Latency samples are
+      // per scan (one readdirplus round), not per entry.
+      uint64_t target = (*c->state)[(i + params.stat_shift) % c->n].parent;
+      for (int rep = 0; rep < params.stat_repetitions; rep++) {
+        SimTime s = sched->Now();
+        auto r = co_await ops->StatDir(target);
+        if (r.ok()) {
+          c->total_ops += *r;
+          c->latency.Add(sched->Now() - s);
+        }
+      }
+      break;
+    }
+    case MdTest::kDirRemoval: {
+      // Snapshot the names: the loop suspends on every Rmdir, and iterating
+      // state owned outside this frame across suspensions is an A1 hazard.
+      const std::vector<std::string> names = (*c->state)[i].names;
+      for (const auto& name : names) {
+        SimTime s = sched->Now();
+        Status st = co_await ops->Rmdir(parent, name);
+        if (st.ok()) {
+          c->total_ops++;
+          c->latency.Add(sched->Now() - s);
+        }
+      }
+      break;
+    }
+    case MdTest::kFileRemoval: {
+      const std::vector<std::string> names = (*c->state)[i].names;
+      for (const auto& name : names) {
+        SimTime s = sched->Now();
+        Status st = co_await ops->Remove(parent, name);
+        if (st.ok()) {
+          c->total_ops++;
+          c->latency.Add(sched->Now() - s);
+        }
+      }
+      break;
+    }
+    case MdTest::kTreeCreation: {
+      // mdtest builds the directory tree once (rank 0); an "op" here is
+      // one full tree, which is why the paper's numbers are ~10 IOPS.
+      SimTime s = sched->Now();
+      Status st = co_await BuildTree(ops, parent, params.tree_depth,
+                                     params.tree_branch, tag, nullptr, nullptr);
+      if (st.ok()) {
+        c->total_ops++;
+        c->latency.Add(sched->Now() - s);
+      }
+      break;
+    }
+    case MdTest::kTreeRemoval: {
+      // mdtest's removal walks the tree via readdir before unlinking:
+      // leaves-first, scanning each directory to discover its entries.
+      // Snapshots, for the same reason as the removal cases above.
+      const std::vector<uint64_t> order = (*c->state)[i].tree_order;
+      const std::vector<std::pair<uint64_t, std::string>> dirs =
+          (*c->state)[i].tree_dirs;
+      SimTime s = sched->Now();
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        (void)co_await ops->StatDir(*it);
+      }
+      for (auto it = dirs.rbegin(); it != dirs.rend(); ++it) {
+        (void)co_await ops->Rmdir(it->first, it->second);
+      }
+      c->total_ops++;
+      c->latency.Add(sched->Now() - s);
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 BenchResult RunMdtest(sim::Scheduler* sched, MdTest test,
                       const std::vector<MetaOps*>& procs, const MdtestParams& params) {
   const int n = static_cast<int>(procs.size());
   std::vector<ProcState> state(n);
+  MdCtx ctx{sched, test, &procs, &params, &state, n};
 
   // ---- Setup phase (unmeasured) ----
   {
-    auto setup = [&](int i) -> Task<void> {
-      MetaOps* ops = procs[i];
-      std::string tag = params.phase_tag + "p" + std::to_string(i);
-      auto dir = co_await ops->Mkdir(ops->Root(), tag);
-      if (!dir.ok()) co_return;
-      state[i].parent = *dir;
-      switch (test) {
-        case MdTest::kDirStat: {
-          for (int k = 0; k < params.stat_dir_files; k++) {
-            std::string name = tag + "-s" + std::to_string(k);
-            (void)co_await ops->Create(state[i].parent, name);
-          }
-          break;
-        }
-        case MdTest::kDirRemoval: {
-          for (int k = 0; k < params.items_per_proc; k++) {
-            std::string name = tag + "-d" + std::to_string(k);
-            auto d = co_await ops->Mkdir(state[i].parent, name);
-            if (d.ok()) state[i].names.push_back(name);
-          }
-          break;
-        }
-        case MdTest::kFileRemoval: {
-          for (int k = 0; k < params.items_per_proc; k++) {
-            std::string name = tag + "-f" + std::to_string(k);
-            auto f = co_await ops->Create(state[i].parent, name);
-            if (f.ok()) state[i].names.push_back(name);
-          }
-          break;
-        }
-        case MdTest::kTreeRemoval: {
-          (void)co_await BuildTree(ops, state[i].parent, params.tree_depth,
-                                   params.tree_branch, tag, &state[i].tree_dirs,
-                                   &state[i].tree_order);
-          break;
-        }
-        default:
-          break;
-      }
-    };
     sim::Join join(sched, n);
     for (int i = 0; i < n; i++) {
       auto done = join.Arrive();
       Spawn([](Task<void> t, std::function<void()> done) -> Task<void> {
         co_await std::move(t);
         done();
-      }(setup(i), done));
+      }(MdtestSetupProc(&ctx, i), done));
     }
     (void)harness::RunTaskVoid(*sched, join.Wait());
   }
 
   // ---- Measured phase ----
-  uint64_t total_ops = 0;
-  obs::Histogram latency;
   SimTime t0 = sched->Now();
   {
-    auto measured = [&](int i) -> Task<void> {
-      MetaOps* ops = procs[i];
-      std::string tag = params.phase_tag + "p" + std::to_string(i);
-      switch (test) {
-        case MdTest::kDirCreation: {
-          for (int k = 0; k < params.items_per_proc; k++) {
-            SimTime s = sched->Now();
-            auto d = co_await ops->Mkdir(state[i].parent, tag + "-d" + std::to_string(k));
-            if (d.ok()) {
-              total_ops++;
-              latency.Add(sched->Now() - s);
-            }
-          }
-          break;
-        }
-        case MdTest::kFileCreation: {
-          for (int k = 0; k < params.items_per_proc; k++) {
-            SimTime s = sched->Now();
-            auto f = co_await ops->Create(state[i].parent, tag + "-f" + std::to_string(k));
-            if (f.ok()) {
-              total_ops++;
-              latency.Add(sched->Now() - s);
-            }
-          }
-          break;
-        }
-        case MdTest::kDirStat: {
-          // mdtest counts one op per stat'ed entry; the -N rank shift makes
-          // process i stat another process's directory. Latency samples are
-          // per scan (one readdirplus round), not per entry.
-          uint64_t target = state[(i + params.stat_shift) % n].parent;
-          for (int rep = 0; rep < params.stat_repetitions; rep++) {
-            SimTime s = sched->Now();
-            auto r = co_await ops->StatDir(target);
-            if (r.ok()) {
-              total_ops += *r;
-              latency.Add(sched->Now() - s);
-            }
-          }
-          break;
-        }
-        case MdTest::kDirRemoval: {
-          for (auto& name : state[i].names) {
-            SimTime s = sched->Now();
-            Status st = co_await ops->Rmdir(state[i].parent, name);
-            if (st.ok()) {
-              total_ops++;
-              latency.Add(sched->Now() - s);
-            }
-          }
-          break;
-        }
-        case MdTest::kFileRemoval: {
-          for (auto& name : state[i].names) {
-            SimTime s = sched->Now();
-            Status st = co_await ops->Remove(state[i].parent, name);
-            if (st.ok()) {
-              total_ops++;
-              latency.Add(sched->Now() - s);
-            }
-          }
-          break;
-        }
-        case MdTest::kTreeCreation: {
-          // mdtest builds the directory tree once (rank 0); an "op" here is
-          // one full tree, which is why the paper's numbers are ~10 IOPS.
-          SimTime s = sched->Now();
-          Status st = co_await BuildTree(ops, state[i].parent, params.tree_depth,
-                                         params.tree_branch, tag, nullptr, nullptr);
-          if (st.ok()) {
-            total_ops++;
-            latency.Add(sched->Now() - s);
-          }
-          break;
-        }
-        case MdTest::kTreeRemoval: {
-          // mdtest's removal walks the tree via readdir before unlinking:
-          // leaves-first, scanning each directory to discover its entries.
-          auto& order = state[i].tree_order;
-          auto& dirs = state[i].tree_dirs;
-          SimTime s = sched->Now();
-          for (auto it = order.rbegin(); it != order.rend(); ++it) {
-            (void)co_await ops->StatDir(*it);
-          }
-          for (auto it = dirs.rbegin(); it != dirs.rend(); ++it) {
-            (void)co_await ops->Rmdir(it->first, it->second);
-          }
-          total_ops++;
-          latency.Add(sched->Now() - s);
-          break;
-        }
-      }
-    };
     sim::Join join(sched, n);
     for (int i = 0; i < n; i++) {
       auto done = join.Arrive();
       Spawn([](Task<void> t, std::function<void()> done) -> Task<void> {
         co_await std::move(t);
         done();
-      }(measured(i), done));
+      }(MdtestMeasuredProc(&ctx, i), done));
     }
     (void)harness::RunTaskVoid(*sched, join.Wait());
   }
   BenchResult res;
-  res.ops = total_ops;
+  res.ops = ctx.total_ops;
   res.elapsed = sched->Now() - t0;
-  res.latency = latency;
+  res.latency = ctx.latency;
   return res;
 }
 
@@ -528,9 +557,11 @@ BenchResult RunSmallFiles(sim::Scheduler* sched, SmallFileTest test, uint64_t fi
     sim::Join join(sched, n);
     for (int i = 0; i < n; i++) {
       auto done = join.Arrive();
+      // `mine` comes in BY VALUE: the read/removal cases iterate it across
+      // suspensions, so the coroutine frame must own its copy (A1).
       Spawn([](sim::Scheduler* sched, MetaOps* m, DataOps* d, SmallFileTest test,
                uint64_t file_size, int count, int i, uint64_t parent,
-               std::vector<std::pair<uint64_t, std::string>>& mine, uint64_t& total,
+               std::vector<std::pair<uint64_t, std::string>> mine, uint64_t& total,
                obs::Histogram& lat, std::function<void()> done) -> Task<void> {
         std::string tag = "sf" + std::to_string(i);
         switch (test) {

@@ -490,20 +490,31 @@ std::vector<sim::NodeId> MasterNode::PickReplicas(bool for_meta, uint32_t n, uin
     std::map<uint32_t, std::vector<Cand>> by_set;
     for (const auto& c : cands) by_set[c.raft_set].push_back(c);
     uint32_t best_set = UINT32_MAX;
-    double best_avg = 1e18;
-    double best_parts = 1e18;
+    // Accumulate utilization in fixed point (picounits): FP summation is
+    // order-sensitive and rounds differently across FPUs, and the set chosen
+    // here decides placement — it must be exact and platform-stable (A3).
+    uint64_t best_util_sum = 0, best_parts_sum = 0, best_cnt = 0;
     for (const auto& [set, members] : by_set) {
       if (members.size() < n) continue;
-      double avg = 0, parts = 0;
+      uint64_t util_sum = 0, parts_sum = 0;
       for (const auto& m : members) {
-        avg += m.util;
-        parts += static_cast<double>(m.partitions);
+        util_sum += static_cast<uint64_t>(m.util * 1e12);
+        parts_sum += m.partitions;
       }
-      avg /= static_cast<double>(members.size());
-      parts /= static_cast<double>(members.size());
-      if (avg < best_avg || (avg == best_avg && parts < best_parts)) {
-        best_avg = avg;
-        best_parts = parts;
+      const uint64_t cnt = members.size();
+      bool better = best_cnt == 0;
+      if (!better) {
+        // Compare averages without dividing: a/ca < b/cb  <=>  a*cb < b*ca.
+        __int128 lhs = static_cast<__int128>(util_sum) * best_cnt;
+        __int128 rhs = static_cast<__int128>(best_util_sum) * cnt;
+        better = lhs < rhs ||
+                 (lhs == rhs && static_cast<__int128>(parts_sum) * best_cnt <
+                                    static_cast<__int128>(best_parts_sum) * cnt);
+      }
+      if (better) {
+        best_util_sum = util_sum;
+        best_parts_sum = parts_sum;
+        best_cnt = cnt;
         best_set = set;
       }
     }
@@ -525,7 +536,7 @@ std::vector<sim::NodeId> MasterNode::PickReplicas(bool for_meta, uint32_t n, uin
   return out;
 }
 
-Task<Status> MasterNode::InstallMetaPartition(const MetaPartitionRecord& rec) {
+Task<Status> MasterNode::InstallMetaPartition(MetaPartitionRecord rec) {
   meta::MetaPartitionConfig cfg;
   cfg.id = rec.pid;
   cfg.volume = rec.volume;
@@ -547,7 +558,7 @@ Task<Status> MasterNode::InstallMetaPartition(const MetaPartitionRecord& rec) {
   co_return last;
 }
 
-Task<Status> MasterNode::InstallDataPartition(const DataPartitionRecord& rec) {
+Task<Status> MasterNode::InstallDataPartition(DataPartitionRecord rec) {
   data::DataPartitionConfig cfg;
   cfg.id = rec.pid;
   cfg.volume = rec.volume;
@@ -746,11 +757,16 @@ Task<void> MasterNode::CheckLiveness() {
     if (now - rt.last_heartbeat > opts_.node_timeout) dead.insert(node);
   }
   if (dead.empty()) co_return;
+  // Decide first, act second: MarkReadOnly goes through Raft (a suspension),
+  // and the partition maps can be mutated — entries added by splits, the
+  // state replaced on apply — while this coroutine is parked, which would
+  // invalidate the live iterators of these range-fors (A1).
+  std::vector<std::pair<PartitionId, bool>> targets;
   for (const auto& [pid, rec] : state_.meta_partitions()) {
     if (rec.read_only) continue;
     for (sim::NodeId r : rec.replicas) {
       if (dead.count(r)) {
-        (void)co_await MarkReadOnly(pid, true);
+        targets.emplace_back(pid, true);
         break;
       }
     }
@@ -759,10 +775,13 @@ Task<void> MasterNode::CheckLiveness() {
     if (rec.read_only) continue;
     for (sim::NodeId r : rec.replicas) {
       if (dead.count(r)) {
-        (void)co_await MarkReadOnly(pid, false);
+        targets.emplace_back(pid, false);
         break;
       }
     }
+  }
+  for (const auto& [pid, is_meta] : targets) {
+    (void)co_await MarkReadOnly(pid, is_meta);
   }
 }
 

@@ -196,8 +196,11 @@ class MasterNode {
   sim::Task<void> MaybeExpandVolumes();
   sim::Task<Status> CreatePartitionsForVolume(VolumeId vol, uint32_t meta_count,
                                               uint32_t data_count, uint32_t rf);
-  sim::Task<Status> InstallMetaPartition(const MetaPartitionRecord& rec);
-  sim::Task<Status> InstallDataPartition(const DataPartitionRecord& rec);
+  // By value: the coroutine iterates rec.replicas across RPC suspensions,
+  // so it must own the record — callers pass map entries that can be erased
+  // or rehomed while the install is in flight (A1).
+  sim::Task<Status> InstallMetaPartition(MetaPartitionRecord rec);
+  sim::Task<Status> InstallDataPartition(DataPartitionRecord rec);
   GetVolumeResp BuildVolumeView(const VolumeRecord& vol) const;
   sim::Task<Status> MarkReadOnly(PartitionId pid, bool is_meta);
 

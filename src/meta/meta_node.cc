@@ -103,7 +103,15 @@ sim::Task<void> MetaNode::PurgeLoop() {
   while (true) {
     co_await sim::SleepFor{*net_->scheduler(), opts_.purge_interval};
     if (!host_->up()) continue;
-    for (auto& [pid, mp] : partitions_) {
+    // Snapshot the partition ids: Execute suspends on raft, and partitions_
+    // can gain entries (partition split/create) while this coroutine is
+    // parked, invalidating a live iterator into the map (A1).
+    std::vector<PartitionId> pids;
+    for (const auto& [pid, mp] : partitions_) pids.push_back(pid);
+    for (PartitionId pid : pids) {
+      auto pit = partitions_.find(pid);
+      if (pit == partitions_.end()) continue;
+      MetaPartition* mp = pit->second.get();
       raft::RaftNode* node = raft_->Get(RaftGid(pid));
       if (!node || !node->IsLeader()) continue;
       // Drain a bounded batch per scan so one partition cannot starve others.

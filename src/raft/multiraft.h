@@ -82,8 +82,13 @@ class RaftHost {
 
   /// Recover every group from stable storage (host restart).
   sim::Task<void> RecoverAll() {
-    for (auto& [gid, node] : groups_) {
-      (void)co_await node->Recover();
+    // Iterate a snapshot: Recover() suspends, and groups_ can be mutated
+    // (AddGroup/RemoveGroup) while this coroutine is parked, invalidating a
+    // live iterator into the map (A1).
+    for (GroupId gid : GroupIds()) {
+      auto it = groups_.find(gid);
+      if (it == groups_.end()) continue;
+      (void)co_await it->second->Recover();
     }
   }
 

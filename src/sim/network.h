@@ -268,8 +268,11 @@ class Host {
   uint64_t memory_used_ = 0;
   /// Sorted flat vector keyed by type_index: the registry is looked up on
   /// every delivered message, and a dozen-entry sorted array beats node
-  /// chasing; ordered, so iteration stays hash-layout independent.
-  FlatMap<std::type_index, RawHandler> handlers_;
+  /// chasing; ordered, so iteration stays hash-layout independent.  The
+  /// type_index order itself is address-dependent, but the registry is only
+  /// ever point-queried (FindHandler) — nothing iterates it, so no decision
+  /// or output depends on the ordering.
+  FlatMap<std::type_index, RawHandler> handlers_;  // analyze:allow(A3)
 };
 
 struct NetworkOptions {
@@ -412,7 +415,11 @@ class Network {
     if (ShouldDrop(from, to)) return;
     SimTime at = TransferFinish(from, to, bytes);
     MixTrace(from, to, bytes, type, at);
-    sched_->At(at, [this, to, from, req = std::move(req), type, reply = std::move(reply)]() mutable {
+    // The Network is a sim-lifetime singleton owned by the harness: it
+    // strictly outlives every scheduled delivery, so capturing `this` into
+    // the deferred event cannot dangle (crash schedules kill Hosts, checked
+    // via h->up() below, never the Network itself).
+    sched_->At(at, [this, to, from, req = std::move(req), type, reply = std::move(reply)]() mutable {  // analyze:allow(A2)
       Host* h = host(to);
       if (!h->up()) return;  // dead node: request vanishes, caller times out
       const Host::RawHandler* handler = h->FindHandler(type);

@@ -189,7 +189,10 @@ Task<Result<size_t>> FileSystem::Write(Fd fd, std::string data) {
   size_t n = data.size();
   CFS_CO_RETURN_IF_ERROR(
       co_await client_->Write(it->second.ino, it->second.offset, std::move(data)));
-  it->second.offset += n;
+  // Re-look the fd up: fds_ may have been mutated (open/close) while this
+  // coroutine was suspended in the write, invalidating the iterator (A1).
+  it = fds_.find(fd);
+  if (it != fds_.end()) it->second.offset += n;
   co_return n;
 }
 
@@ -207,7 +210,10 @@ Task<Result<std::string>> FileSystem::Read(Fd fd, uint64_t len) {
   if (it == fds_.end()) co_return Status::InvalidArgument("bad fd");
   auto r = co_await client_->Read(it->second.ino, it->second.offset, len);
   if (!r.ok()) co_return r.status();
-  it->second.offset += r->size();
+  // Re-look the fd up: fds_ may have been mutated (open/close) while this
+  // coroutine was suspended in the read, invalidating the iterator (A1).
+  it = fds_.find(fd);
+  if (it != fds_.end()) it->second.offset += r->size();
   co_return r->ToString();  // VFS hands out owned bytes (POSIX read semantics)
 }
 

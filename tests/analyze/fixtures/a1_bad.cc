@@ -1,0 +1,44 @@
+// A1 fixtures: references/iterators/interior pointers into mutable
+// containers held live across a suspension point.  Each marked line must
+// produce exactly one A1 finding.
+#include <map>
+#include <vector>
+
+#include "sim/task.h"
+
+class Svc {
+ public:
+  sim::Task<void> IterAcrossAwait() {
+    auto it = table_.find(7);  // analyze-expect(A1)
+    if (it == table_.end()) co_return;
+    co_await Tick();
+    it->second++;
+  }
+
+  sim::Task<void> ElementRefAcrossAwait() {
+    int& slot = table_[3];  // analyze-expect(A1)
+    co_await Tick();
+    slot++;
+  }
+
+  sim::Task<void> RangeForAcrossAwait() {
+    for (const auto& [k, v] : table_) {  // analyze-expect(A1)
+      co_await Tick();
+    }
+  }
+
+  sim::Task<void> InteriorPointerVector() {
+    std::vector<const int*> ptrs;
+    for (const auto& [k, v] : table_) ptrs.push_back(&v);
+    for (const int* p : ptrs) {  // analyze-expect(A1)
+      co_await Tick();
+      Use(*p);
+    }
+  }
+
+  sim::Task<void> Tick();
+  void Use(int);
+
+ private:
+  std::map<int, int> table_;
+};

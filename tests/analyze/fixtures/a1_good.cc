@@ -1,0 +1,57 @@
+// A1 negative fixtures: the safe idioms the analyzer must stay silent on —
+// frame-local snapshots, same-statement awaits, re-lookup after resumption,
+// pointer copies of elements, and value-returning accessor loops.
+#include <map>
+#include <vector>
+
+#include "sim/task.h"
+
+class Svc {
+ public:
+  sim::Task<void> SnapshotThenAwait() {
+    std::vector<int> keys;
+    for (const auto& [k, v] : table_) keys.push_back(k);
+    for (int k : keys) {  // frame-local by-value loop: safe
+      co_await Tick();
+      Use(k);
+    }
+  }
+
+  sim::Task<void> SameStatementAwait() {
+    auto it = table_.find(1);
+    if (it == table_.end()) co_return;
+    // The argument is read BEFORE the frame suspends: safe.
+    co_await Poke(it->second);
+  }
+
+  sim::Task<void> RefindAfterAwait() {
+    auto it = table_.find(1);
+    if (it == table_.end()) co_return;
+    it->second++;
+    co_await Tick();
+    it = table_.find(1);  // re-lookup after resumption: safe
+    if (it != table_.end()) it->second++;
+  }
+
+  sim::Task<void> PointerCopyOfElement() {
+    const int* p = vals_[0];  // copies the element (a pointer value): safe
+    co_await Tick();
+    Use(*p);
+  }
+
+  sim::Task<void> ValueAccessorLoop() {
+    for (int k : Snapshot()) {  // value-returning call: iterates a temporary
+      co_await Tick();
+      Use(k);
+    }
+  }
+
+  std::vector<int> Snapshot() const;
+  sim::Task<void> Tick();
+  sim::Task<void> Poke(int);
+  void Use(int);
+
+ private:
+  std::map<int, int> table_;
+  std::vector<const int*> vals_;
+};

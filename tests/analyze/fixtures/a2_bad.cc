@@ -1,0 +1,40 @@
+// A2 fixtures: deferred-event lambdas and coroutine lambdas whose captures
+// outlive the frame they point into.
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+class Svc {
+ public:
+  void DeferredThisCapture() {
+    sched_->After(10, [this]() { counter_++; });  // analyze-expect(A2)
+  }
+
+  void DeferredRefCapture() {
+    int local = 0;
+    sched_->At(99, [&local]() { local++; });  // analyze-expect(A2)
+  }
+
+  void CoroutineRefCapture() {
+    int local = 0;
+    auto t = [&local]() -> sim::Task<void> {  // analyze-expect(A2)
+      co_await Tick();
+      local++;
+    };
+    Spawn(t());
+  }
+
+  void CoroutineCaptureInvoked() {
+    int local = 0;
+    Spawn([local, this]() -> sim::Task<void> {  // analyze-expect(A2)
+      co_await Tick();
+      Use(local);
+    }());
+  }
+
+  sim::Task<void> Tick();
+  void Use(int);
+
+ private:
+  sim::Scheduler* sched_;
+  int counter_ = 0;
+};

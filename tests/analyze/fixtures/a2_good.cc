@@ -1,0 +1,26 @@
+// A2 negative fixtures: the repo's sanctioned shapes — capture-less
+// coroutine lambdas taking explicit by-value parameters, and value-only
+// captures for deferred plain (non-coroutine) callbacks.
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+class Svc {
+ public:
+  void CaptureLessCoroutine(int seq) {
+    // State enters the frame as explicit parameters (sim/task.h idiom).
+    Spawn([](Svc* self, int s) -> sim::Task<void> {
+      co_await self->Tick();
+      self->Use(s);
+    }(this, seq));
+  }
+
+  void DeferredValueCapture(int seq) {
+    sched_->After(10, [seq]() { /* value capture, nothing to dangle */ });
+  }
+
+  sim::Task<void> Tick();
+  void Use(int);
+
+ private:
+  sim::Scheduler* sched_;
+};

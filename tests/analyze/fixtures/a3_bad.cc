@@ -1,0 +1,35 @@
+// A3 fixtures: nondeterminism escapes — address-dependent container
+// ordering, pointer-to-integer laundering, and order-sensitive float
+// accumulation feeding decisions.
+#include <map>
+#include <set>
+#include <typeindex>
+#include <vector>
+
+struct Conn {
+  int id;
+};
+
+class Svc {
+ public:
+  void PointerKeyedMap() {
+    std::map<Conn*, int> by_conn_;  // analyze-expect(A3)
+    by_conn_[nullptr] = 0;
+  }
+
+  void TypeIndexKeyedSet() {
+    std::set<std::type_index> seen_;  // analyze-expect(A3)
+  }
+
+  unsigned long PointerAsInt(Conn* c) {
+    return reinterpret_cast<unsigned long>(c);  // analyze-expect(A3)
+  }
+
+  double FloatAccumulation(const std::vector<double>& xs) {
+    double sum = 0;
+    for (double x : xs) {
+      sum += x;  // analyze-expect(A3)
+    }
+    return sum;
+  }
+};

@@ -1,0 +1,29 @@
+// A3 negative fixtures: stable-id keys, pointer-to-pointer casts, and
+// integer (fixed-point) accumulation.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+struct Conn {
+  int id;
+};
+
+class Svc {
+ public:
+  void StableIdKeyedMap() {
+    std::map<uint64_t, int> by_id;
+    by_id[7] = 0;
+  }
+
+  Conn* PointerToPointerCast(void* raw) {
+    return reinterpret_cast<Conn*>(raw);  // stays a pointer: no ordering leak
+  }
+
+  uint64_t FixedPointAccumulation(const std::vector<double>& xs) {
+    uint64_t sum = 0;
+    for (double x : xs) {
+      sum += static_cast<uint64_t>(x * 1e12);  // exact integer addition
+    }
+    return sum;
+  }
+};

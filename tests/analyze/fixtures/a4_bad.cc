@@ -1,0 +1,27 @@
+// A4 fixtures: Status/Result discards that [[nodiscard]] cannot see —
+// results laundered through ternaries/commas and dead Status locals.
+#include "common/status.h"
+
+using cfs::Status;
+
+class Svc {
+ public:
+  Status Poke();
+  Status Prod();
+
+  void LaunderedThroughTernary(bool fast) {
+    fast ? Poke() : Prod();  // analyze-expect(A4)
+  }
+
+  void LaunderedThroughComma() {
+    Poke(), Prod();  // analyze-expect(A4)
+  }
+
+  void DeadStatusLocal() {
+    Status st = Poke();  // analyze-expect(A4)
+    counter_++;
+  }
+
+ private:
+  int counter_ = 0;
+};

@@ -1,0 +1,25 @@
+// A4 negative fixtures: checked, returned, and explicitly-voided Status
+// values.
+#include "common/status.h"
+
+using cfs::Status;
+
+class Svc {
+ public:
+  Status Poke();
+  Status Prod();
+
+  Status CheckedLocal() {
+    Status st = Poke();
+    if (!st.ok()) return st;
+    return Prod();
+  }
+
+  void ExplicitDiscard() {
+    (void)Poke();  // sanctioned: the discard is visible and deliberate
+  }
+
+  Status TernaryReturned(bool fast) {
+    return fast ? Poke() : Prod();  // the result is consumed
+  }
+};

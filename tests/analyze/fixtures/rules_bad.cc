@@ -1,0 +1,36 @@
+// R1/R2/R4/R5/R6 fixtures: one marked violation per rule (R3 is file-level
+// and validated against the real tree by the runner).
+#include <cstdio>
+#include <random>  // analyze-expect(R1)
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.h"
+
+class Svc {
+ public:
+  void WallClock() {
+    int r = rand();  // analyze-expect(R1)
+    std::random_device rd;  // analyze-expect(R1)
+    (void)r;
+    (void)rd;
+  }
+
+  void Unordered() {
+    std::unordered_map<int, int> m;  // analyze-expect(R2)
+    m[1] = 2;
+  }
+
+  void RawRpc() {
+    net_->Call<int>(7);  // analyze-expect(R4)
+  }
+
+  void RawPrint() {
+    printf("debug\n");  // analyze-expect(R5)
+  }
+
+  void ByValuePayload(std::vector<uint8_t> payload) {}  // analyze-expect(R6)
+
+ private:
+  sim::Network* net_;
+};

@@ -1,0 +1,48 @@
+// R1-R6 negative fixtures: compliant idioms plus every `lint:allow` escape
+// hatch — an allowed violation must NOT fire.
+#include <cstdio>  // the include alone is fine; calling printf is not
+#include <map>
+#include <random>  // lint:allow(wall-clock)
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/network.h"
+
+class Svc {
+ public:
+  void SeededDraws() {
+    uint64_t r = rng_->Uniform(100);  // the sanctioned randomness source
+    (void)r;
+  }
+
+  void OrderedContainer() {
+    std::map<int, int> m;
+    m[1] = 2;
+  }
+
+  void AllowedUnordered() {
+    std::unordered_map<int, int> scratch;  // lint:allow(unordered)
+    scratch[1] = 2;
+  }
+
+  void AllowedRawRpc() {
+    net_->Call<int>(7);  // lint:allow(raw-rpc)
+  }
+
+  void Logging() {
+    CFS_LOG("INFO", "structured log, not a raw print");
+  }
+
+  void AllowedRawPrint() {
+    printf("bench table\n");  // lint:allow(raw-print)
+  }
+
+  void ConstRefPayload(const std::vector<uint8_t>& payload) {}
+
+  void AllowedByValue(std::vector<uint8_t> payload) {}  // lint:allow(byvalue-payload)
+
+ private:
+  sim::Network* net_;
+  cfs::Rng* rng_;
+};

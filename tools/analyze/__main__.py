@@ -1,0 +1,75 @@
+"""CLI for the analyzer.
+
+    python3 -m tools.analyze [--root DIR] [--baseline FILE]
+                             [--update-baseline] [--no-baseline] [PATH ...]
+
+Exit 0: no findings beyond the baseline and no stale baseline entries.
+Exit 1: new findings and/or stale entries (each printed with its
+fingerprint so the fix — or the baseline edit — is mechanical).
+
+With explicit PATH arguments only those files are analyzed and the
+baseline is skipped (fixture/test mode); `--no-baseline` does the same
+for a tree run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from . import engine
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="tools.analyze",
+                                 description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this package)")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline json (default: tools/analyze/baseline.json)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from current findings "
+                         "(A1/A2 findings are never baselined)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="report every finding, ignore the baseline")
+    ap.add_argument("paths", nargs="*",
+                    help="specific files to analyze (skips the baseline)")
+    args = ap.parse_args(argv)
+
+    root = pathlib.Path(args.root).resolve() if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent.parent
+    baseline_path = pathlib.Path(args.baseline) if args.baseline else \
+        root / "tools" / "analyze" / "baseline.json"
+
+    paths = [pathlib.Path(p).resolve() for p in args.paths] or None
+    findings = engine.analyze_tree(root, paths)
+
+    if args.update_baseline:
+        engine.save_baseline(baseline_path, findings)
+        print(f"analyze: baseline rewritten with "
+              f"{len([f for f in findings if f.check not in ('A1', 'A2')])} "
+              f"entr(ies) at {baseline_path}")
+        return 0
+
+    use_baseline = not (args.no_baseline or paths)
+    baseline = engine.load_baseline(baseline_path) if use_baseline else {}
+    new, matched, stale = engine.compare(findings, baseline)
+
+    for f in new:
+        print(f.render())
+    if matched:
+        print(f"analyze: {len(matched)} baselined finding(s) suppressed")
+    for fp in stale:
+        print(f"analyze: stale baseline entry (no longer fires — delete it): "
+              f"{fp}")
+    if new or stale:
+        print(f"analyze: {len(new)} new finding(s), {len(stale)} stale "
+              f"baseline entr(ies)")
+        return 1
+    print("analyze: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

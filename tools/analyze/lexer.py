@@ -1,0 +1,209 @@
+"""A small, honest C++ lexer.
+
+Produces a flat list of Tokens (kind, text, line) with comments and
+string/character literals resolved properly — the whole point over the
+old line-regex lint: `// no rand() here` and `"co_await"` never reach
+the checks.  Preprocessor directives are kept as single PREPROC tokens
+(the R1 include rules need them); comments are dropped from the stream
+but their text is recorded per line so allow-directives
+(`lint:allow(...)`, `analyze:allow(...)`) survive.
+
+Handled: line/block comments, string and char literals with escapes,
+raw strings (R"delim(...)delim"), numeric literals (incl. hex/float/
+separators), identifiers, and multi-character operators longest-first.
+Not handled (and not needed): trigraphs, UCNs in identifiers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+PREPROC = "preproc"
+
+_PUNCTS = [
+    # Longest first so maximal munch works with simple startswith checks.
+    "...", "->*", "<<=", ">>=", "<=>",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "<", ">", "+", "-", "*",
+    "/", "%", "&", "|", "^", "!", "~", "=", "?", ":", "#",
+]
+
+_IDENT_START = re.compile(r"[A-Za-z_]")
+_IDENT_BODY = re.compile(r"[A-Za-z0-9_]")
+_NUM_BODY = re.compile(r"[A-Za-z0-9_.']")
+_RAW_STRING = re.compile(r'R"([^()\s\\]{0,16})\(')
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # compact for debugging
+        return f"{self.kind}:{self.text!r}@{self.line}"
+
+
+class LexedFile:
+    """Token stream plus per-line comment text (for allow-directives)."""
+
+    def __init__(self, tokens: List[Token], line_comments: dict):
+        self.tokens = tokens
+        self.line_comments = line_comments  # line -> concatenated comment text
+
+    def comment_on(self, line: int) -> str:
+        return self.line_comments.get(line, "")
+
+
+def lex(text: str) -> LexedFile:
+    tokens: List[Token] = []
+    line_comments: dict = {}
+    i, n, line = 0, len(text), 1
+
+    def note_comment(ln: int, body: str) -> None:
+        if ln in line_comments:
+            line_comments[ln] += " " + body
+        else:
+            line_comments[ln] = body
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Comments.
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            note_comment(line, text[i:j])
+            i = j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            if j == -1:
+                j = n - 2
+            body = text[i : j + 2]
+            # A block comment annotates every line it touches.
+            ln = line
+            for part in body.split("\n"):
+                note_comment(ln, part)
+                ln += 1
+            line += body.count("\n")
+            i = j + 2
+            continue
+        # Preprocessor directive: one token to the (continued) end of line.
+        if c == "#" and (not tokens or tokens[-1].line != line):
+            start, ln = i, line
+            while i < n:
+                j = text.find("\n", i)
+                if j == -1:
+                    i = n
+                    break
+                # Line continuation.
+                k = j - 1
+                while k >= start and text[k] in " \t\r":
+                    k -= 1
+                if k >= start and text[k] == "\\":
+                    line += 1
+                    i = j + 1
+                    continue
+                i = j
+                break
+            directive = text[start:i]
+            # A trailing // comment belongs to the comment map (so
+            # lint:allow on an #include line works), not the directive.
+            cut = directive.find("//")
+            if cut != -1:
+                for off, piece in enumerate(directive.split("\n")):
+                    pcut = piece.find("//")
+                    if pcut != -1:
+                        line_comments[ln + off] = (
+                            line_comments.get(ln + off, "") + " " +
+                            piece[pcut + 2:]).strip()
+                directive = directive[:cut]
+            tokens.append(Token(PREPROC, directive, ln))
+            continue
+        # Raw string literal.
+        m = _RAW_STRING.match(text, i)
+        if m:
+            delim = m.group(1)
+            end = text.find(")" + delim + '"', m.end())
+            if end == -1:
+                end = n
+            body = text[i : end + len(delim) + 2]
+            tokens.append(Token(STRING, body, line))
+            line += body.count("\n")
+            i += len(body)
+            continue
+        # String/char literal (with optional encoding prefix).
+        if c in "\"'" or (
+            c in "uUL"
+            and i + 1 < n
+            and text[i + 1] in "\"'"
+            and not (tokens and tokens[-1].kind == IDENT and tokens[-1].line == line
+                     and text[i - 1].isalnum() if i > 0 else False)
+        ):
+            start = i
+            if c in "uUL":
+                i += 1
+                if text[i] == "8":  # u8"..."
+                    i += 1
+            quote = text[i]
+            i += 1
+            while i < n:
+                if text[i] == "\\":
+                    i += 2
+                    continue
+                if text[i] == quote:
+                    i += 1
+                    break
+                if text[i] == "\n":  # unterminated; bail at line end
+                    break
+                i += 1
+            tokens.append(
+                Token(STRING if quote == '"' else CHAR, text[start:i], line))
+            continue
+        # Number.
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            i += 1
+            while i < n and _NUM_BODY.match(text[i]):
+                # Exponent signs: 1e+5, 0x1p-3.
+                if text[i] in "eEpP" and i + 1 < n and text[i + 1] in "+-":
+                    i += 2
+                else:
+                    i += 1
+            tokens.append(Token(NUMBER, text[start:i], line))
+            continue
+        # Identifier / keyword.
+        if _IDENT_START.match(c):
+            start = i
+            i += 1
+            while i < n and _IDENT_BODY.match(text[i]):
+                i += 1
+            tokens.append(Token(IDENT, text[start:i], line))
+            continue
+        # Punctuation, longest first.
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            # Unknown byte: skip it rather than crash (e.g. stray backslash).
+            i += 1
+    return LexedFile(tokens, line_comments)

@@ -1,0 +1,199 @@
+"""R1-R6 from the old regex lint, re-hosted on the token stream.
+
+Same rules, same `// lint:allow(<token>)` escape hatch, but the matching
+now happens on lexed tokens: a `rand(` inside a comment or a string
+literal no longer fires, and `unordered_map` in a doc sentence is
+invisible.  R3 stays file-level (it checks declarations in status.h and
+a compiler flag in CMakeLists.txt).
+
+  R1  wall-clock / OS randomness        allow token: wall-clock
+  R2  unordered containers              allow token: unordered
+  R4  raw Network::Call outside rpc/    allow token: raw-rpc
+  R5  raw stdout/stderr prints          allow token: raw-print
+  R6  by-value byte-vector params       allow token: byvalue-payload
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import List
+
+from . import lexer
+from .findings import Finding
+from .lexer import IDENT, PREPROC, PUNCT, Token
+
+_R1_CALLS = {"rand": "libc rand()", "srand": "libc srand()",
+             "gettimeofday": "gettimeofday()", "clock_gettime": "clock_gettime()"}
+_R1_NAMES = {"random_device": "std::random_device",
+             "system_clock": "chrono system_clock",
+             "steady_clock": "chrono steady_clock",
+             "high_resolution_clock": "chrono high_resolution_clock"}
+_R1_INCLUDE = re.compile(r'#\s*include\s*[<"]random[>"]')
+_R2_NAMES = {"unordered_map", "unordered_set", "unordered_multimap",
+             "unordered_multiset"}
+_R5_CALLS = {"printf", "fprintf", "vfprintf", "puts", "putchar"}
+_R5_STREAMS = {"cout", "cerr"}
+_R6_ELEM = {"uint8_t", "int8_t", "char", "byte"}
+
+_ALLOW_LINT = re.compile(r"lint:allow\(([a-z-]+)\)")
+_ALLOW_ANALYZE = re.compile(r"analyze:allow\((A[1-4])\)")
+
+
+def lint_allowed(lf: lexer.LexedFile, line: int, token: str) -> bool:
+    m = _ALLOW_LINT.search(lf.comment_on(line))
+    return bool(m) and m.group(1) == token
+
+
+def analyze_allowed(lf: lexer.LexedFile, line: int, check: str) -> bool:
+    m = _ALLOW_ANALYZE.search(lf.comment_on(line))
+    return bool(m) and m.group(1) == check
+
+
+def check_rules(lf: lexer.LexedFile, path: str, in_rpc_layer: bool,
+                is_print_sink: bool) -> List[Finding]:
+    toks = lf.tokens
+    out: List[Finding] = []
+
+    def add(line: int, rule_id: str, allow_token: str, msg: str,
+            symbol: str) -> None:
+        if not lint_allowed(lf, line, allow_token):
+            out.append(Finding(path, line, rule_id.split(".")[0], rule_id, msg,
+                               function="", symbol=symbol))
+
+    for k, t in enumerate(toks):
+        if t.kind == PREPROC:
+            if _R1_INCLUDE.search(t.text):
+                add(t.line, "R1.include-random", "wall-clock",
+                    "nondeterministic source: #include <random>; every random "
+                    "draw must come from the seeded cfs::Rng", "include<random>")
+            continue
+        if t.kind != IDENT:
+            continue
+        nxt = toks[k + 1] if k + 1 < len(toks) else None
+        prev = toks[k - 1] if k > 0 else None
+        # R1: forbidden calls / clock names.
+        if t.text in _R1_CALLS and nxt is not None \
+                and nxt.kind == PUNCT and nxt.text == "(" \
+                and not (prev is not None and prev.kind == PUNCT
+                         and prev.text in (".", "->")):
+            add(t.line, "R1.wall-clock-call", "wall-clock",
+                f"nondeterministic source: {_R1_CALLS[t.text]}; use the "
+                "scheduler's virtual clock / seeded cfs::Rng", t.text)
+        elif t.text in _R1_NAMES:
+            add(t.line, "R1.wall-clock-name", "wall-clock",
+                f"nondeterministic source: {_R1_NAMES[t.text]}; use the "
+                "scheduler's virtual clock / seeded cfs::Rng", t.text)
+        elif t.text == "time" and nxt is not None and nxt.kind == PUNCT \
+                and nxt.text == "(" and k + 2 < len(toks) \
+                and toks[k + 2].text in ("NULL", "nullptr", "0") \
+                and not (prev is not None and prev.kind == PUNCT
+                         and prev.text in (".", "->", "::")):
+            add(t.line, "R1.wall-clock-call", "wall-clock",
+                "nondeterministic source: time(NULL); use the scheduler's "
+                "virtual clock", "time")
+        # R2: unordered containers.
+        elif t.text in _R2_NAMES:
+            add(t.line, "R2.unordered", "unordered",
+                "unordered container (iteration order breaks replay); use "
+                "std::map/std::set or add // lint:allow(unordered)", t.text)
+        # R4: raw transport call — net...->Call< / net...().Call<.
+        elif not in_rpc_layer and t.text == "Call" and nxt is not None \
+                and nxt.kind == PUNCT and nxt.text == "<":
+            base = _member_base(toks, k)
+            if base is not None and base.kind == IDENT \
+                    and base.text.startswith("net"):
+                add(t.line, "R4.raw-rpc", "raw-rpc",
+                    "raw Network::Call outside src/rpc/; go through the rpc "
+                    "service layer (rpc::Channel / typed stubs) or add "
+                    "// lint:allow(raw-rpc)", base.text)
+        # R5: raw console prints.
+        elif not is_print_sink and t.text in _R5_CALLS and nxt is not None \
+                and nxt.kind == PUNCT and nxt.text == "(" \
+                and not (prev is not None and prev.kind == PUNCT
+                         and prev.text in (".", "->")):
+            add(t.line, "R5.raw-print", "raw-print",
+                "raw stdout/stderr print in src/; use CFS_LOG "
+                "(common/logging.h) or add // lint:allow(raw-print)", t.text)
+        elif not is_print_sink and t.text in _R5_STREAMS \
+                and prev is not None and prev.kind == PUNCT \
+                and prev.text == "::" and k >= 2 and toks[k - 2].kind == IDENT \
+                and toks[k - 2].text == "std":
+            add(t.line, "R5.raw-print", "raw-print",
+                f"raw std::{t.text} in src/; use CFS_LOG (common/logging.h) "
+                "or add // lint:allow(raw-print)", t.text)
+        # R6: by-value byte-vector parameter: vector<bytelike> NAME [,)]
+        elif t.text == "vector" and nxt is not None and nxt.kind == PUNCT \
+                and nxt.text == "<":
+            close = _close_angle(toks, k + 1)
+            if close is None:
+                continue
+            elem = [x for x in toks[k + 2 : close]
+                    if not (x.kind == PUNCT and x.text == "::")
+                    and x.text not in ("std", "unsigned")]
+            if len(elem) == 1 and elem[0].kind == IDENT \
+                    and elem[0].text in _R6_ELEM:
+                after = toks[close + 1] if close + 1 < len(toks) else None
+                after2 = toks[close + 2] if close + 2 < len(toks) else None
+                if after is not None and after.kind == IDENT \
+                        and after2 is not None and after2.kind == PUNCT \
+                        and after2.text in (",", ")"):
+                    add(t.line, "R6.byvalue-payload", "byvalue-payload",
+                        "byte-vector parameter passed by value copies the "
+                        "payload; take const&/string_view/cfs::Buffer or add "
+                        "// lint:allow(byvalue-payload)", after.text)
+    return out
+
+
+def _member_base(toks, call_idx: int):
+    """For `X -> Call` / `X . Call` / `X ( ) . Call`, the token X."""
+    j = call_idx - 1
+    if j < 0 or toks[j].kind != PUNCT or toks[j].text not in (".", "->"):
+        return None
+    j -= 1
+    if j >= 1 and toks[j].kind == PUNCT and toks[j].text == ")" \
+            and toks[j - 1].kind == PUNCT and toks[j - 1].text == "(":
+        j -= 2  # accessor call: net().Call<
+    return toks[j] if j >= 0 else None
+
+
+def _close_angle(toks, open_idx: int):
+    depth = 0
+    for k in range(open_idx, min(open_idx + 64, len(toks))):
+        t = toks[k]
+        if t.kind == PUNCT:
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+                if depth == 0:
+                    return k
+    return None
+
+
+def check_r3(root: pathlib.Path) -> List[Finding]:
+    """R3 stays file-level: [[nodiscard]] on Status/Result and the
+    -Werror=unused-result flag."""
+    out: List[Finding] = []
+    status_h = root / "src" / "common" / "status.h"
+    if not status_h.is_file():
+        out.append(Finding("src/common/status.h", 0, "R3", "R3.nodiscard",
+                           "missing: src/common/status.h not found",
+                           symbol="status.h"))
+        return out
+    text = status_h.read_text(encoding="utf-8")
+    for cls in ("Status", "Result"):
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls + r"\b", text):
+            out.append(Finding(
+                "src/common/status.h", 0, "R3", "R3.nodiscard",
+                f"cfs::{cls} must be declared `class [[nodiscard]] {cls}`",
+                symbol=cls))
+    cml = root / "CMakeLists.txt"
+    if cml.is_file() and "-Werror=unused-result" not in cml.read_text(
+            encoding="utf-8"):
+        out.append(Finding(
+            "CMakeLists.txt", 0, "R3", "R3.werror",
+            "top-level CMakeLists.txt must pass -Werror=unused-result so "
+            "ignored Status/Result calls fail the build",
+            symbol="-Werror=unused-result"))
+    return out

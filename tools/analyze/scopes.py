@@ -1,0 +1,447 @@
+"""Brace/scope tracking and function-body extraction over the token stream.
+
+The unit the checks operate on is a FunctionBody: the token range of one
+function (or lambda) body together with what the checks need to reason
+about lifetimes without a real type system:
+
+  * params: name -> ParamInfo(by_ref) — a reference/pointer parameter
+    aliases state owned elsewhere; a by-value param is frame-local.
+  * locals_: names declared inside the body (frame-local by default).
+  * is_coroutine: body contains co_await / co_return / co_yield.
+  * lambdas: nested LambdaInfo (capture list, body range, coroutine-ness,
+    whether it is immediately invoked, and the call it is an argument of).
+
+Function detection is the classic lightweight heuristic: a `{` whose
+backward context is `) [const|noexcept|override|final|mutable|-> type|
+: init-list]*` is a function body; the name is the identifier before the
+matching `(`.  Lambdas are `] (params) ... {` or `] {`.  Class/namespace
+braces never match because they are not preceded by a parameter list.
+Control-flow parens (`if (...) {`) are excluded by keyword check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import lexer
+from .lexer import IDENT, PUNCT, Token
+
+_CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return",
+                     "co_return", "co_await", "co_yield", "sizeof", "alignof",
+                     "decltype", "static_assert", "new", "delete", "throw",
+                     "else", "do", "case", "default"}
+
+_TRAILING_OK = {"const", "noexcept", "override", "final", "mutable", "try",
+                "constexpr", "requires"}
+
+
+@dataclass
+class ParamInfo:
+    name: str
+    by_ref: bool  # reference or pointer: aliases non-frame state
+
+
+@dataclass
+class LambdaInfo:
+    captures: List[str]          # raw capture tokens: "&", "=", "this", names
+    has_ref_capture: bool
+    has_this_capture: bool
+    body_start: int              # token index of `{`
+    body_end: int                # token index one past matching `}`
+    is_coroutine: bool
+    immediately_invoked: bool    # `}( ... )` right after the body
+    enclosing_call: str          # nearest call the lambda is an argument of
+    line: int
+
+
+@dataclass
+class FunctionBody:
+    name: str
+    line: int
+    body_start: int              # token index of `{`
+    body_end: int                # one past matching `}`
+    params: Dict[str, ParamInfo] = field(default_factory=dict)
+    is_coroutine: bool = False
+    is_lambda: bool = False
+    lambdas: List[LambdaInfo] = field(default_factory=list)
+
+
+def match_brace(tokens: List[Token], open_idx: int) -> int:
+    """Index one past the `}` matching the `{` at open_idx."""
+    depth = 0
+    for i in range(open_idx, len(tokens)):
+        t = tokens[i]
+        if t.kind == PUNCT:
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+    return len(tokens)
+
+
+def match_paren_back(tokens: List[Token], close_idx: int) -> int:
+    """Index of the `(` matching the `)` at close_idx (searching backward)."""
+    depth = 0
+    for i in range(close_idx, -1, -1):
+        t = tokens[i]
+        if t.kind == PUNCT:
+            if t.text == ")":
+                depth += 1
+            elif t.text == "(":
+                depth -= 1
+                if depth == 0:
+                    return i
+    return -1
+
+
+def match_paren(tokens: List[Token], open_idx: int) -> int:
+    """Index of the `)` matching the `(` at open_idx."""
+    depth = 0
+    for i in range(open_idx, len(tokens)):
+        t = tokens[i]
+        if t.kind == PUNCT:
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return i
+    return len(tokens) - 1
+
+
+def _parse_params(tokens: List[Token], open_paren: int,
+                  close_paren: int) -> Dict[str, ParamInfo]:
+    """Best-effort parameter extraction: the last identifier of each
+    comma-separated chunk is the name; `&`/`*` anywhere in the chunk's type
+    marks it aliasing."""
+    params: Dict[str, ParamInfo] = {}
+    depth = 0
+    chunk: List[Token] = []
+
+    def flush(chunk: List[Token]) -> None:
+        if not chunk:
+            return
+        # Drop default argument.
+        for k, t in enumerate(chunk):
+            if t.kind == PUNCT and t.text == "=":
+                chunk = chunk[:k]
+                break
+        name = None
+        for t in reversed(chunk):
+            if t.kind == IDENT and t.text not in ("const", "override"):
+                name = t.text
+                break
+        if name is None:
+            return
+        by_ref = any(t.kind == PUNCT and t.text in ("&", "*", "&&")
+                     for t in chunk)
+        params[name] = ParamInfo(name, by_ref)
+
+    for i in range(open_paren + 1, close_paren):
+        t = tokens[i]
+        if t.kind == PUNCT and t.text in ("(", "<", "[", "{"):
+            depth += 1
+        elif t.kind == PUNCT and t.text in (")", ">", "]", "}"):
+            depth -= 1
+        elif t.kind == PUNCT and t.text == ">>":
+            depth -= 2  # the lexer folds two template closers into one token
+        if t.kind == PUNCT and t.text == "," and depth <= 0:
+            flush(chunk)
+            chunk = []
+        else:
+            chunk.append(t)
+    flush(chunk)
+    return params
+
+
+def _find_lambda_intro(tokens: List[Token], brace_idx: int):
+    """If the `{` at brace_idx is a lambda body, return (capture_tokens,
+    open_paren, close_paren|None). The backward shape is
+    `] (params) specifiers* [-> type] {` or `] {`."""
+    i = brace_idx - 1
+    # Skip trailing return type / specifiers backwards until `)` or `]`.
+    guard = 0
+    while i >= 0 and guard < 64:
+        t = tokens[i]
+        if t.kind == PUNCT and t.text == ")":
+            open_paren = match_paren_back(tokens, i)
+            if open_paren <= 0:
+                return None
+            j = open_paren - 1
+            if j >= 0 and tokens[j].kind == PUNCT and tokens[j].text == "]":
+                caps = _captures_back(tokens, j)
+                if caps is not None:
+                    return caps, open_paren, i
+            return None
+        if t.kind == PUNCT and t.text == "]":
+            caps = _captures_back(tokens, i)
+            if caps is not None:
+                return caps, None, None
+            return None
+        if (t.kind == IDENT and t.text in _TRAILING_OK) or \
+           (t.kind == IDENT) or \
+           (t.kind == PUNCT and t.text in ("->", "::", "<", ">", "*", "&", ",")):
+            i -= 1
+            guard += 1
+            continue
+        return None
+    return None
+
+
+def _captures_back(tokens: List[Token], close_idx: int) -> Optional[List[Token]]:
+    """Capture tokens inside a `[...]` ending at close_idx, or None if the
+    bracket is a subscript (preceded by ident/`)`/`]`)."""
+    depth = 0
+    open_idx = -1
+    for i in range(close_idx, -1, -1):
+        t = tokens[i]
+        if t.kind == PUNCT:
+            if t.text == "]":
+                depth += 1
+            elif t.text == "[":
+                depth -= 1
+                if depth == 0:
+                    open_idx = i
+                    break
+    if open_idx < 0:
+        return None
+    if open_idx > 0:
+        prev = tokens[open_idx - 1]
+        if prev.kind in (IDENT, lexer.NUMBER) and prev.text not in (
+                "return", "co_return", "co_await", "case", "delete", "new"):
+            return None  # subscript, not a capture list
+        if prev.kind == PUNCT and prev.text in (")", "]"):
+            return None
+    return tokens[open_idx + 1 : close_idx]
+
+
+def nested_lambda_ranges(tokens: List[Token], start: int, end: int):
+    """Body ranges [s, e) of lambdas nested inside (start, end)."""
+    out = []
+    k = start + 1
+    while k < end:
+        t = tokens[k]
+        if t.kind == PUNCT and t.text == "{" \
+                and _find_lambda_intro(tokens, k) is not None:
+            close = match_brace(tokens, k)
+            out.append((k, close))
+            k = close
+            continue
+        k += 1
+    return out
+
+
+def _coroutine_in(tokens: List[Token], start: int, end: int) -> bool:
+    """True when THIS body has coroutine keywords of its own — co_* tokens
+    inside nested lambda bodies belong to other coroutine frames."""
+    nested = nested_lambda_ranges(tokens, start, end)
+    for k in range(start, end):
+        t = tokens[k]
+        if t.kind == IDENT and t.text in ("co_await", "co_return", "co_yield") \
+                and not any(s <= k < e for s, e in nested):
+            return True
+    return False
+
+
+def extract_functions(lf: lexer.LexedFile) -> List[FunctionBody]:
+    """All function and lambda bodies in the file (top-level functions carry
+    their nested lambdas in .lambdas; lambdas are also returned as
+    FunctionBody entries so checks can analyze their bodies uniformly)."""
+    tokens = lf.tokens
+    out: List[FunctionBody] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if not (t.kind == PUNCT and t.text == "{"):
+            i += 1
+            continue
+        info = _classify_brace(tokens, i)
+        if info is None:
+            i += 1
+            continue
+        name, open_paren, close_paren, is_lambda, caps = info
+        body_end = match_brace(tokens, i)
+        fb = FunctionBody(name=name, line=t.line, body_start=i,
+                          body_end=body_end, is_lambda=is_lambda)
+        if open_paren is not None and close_paren is not None:
+            fb.params = _parse_params(tokens, open_paren, close_paren)
+        fb.is_coroutine = _coroutine_in(tokens, i, body_end)
+        if is_lambda:
+            fb.name = name or "<lambda>"
+        out.append(fb)
+        if not is_lambda:
+            fb.lambdas = _collect_lambdas(tokens, i + 1, body_end)
+        i += 1  # descend: nested lambdas are found by the same loop
+    return out
+
+
+def _classify_brace(tokens: List[Token], brace_idx: int):
+    """Decide whether the `{` at brace_idx opens a function or lambda body.
+    Returns (name, open_paren, close_paren, is_lambda, captures) or None."""
+    lam = _find_lambda_intro(tokens, brace_idx)
+    if lam is not None:
+        caps, open_paren, close_paren = lam
+        return "<lambda>", open_paren, close_paren, True, caps
+    # Walk back over trailing bits to the closing `)` of a parameter list.
+    i = brace_idx - 1
+    seen_colon_init = False
+    guard = 0
+    while i >= 0 and guard < 256:
+        guard += 1
+        t = tokens[i]
+        if t.kind == PUNCT and t.text == ")":
+            open_paren = match_paren_back(tokens, i)
+            if open_paren <= 0:
+                return None
+            # The identifier before `(` is the candidate function name.
+            j = open_paren - 1
+            # Skip template args: name<...>(
+            if tokens[j].kind == PUNCT and tokens[j].text == ">":
+                depth = 0
+                while j >= 0:
+                    if tokens[j].kind == PUNCT and tokens[j].text == ">":
+                        depth += 1
+                    elif tokens[j].kind == PUNCT and tokens[j].text == "<":
+                        depth -= 1
+                        if depth == 0:
+                            j -= 1
+                            break
+                    j -= 1
+            if j < 0 or tokens[j].kind != IDENT:
+                return None
+            name = tokens[j].text
+            if name in _CONTROL_KEYWORDS:
+                return None
+            # Operator overloads: `operator==` lexes as ident `operator` +
+            # punct; tokens[j] is then not ident — handled above. `operator()`
+            # gives ident `operator`; accept it.
+            if seen_colon_init:
+                # ctor initializer list confirmed this is a function.
+                return name, open_paren, i, False, None
+            return name, open_paren, i, False, None
+        if t.kind == IDENT and (t.text in _TRAILING_OK):
+            i -= 1
+            continue
+        if t.kind == PUNCT and t.text in ("->", "::", "<", ">", "*", "&", ",",
+                                          ")", "(", "]", "["):
+            # Trailing return types / ctor init lists contain these; walk a
+            # ctor init list back to its `:` then keep going.
+            if t.text in (")", "]"):
+                # Balance backward over one group.
+                close = i
+                opener = "(" if t.text == ")" else "["
+                closer = t.text
+                depth = 0
+                while i >= 0:
+                    tt = tokens[i]
+                    if tt.kind == PUNCT and tt.text == closer:
+                        depth += 1
+                    elif tt.kind == PUNCT and tt.text == opener:
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    i -= 1
+                if i < 0:
+                    return None
+                i -= 1
+                continue
+            i -= 1
+            continue
+        if t.kind == IDENT or t.kind == lexer.NUMBER or t.kind == lexer.STRING:
+            i -= 1
+            continue
+        if t.kind == PUNCT and t.text == ":":
+            # Could be a ctor initializer list; keep walking back.
+            seen_colon_init = True
+            i -= 1
+            continue
+        if t.kind == PUNCT and t.text == "{":
+            # Brace-init inside an initializer list: Foo() : m_{x} { ... }
+            return None
+        return None
+    return None
+
+
+def _collect_lambdas(tokens: List[Token], start: int, end: int) -> List[LambdaInfo]:
+    out: List[LambdaInfo] = []
+    i = start
+    while i < end:
+        t = tokens[i]
+        if t.kind == PUNCT and t.text == "{":
+            lam = _find_lambda_intro(tokens, i)
+            if lam is not None:
+                caps, open_paren, close_paren = lam
+                body_end = match_brace(tokens, i)
+                cap_texts = [c.text for c in caps]
+                has_ref = any(c == "&" for c in cap_texts) or _has_named_ref(caps)
+                has_this = "this" in cap_texts
+                imm = (body_end < end and tokens[body_end].kind == PUNCT
+                       and tokens[body_end].text == "(")
+                out.append(LambdaInfo(
+                    captures=cap_texts,
+                    has_ref_capture=has_ref,
+                    has_this_capture=has_this,
+                    body_start=i,
+                    body_end=body_end,
+                    is_coroutine=_coroutine_in(tokens, i, body_end),
+                    immediately_invoked=imm,
+                    enclosing_call=_enclosing_call_name(tokens, i),
+                    line=t.line,
+                ))
+        i += 1
+    return out
+
+
+def _has_named_ref(caps: List[Token]) -> bool:
+    """`[&x]` / `[&, y]`-style: a `&` immediately before an identifier, not
+    part of an init-capture value (`[p = &obj]` is by-value)."""
+    for k, c in enumerate(caps):
+        if c.kind == PUNCT and c.text == "&":
+            # `&` at list level binds by reference unless preceded by `=`.
+            prev = caps[k - 1] if k > 0 else None
+            if prev is not None and prev.kind == PUNCT and prev.text == "=":
+                continue
+            return True
+    return False
+
+
+def _enclosing_call_name(tokens: List[Token], lambda_brace: int) -> str:
+    """Name of the call the lambda is a direct argument of: walk back from
+    the lambda intro to an unbalanced `(` and take the identifier before it."""
+    # Find the start of the lambda expression (its `[`).
+    i = lambda_brace
+    # Walk back over (params) / specifiers to the capture `]` then `[`.
+    depth = 0
+    while i >= 0:
+        t = tokens[i]
+        if t.kind == PUNCT and t.text == "[" and depth == 0:
+            break
+        if t.kind == PUNCT:
+            if t.text in (")", "]", "}"):
+                depth += 1
+            elif t.text in ("(", "[", "{"):
+                depth -= 1
+        i -= 1
+    # Now walk back to an unbalanced `(`.
+    depth = 0
+    j = i - 1
+    while j >= 0:
+        t = tokens[j]
+        if t.kind == PUNCT:
+            if t.text == ")":
+                depth += 1
+            elif t.text == "(":
+                if depth == 0:
+                    k = j - 1
+                    if k >= 0 and tokens[k].kind == IDENT:
+                        return tokens[k].text
+                    return ""
+                depth -= 1
+            elif t.text in (";", "{", "}"):
+                return ""
+        j -= 1
+    return ""

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# One-stop local verification gate, mirroring the CI `analysis` job:
+#
+#   1. tools/analyze — suspension-point hazards A1-A4 + determinism lint
+#      R1-R6 against tools/analyze/baseline.json (new findings AND stale
+#      baseline entries both fail),
+#   2. the fixture corpus that locks each check's behavior,
+#   3. full-tree clang-tidy (skipped with a notice when not installed —
+#      the container image doesn't bake it in; CI always runs it),
+#   4. the simulator wall-clock gate (pinned executed-event counts +
+#      throughput budget), when the benches are built.
+#
+# Usage: tools/check_all.sh [build-dir]     (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== analyzer: A1-A4 + R1-R6 vs tools/analyze/baseline.json =="
+python3 -m tools.analyze
+
+echo "== analyzer fixture corpus =="
+python3 tests/analyze/run_fixtures.py "$PWD"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (full tree) =="
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  git ls-files 'src/*.cc' 'tests/*.cc' 'bench/*.cc' |
+    xargs -P "$(nproc)" -n 4 clang-tidy -p "$BUILD_DIR" --quiet
+else
+  echo "== clang-tidy not installed: skipped (the CI analysis job runs it) =="
+fi
+
+if [ -x "$BUILD_DIR/bench/bench_fig9_largefile_multi_client" ]; then
+  echo "== wallclock gate (pinned event counts + throughput budget) =="
+  python3 tools/collect_bench.py --wallclock --build-dir "$BUILD_DIR" \
+    -o "$BUILD_DIR/BENCH_wallclock.json"
+  python3 tools/check_bench_wallclock.py "$BUILD_DIR/BENCH_wallclock.json"
+else
+  echo "== wallclock gate skipped: benches not built in $BUILD_DIR =="
+fi
+
+echo "check_all: OK"

@@ -1,187 +1,23 @@
 #!/usr/bin/env python3
-"""Project-specific lint for the CFS reproduction.
+"""Determinism lint for the CFS reproduction — compatibility shim.
 
-The simulator promises bit-identical replay from a seed (see
-src/sim/scheduler.h and DESIGN.md "Determinism contract"), and the error
-model routes every failure through cfs::Status. This script enforces the
-source-level rules that keep those promises true:
+The regex lint this file used to hold was superseded by the token-stream
+analyzer in tools/analyze (R1-R6 live in tools/analyze/rules.py, the
+suspension-point hazard checks A1-A4 in tools/analyze/checks.py).  The
+entry point and exit-code contract are unchanged: `python3 tools/lint.py`
+still exits 0 on a clean tree and 1 on findings, and `// lint:allow(<rule>)`
+comments are honored exactly as before.
 
-  R1  no wall-clock or OS randomness inside src/: every time source must be
-      the scheduler's virtual clock and every random draw the seeded
-      cfs::Rng. Forbidden: rand()/srand(), std::random_device, <random>,
-      <chrono> clocks (system_clock/steady_clock/high_resolution_clock),
-      gettimeofday/clock_gettime/time(NULL).
-  R2  no unordered containers inside src/: hash-map iteration order varies
-      across libstdc++ versions and ASLR-seeded hashes, and has already
-      bitten deterministic paths (see PR history for src/ceph/ceph.h and
-      src/sim/network.h). Ordered std::map/std::set cost O(log n) and keep
-      replay stable.
-  R3  ignored-Status safety net: cfs::Status and cfs::Result must carry the
-      class-level [[nodiscard]] and the build must promote unused-result to
-      an error, so the compiler flags every ignored fallible call.
-  R4  no raw Network::Call outside src/rpc/: every RPC leg must go through
-      the rpc service layer (rpc::Channel / typed stubs) so retries,
-      deadlines and per-RPC metrics stay uniform (DESIGN.md "RPC service
-      layer"). The raft transport routes through rpc::Channel too (see
-      raft/multiraft.h), so the only remaining raw call is Channel itself.
-  R5  no raw stdout/stderr printing inside src/: library code must report
-      through CFS_LOG (common/logging.h, virtual-clock timestamps) or
-      return a Status — raw printf/std::cout bypasses the log level gate
-      and interleaves wall text into machine-readable bench output. The
-      sanctioned sinks (src/common/logging.*, src/common/check.*) are
-      exempt; bench/, tools/, tests/ and examples/ are not scanned.
-  R6  no by-value payload-vector parameters inside src/: a
-      `std::vector<uint8_t>` / `std::vector<char>` / `std::vector<std::byte>`
-      parameter taken by value copies the whole payload at every call —
-      exactly the per-hop copying the zero-copy Buffer work removed
-      (DESIGN.md "Simulator performance"). Take `const&`, a
-      std::string_view, or a cfs::Buffer instead; sink functions that
-      genuinely consume the bytes take a Buffer by value (refcount bump,
-      not a copy).
-
-A line may opt out of R1/R2/R4/R5/R6 with a trailing `// lint:allow(<rule>)` comment
-naming the rule, e.g. `// lint:allow(unordered)` — the escape hatch exists
-for future code that can prove order-independence, and every use is visible
-in review.
-
-Usage: tools/lint.py [--root DIR]    (exit 0 = clean, 1 = findings)
+Run `python3 -m tools.analyze --help` for the full CLI (baseline control,
+per-file runs, fixture mode).
 """
 
-import argparse
 import pathlib
-import re
 import sys
 
-SRC_SUFFIXES = {".h", ".cc", ".cpp"}
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-# R1: each entry is (human name, compiled pattern, allow token).
-WALL_CLOCK_RULES = [
-    ("libc rand()/srand()", re.compile(r"\b(?:s?rand)\s*\("), "wall-clock"),
-    ("std::random_device", re.compile(r"\brandom_device\b"), "wall-clock"),
-    ("#include <random>", re.compile(r'#\s*include\s*[<"]random[>"]'), "wall-clock"),
-    ("chrono clock", re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
-     "wall-clock"),
-    ("gettimeofday/clock_gettime", re.compile(r"\b(?:gettimeofday|clock_gettime)\s*\("),
-     "wall-clock"),
-    ("time(NULL)/time(nullptr)", re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
-     "wall-clock"),
-]
-
-# R2: any unordered associative container.
-UNORDERED_RULE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
-
-# R4: a templated Call< on something named like a Network (net_, net(),
-# self->net_, cluster->net(), ...). Typed-stub calls (svc.Call<...>) and
-# rpc::Channel::Unary do not match. src/rpc/ itself is exempt — it is the
-# one place allowed to touch the transport.
-RAW_RPC_RULE = re.compile(r"\bnet\w*(?:\(\))?\s*(?:->|\.)\s*Call<")
-
-# R5: raw console output from library code. printf-family on stdout/stderr
-# and iostream writes; CFS_LOG and the logging/check sinks are the sanctioned
-# paths. (bench/, tools/, tests/, examples/ are outside src/ and unscanned.)
-RAW_PRINT_RULE = re.compile(
-    r"\b(?:std::)?(?:printf|fprintf|vfprintf|puts|putchar)\s*\(|std::c(?:out|err)\b")
-
-# R6: a byte-vector parameter passed by value. Matches the vector type
-# followed directly by a parameter name and a `,` or `)` — a reference
-# (`>&`), pointer (`>*`), or local declaration (`name;` / `name =` /
-# `name(...)`/`name{...}`) does not match. Payload element types only;
-# vectors of structs are not payload buffers.
-BYVALUE_PAYLOAD_RULE = re.compile(
-    r"std::vector<\s*(?:std::)?(?:uint8_t|int8_t|char|unsigned char|byte)\s*>"
-    r"\s+\w+\s*[,)]")
-
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
-
-
-def allowed(line: str, token: str) -> bool:
-    m = ALLOW_RE.search(line)
-    return bool(m) and m.group(1) == token
-
-
-def lint_file(path: pathlib.Path, findings: list, in_rpc_layer: bool,
-              is_print_sink: bool) -> None:
-    try:
-        text = path.read_text(encoding="utf-8")
-    except UnicodeDecodeError:
-        findings.append((path, 0, "file is not valid UTF-8"))
-        return
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        for name, pattern, token in WALL_CLOCK_RULES:
-            if pattern.search(line) and not allowed(line, token):
-                findings.append((path, lineno, f"R1 nondeterministic source: {name}"))
-        if UNORDERED_RULE.search(line) and not allowed(line, "unordered"):
-            findings.append(
-                (path, lineno,
-                 "R2 unordered container (iteration order breaks replay); "
-                 "use std::map/std::set or add // lint:allow(unordered)"))
-        if (not in_rpc_layer and RAW_RPC_RULE.search(line)
-                and not allowed(line, "raw-rpc")):
-            findings.append(
-                (path, lineno,
-                 "R4 raw Network::Call outside src/rpc/; go through the rpc "
-                 "service layer (rpc::Channel / typed stubs) or add "
-                 "// lint:allow(raw-rpc)"))
-        if (not is_print_sink and RAW_PRINT_RULE.search(line)
-                and not allowed(line, "raw-print")):
-            findings.append(
-                (path, lineno,
-                 "R5 raw stdout/stderr print in src/; use CFS_LOG "
-                 "(common/logging.h) or add // lint:allow(raw-print)"))
-        if BYVALUE_PAYLOAD_RULE.search(line) and not allowed(line, "byvalue-payload"):
-            findings.append(
-                (path, lineno,
-                 "R6 byte-vector parameter passed by value copies the payload; "
-                 "take const&/string_view/cfs::Buffer or add "
-                 "// lint:allow(byvalue-payload)"))
-
-
-def lint_nodiscard(root: pathlib.Path, findings: list) -> None:
-    status_h = root / "src" / "common" / "status.h"
-    if not status_h.is_file():
-        findings.append((status_h, 0, "R3 missing: src/common/status.h not found"))
-        return
-    text = status_h.read_text(encoding="utf-8")
-    for cls in ("Status", "Result"):
-        if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls + r"\b", text):
-            findings.append(
-                (status_h, 0,
-                 f"R3 cfs::{cls} must be declared `class [[nodiscard]] {cls}`"))
-    cml = root / "CMakeLists.txt"
-    if cml.is_file() and "-Werror=unused-result" not in cml.read_text(encoding="utf-8"):
-        findings.append(
-            (cml, 0,
-             "R3 top-level CMakeLists.txt must pass -Werror=unused-result so "
-             "ignored Status/Result calls fail the build"))
-
-
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--root", default=None,
-                    help="repo root (default: parent of this script's directory)")
-    args = ap.parse_args()
-    root = pathlib.Path(args.root) if args.root else pathlib.Path(__file__).resolve().parent.parent
-
-    findings: list = []
-    src = root / "src"
-    rpc_dir = src / "rpc"
-    print_sinks = {src / "common" / "logging.h", src / "common" / "logging.cc",
-                   src / "common" / "check.h", src / "common" / "check.cc"}
-    for path in sorted(src.rglob("*")):
-        if path.suffix in SRC_SUFFIXES and path.is_file():
-            lint_file(path, findings, in_rpc_layer=rpc_dir in path.parents,
-                      is_print_sink=path in print_sinks)
-    lint_nodiscard(root, findings)
-
-    for path, lineno, msg in findings:
-        where = f"{path.relative_to(root)}:{lineno}" if lineno else str(path.relative_to(root))
-        print(f"{where}: {msg}")
-    if findings:
-        print(f"lint.py: {len(findings)} finding(s)")
-        return 1
-    print("lint.py: clean")
-    return 0
-
+from tools.analyze.__main__ import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())
