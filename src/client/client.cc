@@ -18,39 +18,46 @@ rpc::RetryPolicy WithTimeout(rpc::RetryPolicy p, SimDuration timeout) {
 
 }  // namespace
 
-Client::Client(sim::Network* net, sim::Host* host, std::vector<sim::NodeId> masters,
-               const ClientOptions& opts)
+// ============================================================================
+// MountContext: all per-volume state and workflow logic.
+// ============================================================================
+
+MountContext::MountContext(sim::Network* net, sim::Host* host,
+                           std::vector<sim::NodeId> masters, const ClientOptions* opts,
+                           ClientStats* stats, rpc::MetricRegistry* metrics,
+                           rpc::Channel* channel, std::string volume_name)
     : net_(net),
       host_(host),
       opts_(opts),
+      stats_(stats),
+      channel_(channel),
       router_(net->scheduler(), std::move(masters)),
-      master_svc_(net, host->id(), &router_, &rpc_metrics_,
-                  WithTimeout(opts.control_policy, opts.rpc_timeout)),
-      meta_svc_(net, host->id(), &router_, &rpc_metrics_,
-                WithTimeout(opts.control_policy, opts.rpc_timeout)),
-      data_svc_(net, host->id(), &router_, &rpc_metrics_,
-                WithTimeout(opts.data_policy, opts.rpc_timeout)),
-      channel_(net, &rpc_metrics_) {
-  master_svc_.set_rpc_counter(&stats_.master_rpcs);
-  meta_svc_.set_rpc_counter(&stats_.meta_rpcs);
-  data_svc_.set_rpc_counter(&stats_.data_rpcs);
+      master_svc_(net, host->id(), &router_, metrics,
+                  WithTimeout(opts->control_policy, opts->rpc_timeout)),
+      meta_svc_(net, host->id(), &router_, metrics,
+                WithTimeout(opts->control_policy, opts->rpc_timeout)),
+      data_svc_(net, host->id(), &router_, metrics,
+                WithTimeout(opts->data_policy, opts->rpc_timeout)),
+      volume_name_(std::move(volume_name)) {
+  master_svc_.set_rpc_counter(&stats_->master_rpcs);
+  meta_svc_.set_rpc_counter(&stats_->meta_rpcs);
+  data_svc_.set_rpc_counter(&stats_->data_rpcs);
   meta_svc_.set_refresh([this] { return RefreshVolume(); });
   data_svc_.set_refresh([this] { return RefreshVolume(); });
   meta_svc_.set_timeout_report(
       [this](PartitionId pid) { return ReportFailure(pid, /*is_meta=*/true); });
   data_svc_.set_timeout_report(
       [this](PartitionId pid) { return ReportFailure(pid, /*is_meta=*/false); });
-  router_.BindCounters(&stats_.leader_cache_hits, &stats_.leader_probes);
-  inode_cache_.set_capacity(opts_.metadata_cache_max_entries);
-  inode_cache_.set_eviction_counter(&stats_.inode_cache_evictions);
-  readdir_cache_.set_capacity(opts_.metadata_cache_max_entries);
-  readdir_cache_.set_eviction_counter(&stats_.readdir_cache_evictions);
+  router_.BindCounters(&stats_->leader_cache_hits, &stats_->leader_probes);
+  inode_cache_.set_capacity(opts_->metadata_cache_max_entries);
+  inode_cache_.set_eviction_counter(&stats_->inode_cache_evictions);
+  readdir_cache_.set_capacity(opts_->metadata_cache_max_entries);
+  readdir_cache_.set_eviction_counter(&stats_->readdir_cache_evictions);
 }
 
 // --- Volume views (non-persistent master connections, §2.5.2) ----------------
 
-sim::Task<Status> Client::Mount(std::string volume) {
-  volume_name_ = std::move(volume);
+sim::Task<Status> MountContext::Mount() {
   CFS_CO_RETURN_IF_ERROR(co_await RefreshVolume());
   mounted_ = true;
   refresh_gen_++;
@@ -58,24 +65,76 @@ sim::Task<Status> Client::Mount(std::string volume) {
   co_return Status::OK();
 }
 
-sim::Task<Status> Client::RefreshVolume() {
+void MountContext::Deactivate() {
+  mounted_ = false;
+  refresh_gen_++;
+}
+
+sim::Task<Status> MountContext::RefreshVolume() {
   master::GetVolumeReq req{volume_name_};
   auto r = co_await MasterCall<master::GetVolumeReq, master::GetVolumeResp>(std::move(req));
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
+  if (tenant_ == 0 && r->volume != 0) {
+    // First view: the volume id doubles as the tenant label. Bind it onto
+    // the stubs so every subsequent request carries who is calling.
+    tenant_ = r->volume;
+    master_svc_.set_tenant(tenant_);
+    meta_svc_.set_tenant(tenant_);
+    data_svc_.set_tenant(tenant_);
+  }
+  qos_ = r->qos;
+  ApplyQos();
   router_.InstallViews(std::move(r->meta_partitions), std::move(r->data_partitions));
   co_return Status::OK();
 }
 
-Task<void> Client::RefreshLoop(uint64_t gen) {
-  while (mounted_ && refresh_gen_ == gen) {
-    co_await sim::SleepFor{sched(), opts_.volume_refresh_interval};
-    if (!mounted_ || refresh_gen_ != gen) break;
-    (void)co_await RefreshVolume();
+void MountContext::ApplyQos() {
+  // Reconfigure only on change so a steady refresh stream doesn't reset the
+  // buckets' theoretical-arrival-time state (which would leak burst credit).
+  if (qos_.iops_limit != iops_bucket_.rate()) {
+    iops_bucket_.Configure(qos_.iops_limit, std::max<uint64_t>(1, qos_.iops_limit / 4));
+  }
+  if (qos_.bytes_per_sec != bytes_bucket_.rate()) {
+    bytes_bucket_.Configure(qos_.bytes_per_sec,
+                            std::max<uint64_t>(128 * kKiB, qos_.bytes_per_sec / 4));
   }
 }
 
-sim::Task<Status> Client::ReportFailure(PartitionId pid, bool is_meta) {
+sim::Task<void> MountContext::Throttle(uint64_t bytes) {
+  const SimTime now = sched().Now();
+  SimDuration d = iops_bucket_.Reserve(1, now);
+  if (bytes > 0) d = std::max(d, bytes_bucket_.Reserve(bytes, now));
+  if (d > 0) {
+    mstats_.throttle_waits++;
+    mstats_.throttle_wait_usec += static_cast<uint64_t>(d);
+    co_await sim::SleepFor{sched(), d};
+  }
+}
+
+Task<void> MountContext::RefreshLoop(uint64_t gen) {
+  // Failed refreshes back off exponentially (seeded jitter, same schedule
+  // class as the control stubs) instead of silently hammering the master
+  // every interval; successes reset the streak so the steady-state schedule
+  // is identical to the fixed-interval loop this replaces.
+  rpc::RetryPolicy policy = opts_->control_policy;
+  policy.max_attempts = 1 << 30;  // the loop itself decides when to stop
+  rpc::Backoff backoff(&sched(), policy);
+  while (mounted_ && refresh_gen_ == gen) {
+    co_await sim::SleepFor{sched(), opts_->volume_refresh_interval};
+    if (!mounted_ || refresh_gen_ != gen) break;
+    Status st = co_await RefreshVolume();
+    if (st.ok()) {
+      backoff.Reset();
+    } else {
+      mstats_.refresh_failures++;
+      (void)backoff.NextAttempt();
+      co_await backoff.Delay();
+    }
+  }
+}
+
+sim::Task<Status> MountContext::ReportFailure(PartitionId pid, bool is_meta) {
   auto r = co_await MasterCall<master::ReportPartitionFailureReq,
                                master::ReportPartitionFailureResp>(
       master::ReportPartitionFailureReq{pid, is_meta});
@@ -84,21 +143,24 @@ sim::Task<Status> Client::ReportFailure(PartitionId pid, bool is_meta) {
 
 // --- Metadata cache ------------------------------------------------------------
 
-void Client::CacheInode(const Inode& ino) {
-  if (!opts_.enable_metadata_cache) return;
+void MountContext::CacheInode(const Inode& ino) {
+  if (!opts_->enable_metadata_cache) return;
   inode_cache_.Put(ino.id, ino, sched().Now());
 }
 
-const Inode* Client::CachedInode(InodeId ino) {
-  if (!opts_.enable_metadata_cache) return nullptr;
-  return inode_cache_.Find(ino, sched().Now(), opts_.metadata_cache_ttl);
+const Inode* MountContext::CachedInode(InodeId ino) {
+  if (!opts_->enable_metadata_cache) return nullptr;
+  return inode_cache_.Find(ino, sched().Now(), opts_->metadata_cache_ttl);
 }
 
 // --- Metadata workflows (Fig. 3) -----------------------------------------------
 
-sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
-                                        FileType type, std::string symlink_target) {
-  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+sim::Task<Result<Inode>> MountContext::Create(InodeId parent, std::string name,
+                                              FileType type, std::string symlink_target) {
+  if (!mounted_) co_return Status::Unavailable("volume unmounted");
+  mstats_.ops++;
+  if (ThrottleEnabled()) co_await Throttle(0);
+  co_await host_->cpu().Use(opts_->client_cpu_per_op);
   const rpc::Deadline dl = OpDeadline();
   obs::SpanScope op = BeginOp("op:create");
   // Step 1: create the inode on an available (randomly chosen) partition.
@@ -106,7 +168,7 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
   Inode inode;
   PartitionId ino_pid = 0;
   Status last = Status::Unavailable("no writable meta partition");
-  rpc::Backoff backoff(&sched(), opts_.control_policy);
+  rpc::Backoff backoff(&sched(), opts_->control_policy);
   while (backoff.NextAttempt()) {
     if (dl.Expired(sched().Now())) co_return Status::TimedOut("create deadline exceeded");
     MetaPartitionView* view = PickWritableMetaView();
@@ -185,7 +247,7 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
     (void)co_await MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
         ino_pid, meta::MetaUnlinkInodeReq{ino_pid, inode.id}, dl, op.ctx());
     orphans_.emplace_back(ino_pid, inode.id);
-    stats_.orphans_created++;
+    stats_->orphans_created++;
     co_return dstatus;
   }
   CacheInode(inode);
@@ -193,8 +255,11 @@ sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name,
   co_return inode;
 }
 
-sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
-  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+sim::Task<Status> MountContext::Link(InodeId parent, std::string name, InodeId ino) {
+  if (!mounted_) co_return Status::Unavailable("volume unmounted");
+  mstats_.ops++;
+  if (ThrottleEnabled()) co_await Throttle(0);
+  co_await host_->cpu().Use(opts_->client_cpu_per_op);
   const rpc::Deadline dl = OpDeadline();
   obs::SpanScope op = BeginOp("op:link");
   MetaPartitionView* iview = MetaViewForInode(ino);
@@ -245,8 +310,11 @@ sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
   co_return Status::OK();
 }
 
-sim::Task<Status> Client::Unlink(InodeId parent, std::string name) {
-  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+sim::Task<Status> MountContext::Unlink(InodeId parent, std::string name) {
+  if (!mounted_) co_return Status::Unavailable("volume unmounted");
+  mstats_.ops++;
+  if (ThrottleEnabled()) co_await Throttle(0);
+  co_await host_->cpu().Use(opts_->client_cpu_per_op);
   const rpc::Deadline dl = OpDeadline();
   obs::SpanScope op = BeginOp("op:unlink");
   MetaPartitionView* pview = MetaViewForInode(parent);
@@ -270,10 +338,10 @@ sim::Task<Status> Client::Unlink(InodeId parent, std::string name) {
   MetaPartitionView* iview = MetaViewForInode(ino);
   if (!iview) co_return Status::OK();
   PartitionId ipid = iview->pid;
-  auto decrement = [](Client* self, PartitionId pid, InodeId ino) -> sim::Task<void> {
+  auto decrement = [](MountContext* self, PartitionId pid, InodeId ino) -> sim::Task<void> {
     // Back-to-back retries would all land inside the same failure window;
     // space them out on the shared backoff clock instead.
-    rpc::Backoff backoff(&self->sched(), self->opts_.control_policy);
+    rpc::Backoff backoff(&self->sched(), self->opts_->control_policy);
     while (backoff.NextAttempt()) {
       meta::MetaUnlinkInodeReq req{pid, ino};
       auto r = co_await self->MetaCall<meta::MetaUnlinkInodeReq, meta::MetaUnlinkInodeResp>(
@@ -283,7 +351,7 @@ sim::Task<Status> Client::Unlink(InodeId parent, std::string name) {
     }
     LOG_WARN("unlink of inode ", ino, " failed after retries; inode is now an orphan");
   };
-  if (opts_.async_unlink) {
+  if (opts_->async_unlink) {
     Spawn(decrement(this, ipid, ino));
     co_return Status::OK();
   }
@@ -291,29 +359,32 @@ sim::Task<Status> Client::Unlink(InodeId parent, std::string name) {
   co_return Status::OK();
 }
 
-sim::Task<Status> Client::Rename(InodeId old_parent, std::string old_name,
-                                 InodeId new_parent, std::string new_name) {
+sim::Task<Status> MountContext::Rename(InodeId old_parent, std::string old_name,
+                                       InodeId new_parent, std::string new_name) {
   auto looked = co_await Lookup(old_parent, old_name);
   if (!looked.ok()) co_return looked.status();
   CFS_CO_RETURN_IF_ERROR(co_await Link(new_parent, new_name, looked->inode));
   co_return co_await Unlink(old_parent, old_name);
 }
 
-sim::Task<Result<Dentry>> Client::Lookup(InodeId parent, std::string name) {
-  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+sim::Task<Result<Dentry>> MountContext::Lookup(InodeId parent, std::string name) {
+  if (!mounted_) co_return Status::Unavailable("volume unmounted");
+  mstats_.ops++;
+  if (ThrottleEnabled()) co_await Throttle(0);
+  co_await host_->cpu().Use(opts_->client_cpu_per_op);
   // Serve from a fresh readdir cache when possible.
-  if (opts_.enable_metadata_cache) {
+  if (opts_->enable_metadata_cache) {
     if (const std::vector<Dentry>* dents =
-            readdir_cache_.Find(parent, sched().Now(), opts_.metadata_cache_ttl)) {
+            readdir_cache_.Find(parent, sched().Now(), opts_->metadata_cache_ttl)) {
       for (const auto& d : *dents) {
         if (d.name == name) {
-          stats_.cache_hits++;
+          stats_->cache_hits++;
           co_return d;
         }
       }
     }
   }
-  stats_.cache_misses++;
+  stats_->cache_misses++;
   obs::SpanScope op = BeginOp("op:lookup");
   MetaPartitionView* pview = MetaViewForInode(parent);
   if (!pview) co_return Status::NotFound("parent partition");
@@ -325,13 +396,16 @@ sim::Task<Result<Dentry>> Client::Lookup(InodeId parent, std::string name) {
   co_return r->dentry;
 }
 
-sim::Task<Result<Inode>> Client::GetInode(InodeId ino) {
-  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+sim::Task<Result<Inode>> MountContext::GetInode(InodeId ino) {
+  if (!mounted_) co_return Status::Unavailable("volume unmounted");
+  mstats_.ops++;
+  if (ThrottleEnabled()) co_await Throttle(0);
+  co_await host_->cpu().Use(opts_->client_cpu_per_op);
   if (const Inode* cached = CachedInode(ino)) {
-    stats_.cache_hits++;
+    stats_->cache_hits++;
     co_return *cached;
   }
-  stats_.cache_misses++;
+  stats_->cache_misses++;
   obs::SpanScope op = BeginOp("op:getinode");
   MetaPartitionView* view = MetaViewForInode(ino);
   if (!view) co_return Status::NotFound("inode partition");
@@ -343,16 +417,19 @@ sim::Task<Result<Inode>> Client::GetInode(InodeId ino) {
   co_return r->inode;
 }
 
-sim::Task<Result<std::vector<Dentry>>> Client::ReadDir(InodeId parent) {
-  co_await host_->cpu().Use(opts_.client_cpu_per_op);
-  if (opts_.enable_metadata_cache) {
+sim::Task<Result<std::vector<Dentry>>> MountContext::ReadDir(InodeId parent) {
+  if (!mounted_) co_return Status::Unavailable("volume unmounted");
+  mstats_.ops++;
+  if (ThrottleEnabled()) co_await Throttle(0);
+  co_await host_->cpu().Use(opts_->client_cpu_per_op);
+  if (opts_->enable_metadata_cache) {
     if (const std::vector<Dentry>* dents =
-            readdir_cache_.Find(parent, sched().Now(), opts_.metadata_cache_ttl)) {
-      stats_.cache_hits++;
+            readdir_cache_.Find(parent, sched().Now(), opts_->metadata_cache_ttl)) {
+      stats_->cache_hits++;
       co_return *dents;
     }
   }
-  stats_.cache_misses++;
+  stats_->cache_misses++;
   obs::SpanScope op = BeginOp("op:readdir");
   MetaPartitionView* pview = MetaViewForInode(parent);
   if (!pview) co_return Status::NotFound("parent partition");
@@ -360,13 +437,14 @@ sim::Task<Result<std::vector<Dentry>>> Client::ReadDir(InodeId parent) {
       pview->pid, meta::MetaReadDirReq{pview->pid, parent}, OpDeadline(), op.ctx());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
-  if (opts_.enable_metadata_cache) {
+  if (opts_->enable_metadata_cache) {
     readdir_cache_.Put(parent, r->dentries, sched().Now());
   }
   co_return std::move(r->dentries);
 }
 
-sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> Client::ReadDirPlus(InodeId parent) {
+sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> MountContext::ReadDirPlus(
+    InodeId parent) {
   // The DirStat path (§4.2): readdir, then ONE batchInodeGet per meta
   // partition instead of per-inode fetches, with client-side caching.
   const rpc::Deadline dl = OpDeadline();
@@ -380,7 +458,7 @@ sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> Client::ReadDirPlus(Ino
   for (const auto& d : *dentries) {
     by_ino[d.inode] = &d;
     if (const Inode* cached = CachedInode(d.inode)) {
-      stats_.cache_hits++;
+      stats_->cache_hits++;
       out.emplace_back(d, *cached);
       continue;
     }
@@ -388,7 +466,7 @@ sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> Client::ReadDirPlus(Ino
     if (view) missing[view->pid].push_back(d.inode);
   }
   for (auto& [pid, inos] : missing) {
-    stats_.cache_misses++;
+    stats_->cache_misses++;
     meta::MetaBatchInodeGetReq req{pid, inos};
     auto r = co_await MetaCall<meta::MetaBatchInodeGetReq, meta::MetaBatchInodeGetResp>(
         pid, std::move(req), dl, op.ctx());
@@ -403,7 +481,7 @@ sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> Client::ReadDirPlus(Ino
   co_return out;
 }
 
-sim::Task<void> Client::EvictOrphans() {
+sim::Task<void> MountContext::EvictOrphans() {
   auto orphans = std::move(orphans_);
   orphans_.clear();
   for (auto& [pid, ino] : orphans) {
@@ -415,8 +493,11 @@ sim::Task<void> Client::EvictOrphans() {
 
 // --- File I/O (§2.7) -----------------------------------------------------------
 
-sim::Task<Status> Client::Open(InodeId ino) {
-  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+sim::Task<Status> MountContext::Open(InodeId ino) {
+  if (!mounted_) co_return Status::Unavailable("volume unmounted");
+  mstats_.ops++;
+  if (ThrottleEnabled()) co_await Throttle(0);
+  co_await host_->cpu().Use(opts_->client_cpu_per_op);
   // "When a file is opened for read/write, the client will force the cached
   // metadata to be synchronous with the meta node" (§2.4).
   inode_cache_.Erase(ino);
@@ -439,13 +520,13 @@ sim::Task<Status> Client::Open(InodeId ino) {
   co_return Status::OK();
 }
 
-sim::Task<Status> Client::Close(InodeId ino) {
+sim::Task<Status> MountContext::Close(InodeId ino) {
   Status st = co_await Fsync(ino);
   open_files_.erase(ino);
   co_return st;
 }
 
-sim::Task<Status> Client::Fsync(InodeId ino) {
+sim::Task<Status> MountContext::Fsync(InodeId ino) {
   auto it = open_files_.find(ino);
   if (it == open_files_.end()) co_return Status::OK();
   if (!it->second.dirty) co_return Status::OK();
@@ -490,12 +571,12 @@ sim::Task<Status> Client::Fsync(InodeId ino) {
   co_return Status::OK();
 }
 
-sim::Task<Status> Client::WriteSmallFile(OpenFile& of, Buffer data,
-                                         rpc::Deadline dl, obs::TraceContext trace) {
+sim::Task<Status> MountContext::WriteSmallFile(OpenFile& of, Buffer data,
+                                               rpc::Deadline dl, obs::TraceContext trace) {
   // §4.4: "the CFS client does not need to ask the resource manager for new
   // extents; instead, it sends the write request to the data node directly."
   Status last = Status::Unavailable("no writable data partition");
-  rpc::Backoff backoff(&sched(), opts_.control_policy);
+  rpc::Backoff backoff(&sched(), opts_->control_policy);
   while (backoff.NextAttempt()) {
     if (dl.Expired(sched().Now())) co_return Status::TimedOut("write deadline exceeded");
     DataPartitionView* view = PickWritableDataView();
@@ -588,9 +669,9 @@ Task<void> SendWindowPacket(rpc::Channel* channel, sim::NodeId self, sim::NodeId
 
 }  // namespace
 
-sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
-                                     Buffer data, rpc::Deadline dl,
-                                     obs::TraceContext trace) {
+sim::Task<Status> MountContext::AppendData(OpenFile& of, uint64_t file_offset,
+                                           Buffer data, rpc::Deadline dl,
+                                           obs::TraceContext trace) {
   // Sliding-window pipeline: up to write_window_packets WritePacketReqs in
   // flight against the active extent; the committed prefix (and with it
   // pending_keys / append_extent_size) only advances over bytes the leader
@@ -599,7 +680,7 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
   uint64_t remaining = data.size();
   uint64_t pos = 0;  // bytes of `data` committed so far
   const uint64_t extent_limit = 128 * kMiB;
-  const int window = std::max(1, opts_.write_window_packets);
+  const int window = std::max(1, opts_->write_window_packets);
   PartitionId avoid_pid = 0;  // partition the previous session failed on
   while (remaining > 0) {
     if (dl.Expired(sched().Now())) co_return Status::TimedOut("write deadline exceeded");
@@ -607,7 +688,7 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
     if (of.append_pid == 0 || of.append_extent_size >= extent_limit) {
       Status alloc = Status::Unavailable("no writable data partition");
       bool allocated = false;
-      rpc::Backoff backoff(&sched(), opts_.control_policy);
+      rpc::Backoff backoff(&sched(), opts_->control_policy);
       while (backoff.NextAttempt()) {
         if (dl.Expired(sched().Now())) co_return Status::TimedOut("write deadline exceeded");
         DataPartitionView* view = PickWritableDataView(avoid_pid);
@@ -665,28 +746,31 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
     int64_t packets = 0, session_stalls = 0, max_occupancy = 0;
     while (send_pos < data.size() && next_off < extent_limit && !ctl->failed) {
       if (co_await ctl->sem.Acquire()) {
-        stats_.window_stalls++;
+        stats_->window_stalls++;
         session_stalls++;
       }
       if (ctl->failed) {
         ctl->sem.Release();
         break;
       }
-      uint64_t chunk = std::min({data.size() - send_pos, opts_.packet_size,
+      uint64_t chunk = std::min({data.size() - send_pos, opts_->packet_size,
                                  extent_limit - next_off});
       data::WritePacketReq pkt;
       pkt.pid = of.append_pid;
       pkt.extent_id = of.append_extent;
       pkt.offset = next_off;
       pkt.data = data.Slice(send_pos, chunk);  // view of the caller's buffer, no copy
+      // The raw channel is shared across mounts, so the tenant label is
+      // stamped per-packet rather than bound on the channel.
+      pkt.tenant = tenant_;
       ctl->inflight++;
       packets++;
       max_occupancy = std::max<int64_t>(max_occupancy, ctl->inflight);
-      stats_.max_inflight_packets =
-          std::max<uint64_t>(stats_.max_inflight_packets, ctl->inflight);
-      stats_.data_rpcs++;
-      Spawn(SendWindowPacket(&channel_, host_->id(), target,
-                             dl.ClampTimeout(sched().Now(), opts_.rpc_timeout), ctl,
+      stats_->max_inflight_packets =
+          std::max<uint64_t>(stats_->max_inflight_packets, ctl->inflight);
+      stats_->data_rpcs++;
+      Spawn(SendWindowPacket(channel_, host_->id(), target,
+                             dl.ClampTimeout(sched().Now(), opts_->rpc_timeout), ctl,
                              std::move(pkt), pkt_parent));
       next_off += chunk;
       send_pos += chunk;
@@ -729,8 +813,8 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
     if (ctl->failed) {
       // §2.2.5: "the client will resend a write request for the remaining
       // k−p MB data to the extents in different data partitions/nodes."
-      stats_.resends++;
-      stats_.suffix_resend_bytes += next_off - committed_end;
+      stats_->resends++;
+      stats_->suffix_resend_bytes += next_off - committed_end;
       avoid_pid = of.append_pid;
       of.append_pid = 0;
       of.append_extent = 0;
@@ -743,9 +827,9 @@ sim::Task<Status> Client::AppendData(OpenFile& of, uint64_t file_offset,
   co_return Status::OK();
 }
 
-sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
-                                        Buffer data, rpc::Deadline dl,
-                                        obs::TraceContext trace) {
+sim::Task<Status> MountContext::OverwriteData(OpenFile& of, uint64_t offset,
+                                              Buffer data, rpc::Deadline dl,
+                                              obs::TraceContext trace) {
   // In-place (§2.7.2): locate the covering extent keys; offsets don't move;
   // NO metadata update is needed — the paper's key overwrite advantage.
   uint64_t end = offset + data.size();
@@ -771,8 +855,11 @@ sim::Task<Status> Client::OverwriteData(OpenFile& of, uint64_t offset,
   co_return Status::OK();
 }
 
-sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, Buffer buf) {
-  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+sim::Task<Status> MountContext::Write(InodeId ino, uint64_t offset, Buffer buf) {
+  if (!mounted_) co_return Status::Unavailable("volume unmounted");
+  mstats_.ops++;
+  if (ThrottleEnabled()) co_await Throttle(buf.size());
+  co_await host_->cpu().Use(opts_->client_cpu_per_op);
   const rpc::Deadline dl = OpDeadline();
   auto it = open_files_.find(ino);
   if (it == open_files_.end()) {
@@ -785,7 +872,7 @@ sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, Buffer buf) {
   if (offset > size) co_return Status::InvalidArgument("write beyond EOF (no holes)");
 
   // Small-file fast path (§2.2.3): whole file fits under the threshold.
-  if (offset == 0 && size == 0 && buf.size() <= opts_.small_file_threshold &&
+  if (offset == 0 && size == 0 && buf.size() <= opts_->small_file_threshold &&
       it->second.inode.extents.empty() && it->second.pending_keys.empty()) {
     co_return co_await WriteSmallFile(it->second, std::move(buf), dl, op.ctx());
   }
@@ -808,8 +895,11 @@ sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, Buffer buf) {
   co_return Status::OK();
 }
 
-sim::Task<Result<Buffer>> Client::Read(InodeId ino, uint64_t offset, uint64_t len) {
-  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+sim::Task<Result<Buffer>> MountContext::Read(InodeId ino, uint64_t offset, uint64_t len) {
+  if (!mounted_) co_return Status::Unavailable("volume unmounted");
+  mstats_.ops++;
+  if (ThrottleEnabled()) co_await Throttle(len);
+  co_await host_->cpu().Use(opts_->client_cpu_per_op);
   const rpc::Deadline dl = OpDeadline();
   obs::SpanScope op = BeginOp("op:read");
   op.Note("bytes", static_cast<int64_t>(len));
@@ -872,13 +962,13 @@ sim::Task<Result<Buffer>> Client::Read(InodeId ino, uint64_t offset, uint64_t le
   // Multi-extent read: fan the per-extent ReadExtentReqs out concurrently and
   // stitch the pieces into `out` (alive across the join — this frame owns it).
   if (!pieces.empty()) {
-    stats_.parallel_read_fanouts++;
+    stats_->parallel_read_fanouts++;
     op.Note("fanout", static_cast<int64_t>(pieces.size()));
     std::vector<Status> piece_status(pieces.size(), Status::OK());
     sim::Join join(&sched(), static_cast<int>(pieces.size()));
     for (size_t i = 0; i < pieces.size(); i++) {
       Piece pc = pieces[i];
-      Spawn([](Client* self, Piece pc, uint64_t offset, rpc::Deadline dl,
+      Spawn([](MountContext* self, Piece pc, uint64_t offset, rpc::Deadline dl,
                obs::TraceContext trace, std::string* out, Status* st,
                std::function<void()> done) -> Task<void> {
         uint64_t extent_off = pc.key.extent_offset + (pc.begin - pc.key.file_offset);
@@ -904,7 +994,8 @@ sim::Task<Result<Buffer>> Client::Read(InodeId ino, uint64_t offset, uint64_t le
   co_return Buffer::FromString(std::move(out));
 }
 
-void Client::InjectPreparedFile(InodeId ino, std::vector<ExtentKey> keys, uint64_t size) {
+void MountContext::InjectPreparedFile(InodeId ino, std::vector<ExtentKey> keys,
+                                      uint64_t size) {
   OpenFile of;
   of.inode.id = ino;
   of.inode.type = FileType::kFile;
@@ -916,8 +1007,11 @@ void Client::InjectPreparedFile(InodeId ino, std::vector<ExtentKey> keys, uint64
   open_files_[ino] = std::move(of);
 }
 
-sim::Task<Status> Client::Truncate(InodeId ino, uint64_t new_size) {
-  co_await host_->cpu().Use(opts_.client_cpu_per_op);
+sim::Task<Status> MountContext::Truncate(InodeId ino, uint64_t new_size) {
+  if (!mounted_) co_return Status::Unavailable("volume unmounted");
+  mstats_.ops++;
+  if (ThrottleEnabled()) co_await Throttle(0);
+  co_await host_->cpu().Use(opts_->client_cpu_per_op);
   obs::SpanScope op = BeginOp("op:truncate");
   MetaPartitionView* view = MetaViewForInode(ino);
   if (!view) co_return Status::NotFound("inode partition");
@@ -931,6 +1025,191 @@ sim::Task<Status> Client::Truncate(InodeId ino, uint64_t new_size) {
     oit->second.inode.size = std::min(oit->second.inode.size, new_size);
   }
   co_return r->status;
+}
+
+// ============================================================================
+// Client: the multi-mount shell.
+// ============================================================================
+
+Client::Client(sim::Network* net, sim::Host* host, std::vector<sim::NodeId> masters,
+               const ClientOptions& opts)
+    : net_(net),
+      host_(host),
+      masters_(std::move(masters)),
+      opts_(opts),
+      channel_(net, &rpc_metrics_) {}
+
+sim::Task<Status> Client::Mount(std::string volume) {
+  return MountImpl(std::move(volume));
+}
+
+sim::Task<Status> Client::MountImpl(std::string volume) {
+  auto r = co_await MountVolumeImpl(std::move(volume));
+  co_return r.ok() ? Status::OK() : r.status();
+}
+
+sim::Task<Result<MountContext*>> Client::MountVolume(std::string volume) {
+  return MountVolumeImpl(std::move(volume));
+}
+
+sim::Task<Result<MountContext*>> Client::MountVolumeImpl(std::string volume) {
+  auto it = mounts_.find(volume);
+  if (it != mounts_.end()) {
+    // Idempotent: mounting a volume twice hands back the live context.
+    MountContext* existing = it->second.get();
+    if (default_mount_ == nullptr) default_mount_ = existing;
+    co_return existing;
+  }
+  auto ctx = std::make_unique<MountContext>(net_, host_, masters_, &opts_, &stats_,
+                                            &rpc_metrics_, &channel_, volume);
+  MountContext* raw = ctx.get();
+  Status st = co_await raw->Mount();
+  if (!st.ok()) co_return st;
+  mounts_.emplace(std::move(volume), std::move(ctx));
+  if (default_mount_ == nullptr) default_mount_ = raw;
+  co_return raw;
+}
+
+Status Client::Unmount(const std::string& volume) {
+  auto it = mounts_.find(volume);
+  if (it == mounts_.end()) return Status::NotFound("volume not mounted");
+  MountContext* ctx = it->second.get();
+  ctx->Deactivate();
+  // Retire, don't destroy: detached coroutines started under this mount
+  // (refresh sleep, async unlink decrements, window packets) may still hold
+  // the context pointer and must land on live memory.
+  retired_mounts_.push_back(std::move(it->second));
+  mounts_.erase(it);
+  if (default_mount_ == ctx) {
+    default_mount_ = mounts_.empty() ? nullptr : mounts_.begin()->second.get();
+  }
+  return Status::OK();
+}
+
+void Client::UnmountAll() {
+  while (!mounts_.empty()) {
+    (void)Unmount(mounts_.begin()->first);
+  }
+}
+
+MountContext* Client::mount(const std::string& volume) {
+  auto it = mounts_.find(volume);
+  return it == mounts_.end() ? nullptr : it->second.get();
+}
+
+const rpc::RouterStats& Client::router_stats() const {
+  static const rpc::RouterStats kEmpty{};
+  return default_mount_ ? default_mount_->router_stats() : kEmpty;
+}
+
+// --- Default-mount delegation ---------------------------------------------------
+
+sim::Task<Result<Inode>> Client::Create(InodeId parent, std::string name, FileType type,
+                                        std::string symlink_target) {
+  if (!default_mount_) return FailWith<Result<Inode>>(Status::Unavailable("no mounted volume"));
+  return default_mount_->Create(parent, std::move(name), type, std::move(symlink_target));
+}
+
+sim::Task<Status> Client::Link(InodeId parent, std::string name, InodeId ino) {
+  if (!default_mount_) return FailWith<Status>(Status::Unavailable("no mounted volume"));
+  return default_mount_->Link(parent, std::move(name), ino);
+}
+
+sim::Task<Status> Client::Unlink(InodeId parent, std::string name) {
+  if (!default_mount_) return FailWith<Status>(Status::Unavailable("no mounted volume"));
+  return default_mount_->Unlink(parent, std::move(name));
+}
+
+sim::Task<Status> Client::Rename(InodeId old_parent, std::string old_name,
+                                 InodeId new_parent, std::string new_name) {
+  if (!default_mount_) return FailWith<Status>(Status::Unavailable("no mounted volume"));
+  return default_mount_->Rename(old_parent, std::move(old_name), new_parent,
+                                std::move(new_name));
+}
+
+sim::Task<Result<Dentry>> Client::Lookup(InodeId parent, std::string name) {
+  if (!default_mount_) return FailWith<Result<Dentry>>(Status::Unavailable("no mounted volume"));
+  return default_mount_->Lookup(parent, std::move(name));
+}
+
+sim::Task<Result<Inode>> Client::GetInode(InodeId ino) {
+  if (!default_mount_) return FailWith<Result<Inode>>(Status::Unavailable("no mounted volume"));
+  return default_mount_->GetInode(ino);
+}
+
+sim::Task<Result<std::vector<Dentry>>> Client::ReadDir(InodeId parent) {
+  if (!default_mount_) {
+    return FailWith<Result<std::vector<Dentry>>>(Status::Unavailable("no mounted volume"));
+  }
+  return default_mount_->ReadDir(parent);
+}
+
+sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> Client::ReadDirPlus(InodeId parent) {
+  if (!default_mount_) {
+    return FailWith<Result<std::vector<std::pair<Dentry, Inode>>>>(
+        Status::Unavailable("no mounted volume"));
+  }
+  return default_mount_->ReadDirPlus(parent);
+}
+
+sim::Task<Status> Client::Open(InodeId ino) {
+  if (!default_mount_) return FailWith<Status>(Status::Unavailable("no mounted volume"));
+  return default_mount_->Open(ino);
+}
+
+sim::Task<Status> Client::Close(InodeId ino) {
+  if (!default_mount_) return FailWith<Status>(Status::Unavailable("no mounted volume"));
+  return default_mount_->Close(ino);
+}
+
+sim::Task<Status> Client::Write(InodeId ino, uint64_t offset, Buffer data) {
+  if (!default_mount_) return FailWith<Status>(Status::Unavailable("no mounted volume"));
+  return default_mount_->Write(ino, offset, std::move(data));
+}
+
+sim::Task<Result<Buffer>> Client::Read(InodeId ino, uint64_t offset, uint64_t len) {
+  if (!default_mount_) return FailWith<Result<Buffer>>(Status::Unavailable("no mounted volume"));
+  return default_mount_->Read(ino, offset, len);
+}
+
+sim::Task<Status> Client::Fsync(InodeId ino) {
+  if (!default_mount_) return FailWith<Status>(Status::Unavailable("no mounted volume"));
+  return default_mount_->Fsync(ino);
+}
+
+sim::Task<Status> Client::Truncate(InodeId ino, uint64_t new_size) {
+  if (!default_mount_) return FailWith<Status>(Status::Unavailable("no mounted volume"));
+  return default_mount_->Truncate(ino, new_size);
+}
+
+sim::Task<void> Client::EvictOrphans() {
+  return EvictOrphansImpl();
+}
+
+sim::Task<void> Client::EvictOrphansImpl() {
+  // Snapshot the context pointers: mounts_ can gain/lose entries while this
+  // coroutine is suspended, and retirement keeps every pointer alive for the
+  // Client's lifetime, so the frame-local copy stays safe to walk.
+  std::vector<MountContext*> targets;
+  for (const auto& [name, ctx] : mounts_) targets.push_back(ctx.get());
+  for (MountContext* m : targets) {
+    co_await m->EvictOrphans();
+  }
+}
+
+size_t Client::orphan_count() const {
+  size_t n = 0;
+  for (const auto& [name, ctx] : mounts_) n += ctx->orphan_count();
+  return n;
+}
+
+sim::Task<Status> Client::RefreshVolume() {
+  if (!default_mount_) return FailWith<Status>(Status::Unavailable("no mounted volume"));
+  return default_mount_->RefreshVolume();
+}
+
+void Client::InjectPreparedFile(InodeId ino, std::vector<ExtentKey> keys, uint64_t size) {
+  if (default_mount_) default_mount_->InjectPreparedFile(ino, std::move(keys), size);
 }
 
 }  // namespace cfs::client

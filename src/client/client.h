@@ -1,6 +1,17 @@
-// The CFS client (§2.4, §2.6, §2.7): mounts a volume, caches partition
+// The CFS client (§2.4, §2.6, §2.7): mounts volumes, caches partition
 // routes / leaders / metadata, and implements the metadata-operation
 // workflows of Fig. 3 and the file I/O paths of Fig. 4/5.
+//
+// Multi-tenancy: one Client (one container host) holds N mounts. All
+// per-volume state — the volume view, partition/leader caches, metadata
+// caches, open files, orphan list, the refresh loop, and the QoS token
+// buckets — lives in an explicit MountContext. The Client itself keeps only
+// what is genuinely per-host: the metered channel, the per-RPC metric
+// registry, and the aggregate ClientStats. Mount/Unmount are first-class;
+// unmounting stops the mount's refresh loop (its coroutine observes the
+// generation bump at the next wakeup) and retires the context — it stays
+// alive until the Client dies so detached coroutines started under it
+// (refresh sleep, async unlink, window packets) can land safely.
 //
 // Caching (§2.4):
 //  * partition views cached at mount and refreshed periodically (the client
@@ -11,16 +22,23 @@
 //
 // All RPC goes through the typed stubs in src/rpc: routing and leader
 // caching live in rpc::Router, retries/backoff in rpc::RetryPolicy, and
-// every leg is metered into a per-client rpc::MetricRegistry. The client
-// itself only keeps the workflow logic: what to call, in what order, and
-// how to compensate on failure.
+// every leg is metered into a per-client rpc::MetricRegistry. The mount
+// context itself only keeps the workflow logic: what to call, in what
+// order, and how to compensate on failure.
 //
-// Failure semantics: metadata workflows retry and fall back to the client's
+// QoS (ROADMAP item 3): each mount charges a deterministic virtual-time
+// token bucket (IOPS and bytes) before issuing work; the limits come from
+// the volume's master-side VolumeQos record with the volume view. The
+// mount's tenant label (= VolumeId) is bound onto its service channels so
+// every request downstream carries who is calling.
+//
+// Failure semantics: metadata workflows retry and fall back to the mount's
 // orphan-inode list (§2.6.1); sequential writes that fail mid-stream resend
 // the uncommitted suffix to a new extent on a different partition (§2.2.5).
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +46,7 @@
 #include "datanode/messages.h"
 #include "master/messages.h"
 #include "meta/messages.h"
+#include "qos/qos.h"
 #include "rpc/deadline.h"
 #include "rpc/metrics.h"
 #include "rpc/retry_policy.h"
@@ -103,6 +122,15 @@ struct ClientStats {
   uint64_t parallel_read_fanouts = 0; // reads that fanned out to >1 extent
 };
 
+/// Per-mount counters, sliced out of the aggregate ClientStats so
+/// multi-tenant fairness is observable per volume.
+struct MountStats {
+  uint64_t ops = 0;                 // public operations issued on this mount
+  uint64_t throttle_waits = 0;      // ops delayed by the mount's token buckets
+  uint64_t throttle_wait_usec = 0;  // total virtual time spent throttled
+  uint64_t refresh_failures = 0;    // background view refreshes that failed
+};
+
 /// Bounded metadata cache: TTL on read plus an LRU capacity cap. Ordered
 /// containers only (determinism lint R2); recency is a monotonic sequence
 /// number, refreshed on Put and on hit. Capacity evictions bump an external
@@ -173,26 +201,40 @@ class LruTtlCache {
   uint64_t* eviction_counter_ = nullptr;
 };
 
-class Client {
+/// All state and workflow logic of ONE mounted volume. Owns the volume's
+/// Router (views + leader caches), typed service stubs (tenant-labeled once
+/// the mount resolves its VolumeId), metadata caches, open-file table,
+/// orphan list, refresh loop, and QoS token buckets. Shares the owning
+/// Client's ClientStats / MetricRegistry / raw channel, so aggregate
+/// per-client accounting is unchanged by the multi-mount refactor.
+///
+/// Lifetime: created by Client::MountVolume and owned by the Client until
+/// the Client dies — Unmount only deactivates it (stops the refresh loop,
+/// fails new ops) and moves it to the retired list. Callers holding a
+/// MountContext* across a co_await must re-check mounted() after resuming;
+/// the pointer stays valid, the mount may have been retired.
+class MountContext {
  public:
-  Client(sim::Network* net, sim::Host* host, std::vector<sim::NodeId> masters,
-         const ClientOptions& opts = {});
+  MountContext(sim::Network* net, sim::Host* host, std::vector<sim::NodeId> masters,
+               const ClientOptions* opts, ClientStats* stats,
+               rpc::MetricRegistry* metrics, rpc::Channel* channel,
+               std::string volume_name);
 
-  Client(const Client&) = delete;
-  Client& operator=(const Client&) = delete;
+  MountContext(const MountContext&) = delete;
+  MountContext& operator=(const MountContext&) = delete;
 
-  /// Fetch the volume view and start the periodic refresh loop.
-  sim::Task<Status> Mount(std::string volume);
+  /// Fetch the volume view, bind the tenant label, apply the volume's QoS
+  /// knobs, and start the periodic refresh loop.
+  sim::Task<Status> Mount();
+  /// Stop the refresh loop (observed at its next wakeup) and fail new ops.
+  void Deactivate();
 
   bool mounted() const { return mounted_; }
-  const ClientStats& stats() const { return stats_; }
-  ClientStats& mutable_stats() { return stats_; }
-  const ClientOptions& options() const { return opts_; }
-
-  /// Per-RPC outcome/latency metrics for every leg this client issued.
-  const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
-  /// Leader-cache behaviour of this client's Router (hits, probes,
-  /// invalidations, redirects).
+  const std::string& volume_name() const { return volume_name_; }
+  /// Tenant label = VolumeId, resolved at mount (0 before the first view).
+  uint64_t tenant() const { return tenant_; }
+  const master::VolumeQos& qos() const { return qos_; }
+  const MountStats& mount_stats() const { return mstats_; }
   const rpc::RouterStats& router_stats() const { return router_.stats(); }
 
   // --- Metadata operations (Fig. 3 workflows) ---
@@ -270,7 +312,7 @@ class Client {
   }
 
   /// Bench/test rig: register already-materialized extents of a file with
-  /// this client's open-file state (pairs with ExtentStore::ImportExtent;
+  /// this mount's open-file state (pairs with ExtentStore::ImportExtent;
   /// stands in for the excluded fio laydown phase).
   void InjectPreparedFile(InodeId ino, std::vector<ExtentKey> keys, uint64_t size);
 
@@ -279,11 +321,11 @@ class Client {
  private:
   sim::Scheduler& sched() { return *net_->scheduler(); }
 
-  /// Deadline for one public operation (unbounded unless opts_.op_deadline
+  /// Deadline for one public operation (unbounded unless opts_->op_deadline
   /// is set); threaded through every nested RPC of the op.
   rpc::Deadline OpDeadline() {
-    return opts_.op_deadline > 0 ? rpc::Deadline::In(sched(), opts_.op_deadline)
-                                 : rpc::Deadline::None();
+    return opts_->op_deadline > 0 ? rpc::Deadline::In(sched(), opts_->op_deadline)
+                                  : rpc::Deadline::None();
   }
 
   // Routing state lives in router_; these stay as thin views for the
@@ -330,6 +372,17 @@ class Client {
   sim::Task<void> RefreshLoop(uint64_t gen);
   sim::Task<Status> ReportFailure(PartitionId pid, bool is_meta);
 
+  /// Charge the mount's token buckets: one op plus `bytes` payload. Sleeps
+  /// the GCRA delay on the virtual clock; free (no events, no suspension)
+  /// when no limit is configured — the default, keeping pinned schedules.
+  bool ThrottleEnabled() const {
+    return iops_bucket_.enabled() || bytes_bucket_.enabled();
+  }
+  sim::Task<void> Throttle(uint64_t bytes);
+
+  /// (Re)configure the token buckets from the volume's QoS record.
+  void ApplyQos();
+
   struct OpenFile {
     Inode inode;
     // Append pipeline state (current partition/extent being filled).
@@ -354,28 +407,149 @@ class Client {
 
   sim::Network* net_;
   sim::Host* host_;
-  ClientOptions opts_;
-  ClientStats stats_;
+  const ClientOptions* opts_;
+  ClientStats* stats_;    // shared with the owning Client (aggregate)
+  rpc::Channel* channel_; // shared raw channel (window-packet path)
 
-  // RPC service layer: shared metrics, one Router (views + leader caches +
-  // writability marks), typed stubs, and a bare channel for the
-  // window-packet fire-and-forget path.
-  rpc::MetricRegistry rpc_metrics_;
+  // RPC service layer of THIS mount: one Router (views + leader caches +
+  // writability marks) and typed stubs, metering into the client's shared
+  // registry.
   rpc::Router router_;
   rpc::MasterService master_svc_;
   rpc::MetaService meta_svc_;
   rpc::DataService data_svc_;
-  rpc::Channel channel_;
 
   bool mounted_ = false;
   std::string volume_name_;
+  uint64_t tenant_ = 0;  // VolumeId; bound onto the stubs at mount
   uint64_t refresh_gen_ = 0;
+
+  // Per-mount QoS (client side): deterministic token buckets fed by the
+  // volume's VolumeQos record.
+  master::VolumeQos qos_;
+  qos::TokenBucket iops_bucket_;
+  qos::TokenBucket bytes_bucket_;
+  MountStats mstats_;
 
   LruTtlCache<InodeId, Inode> inode_cache_;
   LruTtlCache<InodeId, std::vector<Dentry>> readdir_cache_;
 
   std::map<InodeId, OpenFile> open_files_;
   std::vector<std::pair<PartitionId, InodeId>> orphans_;
+};
+
+/// Multi-mount client shell. Holds per-host shared state (channel, metric
+/// registry, aggregate stats) plus a map of named MountContexts. The
+/// single-volume API (Mount + ops without a mount handle) operates on the
+/// DEFAULT mount — the first volume mounted — and is bit-compatible with the
+/// pre-refactor single-volume client.
+class Client {
+ public:
+  Client(sim::Network* net, sim::Host* host, std::vector<sim::NodeId> masters,
+         const ClientOptions& opts = {});
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Fetch the volume view and start the periodic refresh loop. The first
+  /// mounted volume becomes the default mount for the mountless op API.
+  sim::Task<Status> Mount(std::string volume);
+
+  /// First-class multi-volume mount: returns the (new or existing, if still
+  /// mounted) context for `volume`.
+  sim::Task<Result<MountContext*>> MountVolume(std::string volume);
+
+  /// Deactivate `volume`'s mount: its refresh loop stops at the next wakeup
+  /// and new ops on it fail Unavailable. The context is retired, not
+  /// destroyed — in-flight detached coroutines drain safely; memory is
+  /// reclaimed when the Client dies.
+  Status Unmount(const std::string& volume);
+  void UnmountAll();
+
+  /// Active mount lookup (nullptr when not mounted / already unmounted).
+  MountContext* mount(const std::string& volume);
+  MountContext* default_mount() { return default_mount_; }
+  const std::map<std::string, std::unique_ptr<MountContext>>& mounts() const {
+    return mounts_;
+  }
+  size_t num_mounts() const { return mounts_.size(); }
+
+  bool mounted() const { return default_mount_ != nullptr && default_mount_->mounted(); }
+  const ClientStats& stats() const { return stats_; }
+  ClientStats& mutable_stats() { return stats_; }
+  const ClientOptions& options() const { return opts_; }
+
+  /// Per-RPC outcome/latency metrics for every leg this client issued.
+  const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
+  /// Leader-cache behaviour of the default mount's Router (hits, probes,
+  /// invalidations, redirects).
+  const rpc::RouterStats& router_stats() const;
+
+  // --- Default-mount operation API (see MountContext for semantics) ---
+
+  sim::Task<Result<Inode>> Create(InodeId parent, std::string name, FileType type,
+                                  std::string symlink_target = "");
+  sim::Task<Status> Link(InodeId parent, std::string name, InodeId ino);
+  sim::Task<Status> Unlink(InodeId parent, std::string name);
+  sim::Task<Status> Rename(InodeId old_parent, std::string old_name,
+                           InodeId new_parent, std::string new_name);
+  sim::Task<Result<Dentry>> Lookup(InodeId parent, std::string name);
+  sim::Task<Result<Inode>> GetInode(InodeId ino);
+  sim::Task<Result<std::vector<Dentry>>> ReadDir(InodeId parent);
+  sim::Task<Result<std::vector<std::pair<Dentry, Inode>>>> ReadDirPlus(InodeId parent);
+  sim::Task<Status> Open(InodeId ino);
+  sim::Task<Status> Close(InodeId ino);
+  sim::Task<Status> Write(InodeId ino, uint64_t offset, Buffer data);
+  sim::Task<Status> Write(InodeId ino, uint64_t offset, std::string data) {
+    return Write(ino, offset, Buffer::FromString(std::move(data)));
+  }
+  sim::Task<Result<Buffer>> Read(InodeId ino, uint64_t offset, uint64_t len);
+  sim::Task<Status> Fsync(InodeId ino);
+  sim::Task<Status> Truncate(InodeId ino, uint64_t new_size);
+  sim::Task<Status> Delete(InodeId parent, std::string name) {
+    return Unlink(parent, std::move(name));
+  }
+
+  /// Drain the orphan lists of every active mount.
+  sim::Task<void> EvictOrphans();
+  /// Orphans across every active mount.
+  size_t orphan_count() const;
+
+  /// Force-refresh the default mount's partition views now.
+  sim::Task<Status> RefreshVolume();
+
+  PartitionId append_partition(InodeId ino) const {
+    return default_mount_ ? default_mount_->append_partition(ino) : 0;
+  }
+  void InjectPreparedFile(InodeId ino, std::vector<ExtentKey> keys, uint64_t size);
+
+  sim::NodeId node() const { return host_->id(); }
+
+ private:
+  sim::Task<Status> MountImpl(std::string volume);
+  sim::Task<Result<MountContext*>> MountVolumeImpl(std::string volume);
+  sim::Task<void> EvictOrphansImpl();
+
+  /// Error task for ops issued with no active default mount. T must be
+  /// constructible from Status (Status itself or any Result<V>).
+  template <typename T>
+  static sim::Task<T> FailWith(Status st) {
+    co_return st;
+  }
+
+  sim::Network* net_;
+  sim::Host* host_;
+  std::vector<sim::NodeId> masters_;
+  ClientOptions opts_;
+  ClientStats stats_;
+
+  rpc::MetricRegistry rpc_metrics_;
+  rpc::Channel channel_;
+
+  std::map<std::string, std::unique_ptr<MountContext>> mounts_;
+  /// Unmounted contexts, kept alive for detached-coroutine safety.
+  std::vector<std::unique_ptr<MountContext>> retired_mounts_;
+  MountContext* default_mount_ = nullptr;
 };
 
 }  // namespace cfs::client

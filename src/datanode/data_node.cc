@@ -9,12 +9,16 @@ using sim::Task;
 
 DataNode::DataNode(sim::Network* net, sim::Host* host, raft::RaftHost* raft,
                    const DataNodeOptions& opts)
-    : net_(net), host_(host), raft_(raft), opts_(opts), channel_(net, &rpc_metrics_) {
+    : net_(net), host_(host), raft_(raft), opts_(opts), channel_(net, &rpc_metrics_),
+      admission_(net->scheduler()) {
+  admission_.Configure(opts_.admission_slots);
   RegisterHandlers();
 }
 
 Status DataNode::CreatePartition(const DataPartitionConfig& config, bool recover) {
   if (partitions_.count(config.id)) return Status::AlreadyExists("partition");
+  // Admission weights ride along with partition installs.
+  admission_.SetWeight(config.volume, config.qos_weight);
   DataPartitionConfig cfg = config;
   cfg.store.track_contents = opts_.track_contents;
   if (cfg.disk_index < 0) {
@@ -147,6 +151,7 @@ void DataNode::RegisterHandlers() {
   host_->Register<CreateExtentReq, CreateExtentResp>(
       [this](CreateExtentReq req, sim::NodeId) -> Task<CreateExtentResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, OpCost(0));
         co_await host_->cpu().Use(OpCost(0));
         CreateExtentResp resp;
         DataPartition* p = GetPartition(req.pid);
@@ -194,6 +199,7 @@ void DataNode::RegisterHandlers() {
   host_->Register<WritePacketReq, WritePacketResp>(
       [this](WritePacketReq req, sim::NodeId) -> Task<WritePacketResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, OpCost(req.data.size()));
         co_await host_->cpu().Use(OpCost(req.data.size()));
         WritePacketResp resp;
         DataPartition* p = GetPartition(req.pid);
@@ -288,6 +294,7 @@ void DataNode::RegisterHandlers() {
   host_->Register<WriteSmallReq, WriteSmallResp>(
       [this](WriteSmallReq req, sim::NodeId) -> Task<WriteSmallResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, OpCost(req.data.size()));
         co_await host_->cpu().Use(OpCost(req.data.size()));
         WriteSmallResp resp;
         DataPartition* p = GetPartition(req.pid);
@@ -325,6 +332,7 @@ void DataNode::RegisterHandlers() {
   host_->Register<OverwriteReq, OverwriteResp>(
       [this](OverwriteReq req, sim::NodeId) -> Task<OverwriteResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, OpCost(req.data.size()));
         co_await host_->cpu().Use(OpCost(req.data.size()));
         DataPartition* p = GetPartition(req.pid);
         if (!p) co_return OverwriteResp{Status::NotFound("data partition")};
@@ -350,6 +358,7 @@ void DataNode::RegisterHandlers() {
   host_->Register<ReadExtentReq, ReadExtentResp>(
       [this](ReadExtentReq req, sim::NodeId) -> Task<ReadExtentResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, OpCost(req.len));
         co_await host_->cpu().Use(OpCost(req.len));
         ReadExtentResp resp;
         DataPartition* p = GetPartition(req.pid);
@@ -385,6 +394,7 @@ void DataNode::RegisterHandlers() {
   host_->Register<DeleteExtentReq, DeleteExtentResp>(
       [this](DeleteExtentReq req, sim::NodeId) -> Task<DeleteExtentResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, OpCost(0));
         co_await host_->cpu().Use(OpCost(0));
         DataPartition* p = GetPartition(req.pid);
         if (!p) co_return DeleteExtentResp{Status::NotFound("data partition")};
@@ -401,6 +411,7 @@ void DataNode::RegisterHandlers() {
   host_->Register<PunchHoleReq, PunchHoleResp>(
       [this](PunchHoleReq req, sim::NodeId) -> Task<PunchHoleResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, OpCost(0));
         co_await host_->cpu().Use(OpCost(0));
         DataPartition* p = GetPartition(req.pid);
         if (!p) co_return PunchHoleResp{Status::NotFound("data partition")};

@@ -10,6 +10,7 @@
 
 #include "datanode/data_partition.h"
 #include "datanode/messages.h"
+#include "qos/qos.h"
 #include "raft/multiraft.h"
 #include "rpc/channel.h"
 #include "rpc/metrics.h"
@@ -25,6 +26,10 @@ struct DataNodeOptions {
   SimDuration cpu_per_op = 8;
   SimDuration cpu_per_kib = 1;
   SimDuration chain_rpc_timeout = 500 * kMsec;
+  /// Weighted-fair admission in front of client-facing handlers: bound on
+  /// concurrently serviced requests. 0 = disabled (admit synchronously, no
+  /// events — the default, keeping pinned schedules byte-identical).
+  uint64_t admission_slots = 0;
 };
 
 class DataNode {
@@ -60,6 +65,10 @@ class DataNode {
   /// Per-RPC metrics of node-issued legs (chain forwards, recovery aligns).
   const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
 
+  /// Per-tenant admission counters (weighted-fair queue in front of the
+  /// client-facing handlers). Weights arrive with each partition's config.
+  const qos::AdmissionQueue& admission() const { return admission_; }
+
  private:
   void RegisterHandlers();
   SimDuration OpCost(size_t payload) const {
@@ -87,6 +96,7 @@ class DataNode {
   DataNodeOptions opts_;
   rpc::MetricRegistry rpc_metrics_;
   rpc::Channel channel_;
+  qos::AdmissionQueue admission_;
   std::map<PartitionId, std::unique_ptr<DataPartition>> partitions_;
   uint64_t next_disk_ = 0;  // round-robin tie-break for fresh disks
   uint64_t ops_ = 0;

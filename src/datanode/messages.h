@@ -19,6 +19,9 @@ namespace cfs::data {
 using PartitionId = uint64_t;
 using storage::ExtentId;
 
+/// Tenant label on client-facing requests (= owning VolumeId; 0 = unlabeled).
+using TenantId = uint64_t;
+
 struct DataPartitionConfig {
   PartitionId id = 0;
   uint64_t volume = 0;
@@ -27,6 +30,7 @@ struct DataPartitionConfig {
   std::vector<sim::NodeId> replicas;
   int disk_index = 0;
   uint64_t max_extents = 4096;  // "full" threshold (§2.3.1)
+  uint32_t qos_weight = 1;      // weighted-fair admission share of the owning volume
   storage::ExtentStoreOptions store;
 };
 
@@ -37,6 +41,10 @@ struct CreateExtentReq {
   static constexpr const char* kRpcName = "CreateExtent";
   PartitionId pid = 0;
   obs::TraceContext trace;
+  TenantId tenant = 0;
+  // Frozen at the pre-tenant sizeof so simulated transfer timing (and the
+  // pinned bench schedules) did not move when the tenant label was added.
+  size_t WireBytes() const { return 24; }
 };
 struct CreateExtentResp {
   Status status;
@@ -52,6 +60,7 @@ struct WritePacketReq {
   uint64_t offset = 0;
   Buffer data;
   obs::TraceContext trace;
+  TenantId tenant = 0;
   size_t WireBytes() const { return 64 + data.size(); }
 };
 struct WritePacketResp {
@@ -68,6 +77,7 @@ struct WriteSmallReq {
   PartitionId pid = 0;
   Buffer data;
   obs::TraceContext trace;
+  TenantId tenant = 0;
   size_t WireBytes() const { return 48 + data.size(); }
 };
 struct WriteSmallResp {
@@ -85,6 +95,7 @@ struct OverwriteReq {
   uint64_t offset = 0;
   Buffer data;
   obs::TraceContext trace;
+  TenantId tenant = 0;
   size_t WireBytes() const { return 64 + data.size(); }
 };
 struct OverwriteResp {
@@ -100,6 +111,8 @@ struct ReadExtentReq {
   uint64_t offset = 0;
   uint64_t len = 0;
   obs::TraceContext trace;
+  TenantId tenant = 0;
+  size_t WireBytes() const { return 48; }  // frozen pre-tenant sizeof
 };
 struct ReadExtentResp {
   Status status;
@@ -114,6 +127,8 @@ struct DeleteExtentReq {
   PartitionId pid = 0;
   ExtentId extent_id = 0;
   obs::TraceContext trace;
+  TenantId tenant = 0;
+  size_t WireBytes() const { return 32; }  // frozen pre-tenant sizeof
 };
 struct DeleteExtentResp {
   Status status;
@@ -125,6 +140,8 @@ struct PunchHoleReq {
   uint64_t offset = 0;
   uint64_t len = 0;
   obs::TraceContext trace;
+  TenantId tenant = 0;
+  size_t WireBytes() const { return 48; }  // frozen pre-tenant sizeof
 };
 struct PunchHoleResp {
   Status status;

@@ -95,12 +95,13 @@ Task<void> Cluster::HeartbeatLoop(int node_index) {
 }
 
 Task<Status> Cluster::CreateVolume(std::string name, uint32_t meta_partitions,
-                                   uint32_t data_partitions) {
+                                   uint32_t data_partitions, master::VolumeQos qos) {
   master::CreateVolumeReq req;
   req.name = name;
   req.meta_partitions = meta_partitions;
   req.data_partitions = data_partitions;
   req.replica_factor = 3;
+  req.qos = qos;
   // Issued from the first master host on behalf of an administrator. Volume
   // creation proposes through raft and installs every partition, so the
   // admin call rides a long per-leg timeout.
@@ -112,12 +113,39 @@ Task<Status> Cluster::CreateVolume(std::string name, uint32_t meta_partitions,
   if (!r.ok()) co_return r.status();
   CFS_CO_RETURN_IF_ERROR(r->status);
   volumes_.push_back(name);
-  // Wait until every partition's raft group has a leader so the first
-  // client operations don't eat election latency.
-  for (int i = 0; i < 2000 && !AllPartitionsHaveLeaders(); i++) {
+  // Wait until every partition of THIS volume has a raft leader so the
+  // first client operations don't eat election latency. Scoping the wait to
+  // the new volume keeps volume creation O(own partitions) — a bench that
+  // boots thousands of volumes would otherwise rescan the whole cluster map
+  // once per 10 msec per volume.
+  for (int i = 0; i < 2000 && !VolumePartitionsHaveLeaders(r->volume); i++) {
     co_await sim::SleepFor{sched_, 10 * kMsec};
   }
   co_return Status::OK();
+}
+
+bool Cluster::VolumePartitionsHaveLeaders(master::VolumeId volume) {
+  master::MasterNode* leader = master_leader();
+  if (!leader) return false;
+  auto it = leader->state().volumes().find(volume);
+  if (it == leader->state().volumes().end()) return false;
+  for (master::PartitionId pid : it->second.meta_partitions) {
+    bool has = false;
+    for (int i = 0; i < num_nodes(); i++) {
+      raft::RaftNode* rn = meta_nodes_[i]->GetRaft(pid);
+      if (rn && rn->IsLeader()) has = true;
+    }
+    if (!has) return false;
+  }
+  for (master::PartitionId pid : it->second.data_partitions) {
+    bool has = false;
+    for (int i = 0; i < num_nodes(); i++) {
+      data::DataPartition* dp = data_nodes_[i]->GetPartition(pid);
+      if (dp && dp->raft_node()->IsLeader()) has = true;
+    }
+    if (!has) return false;
+  }
+  return true;
 }
 
 bool Cluster::AllPartitionsHaveLeaders() {
@@ -143,6 +171,10 @@ bool Cluster::AllPartitionsHaveLeaders() {
 }
 
 Task<Result<client::Client*>> Cluster::MountClient(std::string volume) {
+  return MountClient(std::vector<std::string>{std::move(volume)});
+}
+
+Task<Result<client::Client*>> Cluster::MountClient(std::vector<std::string> volumes) {
   sim::HostOptions ho;
   ho.cpu_cores = 16;
   ho.num_disks = 1;
@@ -150,7 +182,10 @@ Task<Result<client::Client*>> Cluster::MountClient(std::string volume) {
   auto c = std::make_unique<client::Client>(&net_, ch, master_ids_, opts_.client);
   client::Client* ptr = c.get();
   clients_.push_back(std::move(c));
-  CFS_CO_RETURN_IF_ERROR(co_await ptr->Mount(volume));
+  // Index loop over the frame-local list: the mounts suspend on master RPCs.
+  for (size_t i = 0; i < volumes.size(); i++) {
+    CFS_CO_RETURN_IF_ERROR(co_await ptr->Mount(volumes[i]));
+  }
   co_return ptr;
 }
 
@@ -453,6 +488,22 @@ obs::Registry Cluster::Metrics() {
   };
   for (sim::Host* h : master_hosts_) fold_disks(h);
   for (sim::Host* h : node_hosts_) fold_disks(h);
+
+  // Per-tenant slices (tenant = VolumeId): client-side mount counters and
+  // the node-side weighted-fair admission queues.
+  for (const auto& c : clients_) {
+    for (const auto& [name, m] : c->mounts()) {
+      if (m->tenant() == 0) continue;
+      const client::MountStats& ms = m->mount_stats();
+      const std::string p = "tenant." + std::to_string(m->tenant()) + ".";
+      reg.Add(p + "ops", ms.ops);
+      reg.Add(p + "throttle_waits", ms.throttle_waits);
+      reg.Add(p + "throttle_wait_usec", ms.throttle_wait_usec);
+      reg.Add(p + "refresh_failures", ms.refresh_failures);
+    }
+  }
+  for (const auto& m : meta_nodes_) m->admission().ExportTo(&reg, "qos.meta");
+  for (const auto& d : data_nodes_) d->admission().ExportTo(&reg, "qos.data");
 
   reg.Add("net.messages_sent", net_.messages_sent());
   reg.Add("net.bytes_sent", net_.bytes_sent());

@@ -56,11 +56,24 @@ class Cluster {
   sim::Task<Status> Start();
 
   /// Create a volume and wait until every partition has a raft leader.
+  /// `qos` carries the per-volume limits and fair-share weight (defaults =
+  /// unlimited, weight 1 — schedule-identical to the pre-QoS encoding).
   sim::Task<Status> CreateVolume(std::string name, uint32_t meta_partitions,
-                                 uint32_t data_partitions);
+                                 uint32_t data_partitions,
+                                 master::VolumeQos qos = {});
 
   /// Allocate a new client machine mounted on `volume`.
   sim::Task<Result<client::Client*>> MountClient(std::string volume);
+
+  /// Multi-tenant client machine: one client host with one MountContext per
+  /// named volume (the first becomes the default mount).
+  sim::Task<Result<client::Client*>> MountClient(std::vector<std::string> volumes);
+
+  /// Unmount every volume of `c`: its refresh loops stop at their next
+  /// wakeup and further ops fail Unavailable. The client object stays owned
+  /// by the cluster (detached coroutines may still land on the retired
+  /// contexts) and keeps contributing its accumulated metrics.
+  void UnmountClient(client::Client* c) { c->UnmountAll(); }
 
   // Accessors.
   master::MasterNode* master(int i) { return masters_[i].get(); }
@@ -81,6 +94,8 @@ class Cluster {
   /// Direct (harness-level) lookup used by the purge wiring and tests.
   std::vector<sim::NodeId> DataPartitionReplicas(data::PartitionId pid);
   bool AllPartitionsHaveLeaders();
+  /// Leader check scoped to one volume's partitions (CreateVolume's wait).
+  bool VolumePartitionsHaveLeaders(master::VolumeId volume);
 
   /// Per-RPC metrics of every harness-issued leg (registration, heartbeats,
   /// volume admin, the GC purge path) and — since the consensus transport

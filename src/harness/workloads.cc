@@ -11,38 +11,38 @@ using sim::Task;
 // --- CFS adapters ---------------------------------------------------------------
 
 Task<Result<uint64_t>> CfsMetaOps::Mkdir(uint64_t parent, std::string name) {
-  auto r = co_await c_->Create(parent, std::move(name), meta::FileType::kDir);
+  auto r = co_await m_->Create(parent, std::move(name), meta::FileType::kDir);
   if (!r.ok()) co_return r.status();
   co_return r->id;
 }
 
 Task<Result<uint64_t>> CfsMetaOps::Create(uint64_t parent, std::string name) {
-  auto r = co_await c_->Create(parent, std::move(name), meta::FileType::kFile);
+  auto r = co_await m_->Create(parent, std::move(name), meta::FileType::kFile);
   if (!r.ok()) co_return r.status();
   co_return r->id;
 }
 
 Task<Result<size_t>> CfsMetaOps::StatDir(uint64_t dir) {
   // readdir + batchInodeGet, with client-side caching (§4.2).
-  auto r = co_await c_->ReadDirPlus(dir);
+  auto r = co_await m_->ReadDirPlus(dir);
   if (!r.ok()) co_return r.status();
   co_return r->size();
 }
 
 Task<Status> CfsMetaOps::Remove(uint64_t parent, std::string name) {
-  co_return co_await c_->Unlink(parent, std::move(name));
+  co_return co_await m_->Unlink(parent, std::move(name));
 }
 
 Task<Status> CfsMetaOps::Rmdir(uint64_t parent, std::string name) {
-  co_return co_await c_->Unlink(parent, std::move(name));
+  co_return co_await m_->Unlink(parent, std::move(name));
 }
 
 Task<Result<uint64_t>> CfsDataOps::PrepareFile(uint64_t bytes) {
   // Create the inode, then materialize extents directly on every replica
   // (the laydown phase the paper's fio runs exclude from measurement).
   static uint64_t file_seq = 0;
-  std::string name = "fio-" + std::to_string(c_->node()) + "-" + std::to_string(file_seq++);
-  auto created = co_await c_->Create(meta::kRootInode, name, meta::FileType::kFile);
+  std::string name = "fio-" + std::to_string(m_->node()) + "-" + std::to_string(file_seq++);
+  auto created = co_await m_->Create(meta::kRootInode, name, meta::FileType::kFile);
   if (!created.ok()) co_return created.status();
   meta::InodeId ino = created->id;
 
@@ -79,7 +79,7 @@ Task<Result<uint64_t>> CfsDataOps::PrepareFile(uint64_t bytes) {
     offset += len;
   }
   prepared_++;
-  c_->InjectPreparedFile(ino, std::move(keys), bytes);
+  m_->InjectPreparedFile(ino, std::move(keys), bytes);
   co_return ino;
 }
 
@@ -92,17 +92,17 @@ Buffer CfsDataOps::FillPayload(uint64_t len) {
 
 Task<Status> CfsDataOps::Write(uint64_t file, uint64_t offset, uint64_t len, bool overwrite) {
   (void)overwrite;  // the client splits overwrite/append itself (§2.7.2)
-  CFS_CO_RETURN_IF_ERROR(co_await c_->Write(file, offset, FillPayload(len)));
+  CFS_CO_RETURN_IF_ERROR(co_await m_->Write(file, offset, FillPayload(len)));
   if (!overwrite) {
     // Appends sync size/extent metadata (fsync-per-op keeps parity with the
     // Ceph model's per-op size persist).
-    co_return co_await c_->Fsync(file);
+    co_return co_await m_->Fsync(file);
   }
   co_return Status::OK();
 }
 
 Task<Status> CfsDataOps::Read(uint64_t file, uint64_t offset, uint64_t len) {
-  auto r = co_await c_->Read(file, offset, len);
+  auto r = co_await m_->Read(file, offset, len);
   co_return r.status();
 }
 

@@ -53,7 +53,10 @@ class DataOps {
 
 class CfsMetaOps : public MetaOps {
  public:
-  explicit CfsMetaOps(client::Client* c) : c_(c) {}
+  /// Operates on ONE mount: construct from a Client (its default mount) or
+  /// from a specific MountContext in multi-tenant rigs.
+  explicit CfsMetaOps(client::Client* c) : m_(c->default_mount()) {}
+  explicit CfsMetaOps(client::MountContext* m) : m_(m) {}
   sim::Task<Result<uint64_t>> Mkdir(uint64_t parent, std::string name) override;
   sim::Task<Result<uint64_t>> Create(uint64_t parent, std::string name) override;
   sim::Task<Result<size_t>> StatDir(uint64_t dir) override;
@@ -62,13 +65,15 @@ class CfsMetaOps : public MetaOps {
   uint64_t Root() const override { return meta::kRootInode; }
 
  private:
-  client::Client* c_;
+  client::MountContext* m_;
 };
 
 class CfsDataOps : public DataOps {
  public:
   CfsDataOps(harness::Cluster* cluster, client::Client* c, uint64_t small_threshold)
-      : cluster_(cluster), c_(c), small_threshold_(small_threshold) {}
+      : cluster_(cluster), m_(c->default_mount()), small_threshold_(small_threshold) {}
+  CfsDataOps(harness::Cluster* cluster, client::MountContext* m, uint64_t small_threshold)
+      : cluster_(cluster), m_(m), small_threshold_(small_threshold) {}
   sim::Task<Result<uint64_t>> PrepareFile(uint64_t bytes) override;
   sim::Task<Status> Write(uint64_t file, uint64_t offset, uint64_t len,
                           bool overwrite) override;
@@ -82,7 +87,7 @@ class CfsDataOps : public DataOps {
   Buffer FillPayload(uint64_t len);
 
   harness::Cluster* cluster_;
-  client::Client* c_;
+  client::MountContext* m_;
   uint64_t small_threshold_;
   uint64_t prepared_ = 0;
   Buffer fill_;

@@ -9,6 +9,20 @@ namespace cfs::master {
 using sim::Spawn;
 using sim::Task;
 
+namespace {
+
+// QoS fields ride behind a flag bit folded into replica_factor so volumes
+// with default QoS encode byte-identically to the pre-QoS format: raft entry
+// and snapshot sizes feed simulated transfer timing, which the golden
+// schedule hashes (and the pinned bench event counts) hold fixed.
+constexpr uint32_t kQosEncodedFlag = 0x80000000u;
+
+bool HasNonDefaultQos(const VolumeQos& q) {
+  return q.iops_limit != 0 || q.bytes_per_sec != 0 || q.weight != 1;
+}
+
+}  // namespace
+
 // --- MasterState: command encoding -----------------------------------------
 
 std::string MasterState::EncodeRegisterNode(sim::NodeId node, bool is_meta, bool is_data,
@@ -22,11 +36,18 @@ std::string MasterState::EncodeRegisterNode(sim::NodeId node, bool is_meta, bool
   return enc.Take();
 }
 
-std::string MasterState::EncodeCreateVolume(std::string_view name, uint32_t replica_factor) {
+std::string MasterState::EncodeCreateVolume(std::string_view name, uint32_t replica_factor,
+                                            const VolumeQos& qos) {
   Encoder enc;
   enc.PutU8(static_cast<uint8_t>(Op::kCreateVolume));
   enc.PutString(name);
-  enc.PutU32(replica_factor);
+  const bool has_qos = HasNonDefaultQos(qos);
+  enc.PutU32(replica_factor | (has_qos ? kQosEncodedFlag : 0));
+  if (has_qos) {
+    enc.PutVarint(qos.iops_limit);
+    enc.PutVarint(qos.bytes_per_sec);
+    enc.PutU32(qos.weight);
+  }
   return enc.Take();
 }
 
@@ -111,8 +132,15 @@ void MasterState::Apply(raft::Index index, std::string_view data) {
       case Op::kCreateVolume: {
         std::string name;
         uint32_t rf = 3;
+        VolumeQos qos;
         st = dec.GetString(&name);
         if (st.ok()) st = dec.GetU32(&rf);
+        if (st.ok() && (rf & kQosEncodedFlag)) {
+          rf &= ~kQosEncodedFlag;
+          st = dec.GetVarint(&qos.iops_limit);
+          if (st.ok()) st = dec.GetVarint(&qos.bytes_per_sec);
+          if (st.ok()) st = dec.GetU32(&qos.weight);
+        }
         if (st.ok()) {
           if (volume_by_name_.count(name)) {
             out.status = Status::AlreadyExists("volume " + name);
@@ -123,6 +151,7 @@ void MasterState::Apply(raft::Index index, std::string_view data) {
           vol.id = next_volume_++;
           vol.name = name;
           vol.replica_factor = rf;
+          vol.qos = qos;
           volume_by_name_[name] = vol.id;
           out.value = vol.id;
           Persist("volume", vol.id, name);
@@ -266,7 +295,13 @@ std::string MasterState::TakeSnapshot() {
   for (const auto& [id, vol] : volumes_) {
     enc.PutVarint(vol.id);
     enc.PutString(vol.name);
-    enc.PutU32(vol.replica_factor);
+    const bool has_qos = HasNonDefaultQos(vol.qos);
+    enc.PutU32(vol.replica_factor | (has_qos ? kQosEncodedFlag : 0));
+    if (has_qos) {
+      enc.PutVarint(vol.qos.iops_limit);
+      enc.PutVarint(vol.qos.bytes_per_sec);
+      enc.PutU32(vol.qos.weight);
+    }
     enc.PutVarint(vol.meta_partitions.size());
     for (auto p : vol.meta_partitions) enc.PutVarint(p);
     enc.PutVarint(vol.data_partitions.size());
@@ -326,6 +361,12 @@ void MasterState::Restore(std::string_view snapshot) {
     (void)dec.GetVarint(&vol.id);
     (void)dec.GetString(&vol.name);
     (void)dec.GetU32(&vol.replica_factor);
+    if (vol.replica_factor & kQosEncodedFlag) {
+      vol.replica_factor &= ~kQosEncodedFlag;
+      (void)dec.GetVarint(&vol.qos.iops_limit);
+      (void)dec.GetVarint(&vol.qos.bytes_per_sec);
+      (void)dec.GetU32(&vol.qos.weight);
+    }
     (void)dec.GetVarint(&k);
     for (uint64_t j = 0; j < k; j++) {
       uint64_t p;
@@ -543,6 +584,7 @@ Task<Status> MasterNode::InstallMetaPartition(MetaPartitionRecord rec) {
   cfg.start = rec.start;
   cfg.end = rec.end;
   cfg.create_root = rec.start == meta::kRootInode;  // volume's first partition
+  cfg.qos_weight = VolumeWeight(rec.volume);
   Status last = Status::OK();
   for (sim::NodeId node : rec.replicas) {
     meta::CreateMetaPartitionReq req{cfg, rec.replicas};
@@ -563,6 +605,7 @@ Task<Status> MasterNode::InstallDataPartition(DataPartitionRecord rec) {
   cfg.id = rec.pid;
   cfg.volume = rec.volume;
   cfg.replicas = rec.replicas;
+  cfg.qos_weight = VolumeWeight(rec.volume);
   Status last = Status::OK();
   for (sim::NodeId node : rec.replicas) {
     cfg.disk_index = -1;  // each node picks its least-utilized local disk
@@ -608,9 +651,15 @@ Task<Status> MasterNode::CreatePartitionsForVolume(VolumeId vol, uint32_t meta_c
   co_return Status::OK();
 }
 
+uint32_t MasterNode::VolumeWeight(VolumeId vol) const {
+  auto it = state_.volumes().find(vol);
+  return it == state_.volumes().end() ? 1 : it->second.qos.weight;
+}
+
 GetVolumeResp MasterNode::BuildVolumeView(const VolumeRecord& vol) const {
   GetVolumeResp resp;
   resp.volume = vol.id;
+  resp.qos = vol.qos;
   for (PartitionId pid : vol.meta_partitions) {
     auto it = state_.meta_partitions().find(pid);
     if (it == state_.meta_partitions().end()) continue;
@@ -700,7 +749,7 @@ void MasterNode::RegisterHandlers() {
           co_return CreateVolumeResp{Status::NotLeader(std::to_string(leader_hint())), 0};
         }
         auto out = co_await Propose(
-            MasterState::EncodeCreateVolume(req.name, req.replica_factor));
+            MasterState::EncodeCreateVolume(req.name, req.replica_factor, req.qos));
         if (!out.status.ok()) co_return CreateVolumeResp{out.status, out.value};
         VolumeId vol = out.value;
         Status st = co_await CreatePartitionsForVolume(vol, req.meta_partitions,

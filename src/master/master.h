@@ -76,6 +76,7 @@ struct VolumeRecord {
   VolumeId id = 0;
   std::string name;
   uint32_t replica_factor = 3;
+  VolumeQos qos;
   std::vector<PartitionId> meta_partitions;
   std::vector<PartitionId> data_partitions;
 };
@@ -118,7 +119,8 @@ class MasterState : public raft::StateMachine {
   // Command encoders.
   static std::string EncodeRegisterNode(sim::NodeId node, bool is_meta, bool is_data,
                                         uint32_t raft_set);
-  static std::string EncodeCreateVolume(std::string_view name, uint32_t replica_factor);
+  static std::string EncodeCreateVolume(std::string_view name, uint32_t replica_factor,
+                                        const VolumeQos& qos = {});
   static std::string EncodeAddMetaPartition(VolumeId vol, uint64_t start, uint64_t end,
                                             const std::vector<sim::NodeId>& replicas);
   static std::string EncodeAddDataPartition(VolumeId vol,
@@ -202,6 +204,7 @@ class MasterNode {
   sim::Task<Status> InstallMetaPartition(MetaPartitionRecord rec);
   sim::Task<Status> InstallDataPartition(DataPartitionRecord rec);
   GetVolumeResp BuildVolumeView(const VolumeRecord& vol) const;
+  uint32_t VolumeWeight(VolumeId vol) const;
   sim::Task<Status> MarkReadOnly(PartitionId pid, bool is_meta);
 
   sim::Network* net_;

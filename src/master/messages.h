@@ -14,6 +14,16 @@ namespace cfs::master {
 
 using meta::PartitionId;
 using meta::VolumeId;
+using TenantId = VolumeId;
+
+/// Per-volume QoS knobs, stored in the replicated VolumeRecord and handed to
+/// clients with the volume view. Zero limits = unthrottled; weight is the
+/// volume's share in node-side weighted-fair admission (default 1).
+struct VolumeQos {
+  uint64_t iops_limit = 0;     // client-side token bucket, ops/sec (0 = off)
+  uint64_t bytes_per_sec = 0;  // client-side token bucket, bytes/sec (0 = off)
+  uint32_t weight = 1;         // node-side WFQ share
+};
 
 struct RegisterNodeReq {
   static constexpr const char* kRpcName = "RegisterNode";
@@ -49,6 +59,7 @@ struct CreateVolumeReq {
   uint32_t meta_partitions = 3;
   uint32_t data_partitions = 10;
   uint32_t replica_factor = 3;
+  VolumeQos qos;
   size_t WireBytes() const { return 64 + name.size(); }
 };
 struct CreateVolumeResp {
@@ -78,11 +89,13 @@ struct GetVolumeReq {
   static constexpr const char* kRpcName = "GetVolume";
   std::string name;
   obs::TraceContext trace;
+  TenantId tenant = 0;
   size_t WireBytes() const { return 32 + name.size(); }
 };
 struct GetVolumeResp {
   Status status;
   VolumeId volume = 0;
+  VolumeQos qos;
   std::vector<MetaPartitionView> meta_partitions;
   std::vector<DataPartitionView> data_partitions;
   size_t WireBytes() const {
@@ -96,6 +109,10 @@ struct ReportPartitionFailureReq {
   static constexpr const char* kRpcName = "ReportPartitionFailure";
   PartitionId pid = 0;
   bool is_meta = false;
+  TenantId tenant = 0;
+  // Frozen at the pre-tenant sizeof so simulated transfer timing (and the
+  // pinned bench schedules) did not move when the tenant label was added.
+  size_t WireBytes() const { return 16; }
 };
 struct ReportPartitionFailureResp {
   Status status;

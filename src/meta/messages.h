@@ -15,6 +15,10 @@
 
 namespace cfs::meta {
 
+/// Tenant label carried by client-facing requests; equals the VolumeId the
+/// issuing mount belongs to (0 = unlabeled / pre-mount traffic).
+using TenantId = uint64_t;
+
 // --- Inode ops -------------------------------------------------------------
 
 struct MetaCreateInodeReq {
@@ -23,6 +27,7 @@ struct MetaCreateInodeReq {
   FileType type = FileType::kFile;
   std::string link_target;
   size_t WireBytes() const { return 48 + link_target.size(); }  obs::TraceContext trace;
+  TenantId tenant = 0;
 };
 struct MetaCreateInodeResp {
   Status status;
@@ -33,6 +38,10 @@ struct MetaUnlinkInodeReq {
   static constexpr const char* kRpcName = "MetaUnlinkInode";
   PartitionId pid = 0;
   InodeId ino = 0;  obs::TraceContext trace;
+  TenantId tenant = 0;
+  // Frozen at the pre-tenant sizeof so simulated transfer timing (and the
+  // pinned bench schedules) did not move when the tenant label was added.
+  size_t WireBytes() const { return 32; }
 };
 struct MetaUnlinkInodeResp {
   Status status;
@@ -44,6 +53,8 @@ struct MetaLinkInodeReq {
   static constexpr const char* kRpcName = "MetaLinkInode";
   PartitionId pid = 0;
   InodeId ino = 0;  obs::TraceContext trace;
+  TenantId tenant = 0;
+  size_t WireBytes() const { return 32; }  // frozen pre-tenant sizeof
 };
 struct MetaLinkInodeResp {
   Status status;
@@ -54,6 +65,8 @@ struct MetaEvictInodeReq {
   static constexpr const char* kRpcName = "MetaEvictInode";
   PartitionId pid = 0;
   InodeId ino = 0;  obs::TraceContext trace;
+  TenantId tenant = 0;
+  size_t WireBytes() const { return 32; }  // frozen pre-tenant sizeof
 };
 struct MetaEvictInodeResp {
   Status status;
@@ -64,6 +77,8 @@ struct MetaGetInodeReq {
   static constexpr const char* kRpcName = "MetaGetInode";
   PartitionId pid = 0;
   InodeId ino = 0;  obs::TraceContext trace;
+  TenantId tenant = 0;
+  size_t WireBytes() const { return 32; }  // frozen pre-tenant sizeof
 };
 struct MetaGetInodeResp {
   Status status;
@@ -77,6 +92,7 @@ struct MetaBatchInodeGetReq {
   PartitionId pid = 0;
   std::vector<InodeId> inos;
   size_t WireBytes() const { return 32 + inos.size() * 8; }  obs::TraceContext trace;
+  TenantId tenant = 0;
 };
 struct MetaBatchInodeGetResp {
   Status status;
@@ -91,6 +107,7 @@ struct MetaCreateDentryReq {
   PartitionId pid = 0;
   Dentry dentry;
   size_t WireBytes() const { return 64 + dentry.name.size(); }  obs::TraceContext trace;
+  TenantId tenant = 0;
 };
 struct MetaCreateDentryResp {
   Status status;
@@ -102,6 +119,7 @@ struct MetaDeleteDentryReq {
   InodeId parent = 0;
   std::string name;
   size_t WireBytes() const { return 48 + name.size(); }  obs::TraceContext trace;
+  TenantId tenant = 0;
 };
 struct MetaDeleteDentryResp {
   Status status;
@@ -114,6 +132,7 @@ struct MetaLookupReq {
   InodeId parent = 0;
   std::string name;
   size_t WireBytes() const { return 48 + name.size(); }  obs::TraceContext trace;
+  TenantId tenant = 0;
 };
 struct MetaLookupResp {
   Status status;
@@ -124,6 +143,8 @@ struct MetaReadDirReq {
   static constexpr const char* kRpcName = "MetaReadDir";
   PartitionId pid = 0;
   InodeId parent = 0;  obs::TraceContext trace;
+  TenantId tenant = 0;
+  size_t WireBytes() const { return 32; }  // frozen pre-tenant sizeof
 };
 struct MetaReadDirResp {
   Status status;
@@ -139,6 +160,8 @@ struct MetaAppendExtentReq {
   InodeId ino = 0;
   ExtentKey key;
   uint64_t new_size = 0;  obs::TraceContext trace;
+  TenantId tenant = 0;
+  size_t WireBytes() const { return 80; }  // frozen pre-tenant sizeof
 };
 struct MetaAppendExtentResp {
   Status status;
@@ -151,6 +174,8 @@ struct MetaSetAttrReq {
   InodeId ino = 0;
   uint64_t size = 0;
   int64_t mtime = 0;  obs::TraceContext trace;
+  TenantId tenant = 0;
+  size_t WireBytes() const { return 48; }  // frozen pre-tenant sizeof
 };
 struct MetaSetAttrResp {
   Status status;
@@ -161,6 +186,8 @@ struct MetaTruncateReq {
   PartitionId pid = 0;
   InodeId ino = 0;
   uint64_t new_size = 0;  obs::TraceContext trace;
+  TenantId tenant = 0;
+  size_t WireBytes() const { return 40; }  // frozen pre-tenant sizeof
 };
 struct MetaTruncateResp {
   Status status;

@@ -9,7 +9,8 @@ using sim::Task;
 
 MetaNode::MetaNode(sim::Network* net, sim::Host* host, raft::RaftHost* raft,
                    const MetaNodeOptions& opts)
-    : net_(net), host_(host), raft_(raft), opts_(opts) {
+    : net_(net), host_(host), raft_(raft), opts_(opts), admission_(net->scheduler()) {
+  admission_.Configure(opts_.admission_slots);
   RegisterHandlers();
   Spawn(PurgeLoop());
 }
@@ -17,6 +18,9 @@ MetaNode::MetaNode(sim::Network* net, sim::Host* host, raft::RaftHost* raft,
 Status MetaNode::CreatePartition(const MetaPartitionConfig& config,
                                  const std::vector<sim::NodeId>& peers, bool recover) {
   if (partitions_.count(config.id)) return Status::AlreadyExists("partition");
+  // The volume's WFQ share rides along with every partition install, so the
+  // admission queue learns tenant weights without a separate control RPC.
+  admission_.SetWeight(config.volume, config.qos_weight);
   auto mp = std::make_unique<MetaPartition>(config, host_);
   MetaPartition* ptr = mp.get();
   partitions_[config.id] = std::move(mp);
@@ -135,6 +139,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaCreateInodeReq, MetaCreateInodeResp>(
       [this](MetaCreateInodeReq req, sim::NodeId) -> Task<MetaCreateInodeResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(
             req.pid,
@@ -147,6 +152,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaUnlinkInodeReq, MetaUnlinkInodeResp>(
       [this](MetaUnlinkInodeReq req, sim::NodeId) -> Task<MetaUnlinkInodeResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(req.pid, MetaPartition::EncodeUnlinkInode(req.ino),
                                            req.trace);
@@ -156,6 +162,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaLinkInodeReq, MetaLinkInodeResp>(
       [this](MetaLinkInodeReq req, sim::NodeId) -> Task<MetaLinkInodeResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(req.pid, MetaPartition::EncodeLinkInode(req.ino),
                                            req.trace);
@@ -165,6 +172,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaEvictInodeReq, MetaEvictInodeResp>(
       [this](MetaEvictInodeReq req, sim::NodeId) -> Task<MetaEvictInodeResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(req.pid, MetaPartition::EncodeEvictInode(req.ino),
                                            req.trace);
@@ -174,6 +182,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaCreateDentryReq, MetaCreateDentryResp>(
       [this](MetaCreateDentryReq req, sim::NodeId) -> Task<MetaCreateDentryResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(
             req.pid, MetaPartition::EncodeCreateDentry(req.dentry), req.trace);
@@ -183,6 +192,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaDeleteDentryReq, MetaDeleteDentryResp>(
       [this](MetaDeleteDentryReq req, sim::NodeId) -> Task<MetaDeleteDentryResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(
             req.pid, MetaPartition::EncodeDeleteDentry(req.parent, req.name), req.trace);
@@ -192,6 +202,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaAppendExtentReq, MetaAppendExtentResp>(
       [this](MetaAppendExtentReq req, sim::NodeId) -> Task<MetaAppendExtentResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(
             req.pid, MetaPartition::EncodeAppendExtent(req.ino, req.key, req.new_size),
@@ -202,6 +213,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaSetAttrReq, MetaSetAttrResp>(
       [this](MetaSetAttrReq req, sim::NodeId) -> Task<MetaSetAttrResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(
             req.pid, MetaPartition::EncodeSetAttr(req.ino, req.size, req.mtime), req.trace);
@@ -211,6 +223,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaTruncateReq, MetaTruncateResp>(
       [this](MetaTruncateReq req, sim::NodeId) -> Task<MetaTruncateResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         ApplyResult res = co_await Execute(
             req.pid, MetaPartition::EncodeTruncate(req.ino, req.new_size), req.trace);
@@ -222,6 +235,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaGetInodeReq, MetaGetInodeResp>(
       [this](MetaGetInodeReq req, sim::NodeId) -> Task<MetaGetInodeResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         MetaGetInodeResp resp;
         resp.status = CheckLeader(req.pid);
@@ -239,8 +253,10 @@ void MetaNode::RegisterHandlers() {
       [this](MetaBatchInodeGetReq req, sim::NodeId) -> Task<MetaBatchInodeGetResp> {
         ops_++;
         // One request amortizes the per-op cost across the batch.
-        co_await host_->cpu().Use(opts_.cpu_per_op +
-                                  static_cast<SimDuration>(req.inos.size()) / 4);
+        const SimDuration batch_cost =
+            opts_.cpu_per_op + static_cast<SimDuration>(req.inos.size()) / 4;
+        auto admit = co_await admission_.Enter(req.tenant, batch_cost);
+        co_await host_->cpu().Use(batch_cost);
         MetaBatchInodeGetResp resp;
         resp.status = CheckLeader(req.pid);
         if (!resp.status.ok()) co_return resp;
@@ -251,6 +267,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaLookupReq, MetaLookupResp>(
       [this](MetaLookupReq req, sim::NodeId) -> Task<MetaLookupResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         MetaLookupResp resp;
         resp.status = CheckLeader(req.pid);
@@ -267,6 +284,7 @@ void MetaNode::RegisterHandlers() {
   host_->Register<MetaReadDirReq, MetaReadDirResp>(
       [this](MetaReadDirReq req, sim::NodeId) -> Task<MetaReadDirResp> {
         ops_++;
+        auto admit = co_await admission_.Enter(req.tenant, opts_.cpu_per_op);
         co_await host_->cpu().Use(opts_.cpu_per_op);
         MetaReadDirResp resp;
         resp.status = CheckLeader(req.pid);

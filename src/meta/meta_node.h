@@ -10,6 +10,7 @@
 
 #include "meta/messages.h"
 #include "meta/meta_partition.h"
+#include "qos/qos.h"
 #include "raft/multiraft.h"
 #include "sim/network.h"
 
@@ -22,6 +23,10 @@ struct MetaNodeOptions {
   SimDuration purge_interval = 500 * kMsec;
   /// Raft groups of meta partitions are stored on this local disk.
   int raft_disk = 0;
+  /// Weighted-fair admission in front of client-facing handlers: bound on
+  /// concurrently serviced requests. 0 = disabled (admit synchronously, no
+  /// events — the default, keeping pinned schedules byte-identical).
+  uint64_t admission_slots = 0;
 };
 
 class MetaNode {
@@ -65,6 +70,10 @@ class MetaNode {
 
   uint64_t ops_served() const { return ops_; }
 
+  /// Per-tenant admission counters (weighted-fair queue in front of the
+  /// client-facing handlers). Weights arrive with each partition's config.
+  const qos::AdmissionQueue& admission() const { return admission_; }
+
   /// Meta partition raft groups live in a distinct gid namespace.
   static raft::GroupId RaftGid(PartitionId pid) { return 0x4D00000000000000ull | pid; }
 
@@ -84,6 +93,7 @@ class MetaNode {
   sim::Host* host_;
   raft::RaftHost* raft_;
   MetaNodeOptions opts_;
+  qos::AdmissionQueue admission_;
   std::map<PartitionId, std::unique_ptr<MetaPartition>> partitions_;
   ExtentPurger purger_;
   uint64_t ops_ = 0;

@@ -54,6 +54,7 @@ struct MetaPartitionConfig {
   /// Set on the volume's first partition: pre-creates the root directory
   /// inode (id 1) as part of the partition's initial state.
   bool create_root = false;
+  uint32_t qos_weight = 1;  // weighted-fair admission share of the owning volume
 };
 
 class MetaPartition : public raft::StateMachine {

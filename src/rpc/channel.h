@@ -31,12 +31,26 @@ concept HasStatusField = requires(const T& t) {
   { t.status.IsNotLeader() } -> std::convertible_to<bool>;
 };
 
+/// Requests carrying a tenant label get it stamped from the channel's bound
+/// tenant (per-mount channels bind their volume id after Mount resolves it),
+/// the same way trace contexts propagate. Explicit labels win; unlabeled
+/// requests on an unbound channel stay 0.
+template <typename T>
+concept HasTenantField = requires(T& t) {
+  { t.tenant } -> std::convertible_to<uint64_t>;
+};
+
 class Channel {
  public:
   Channel(sim::Network* net, MetricRegistry* metrics) : net_(net), metrics_(metrics) {}
 
   sim::Network* net() const { return net_; }
   MetricRegistry* metrics() const { return metrics_; }
+
+  /// Bind a tenant label (= VolumeId); every subsequent request whose struct
+  /// has a `tenant` field and hasn't set one gets it stamped on send.
+  void set_tenant(uint64_t tenant) { tenant_ = tenant; }
+  uint64_t tenant() const { return tenant_; }
 
   /// One metered RPC leg; no retries, no routing. Plain function forwarding
   /// by value into the Impl coroutine (the repo-wide gcc 12 braced-init
@@ -66,6 +80,9 @@ class Channel {
     if constexpr (sim::HasTraceContext<Req>) {
       if (leg.valid()) req.trace = leg.ctx;
     }
+    if constexpr (HasTenantField<Req>) {
+      if (req.tenant == 0 && tenant_ != 0) req.tenant = tenant_;
+    }
     const SimTime start = sched->Now();
     auto r = co_await net_->Call<Req, Resp>(from, to, std::move(req), timeout);  // lint:allow(raw-rpc)
     const SimDuration latency = sched->Now() - start;
@@ -88,6 +105,7 @@ class Channel {
 
   sim::Network* net_;
   MetricRegistry* metrics_;
+  uint64_t tenant_ = 0;
 };
 
 }  // namespace cfs::rpc

@@ -65,6 +65,8 @@ class MasterService {
 
   /// Mirror per-leg issue counts into an external counter (ClientStats).
   void set_rpc_counter(uint64_t* c) { rpc_counter_ = c; }
+  /// Bind the mount's tenant label onto every outgoing request (Channel).
+  void set_tenant(uint64_t tenant) { channel_.set_tenant(tenant); }
   const RetryPolicy& policy() const { return policy_; }
 
   template <typename Req, typename Resp>
@@ -135,6 +137,8 @@ class PartitionService {
   /// to the master.
   void set_timeout_report(ReportFn f) { report_ = std::move(f); }
   void set_rpc_counter(uint64_t* c) { rpc_counter_ = c; }
+  /// Bind the mount's tenant label onto every outgoing request (Channel).
+  void set_tenant(uint64_t tenant) { channel_.set_tenant(tenant); }
   const RetryPolicy& policy() const { return policy_; }
 
  protected:

@@ -1,0 +1,49 @@
+// Multi-mount client hazards: MountContext pointers reached through the
+// mounts_ table held live across a suspension.  Unmount() can retire (and a
+// later Mount() replace) the context at any co_await, so every marked shape
+// is a use-after-retire waiting for a teardown test to find it.
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+class MountContext {
+ public:
+  sim::Task<void> RefreshVolume();
+  bool mounted() const;
+  void Touch();
+};
+
+class Client {
+ public:
+  sim::Task<void> RefreshAllAcrossAwait() {
+    for (const auto& [name, m] : mounts_) {  // analyze-expect(A1)
+      co_await m->RefreshVolume();
+    }
+  }
+
+  sim::Task<void> LookupThenAwait() {
+    auto it = mounts_.find("vol");  // analyze-expect(A1)
+    if (it == mounts_.end()) co_return;
+    co_await it->second->RefreshVolume();
+    it->second->Touch();
+  }
+
+  void ScheduleRefreshTick() {
+    // Deferred callback outliving any mount it touches via this.
+    sched_->After(1000, [this]() { refresh_ticks_++; });  // analyze-expect(A2)
+  }
+
+  void SpawnRefresh(MountContext* m) {
+    Spawn([&m]() -> sim::Task<void> {  // analyze-expect(A2)
+      co_await m->RefreshVolume();
+    }());
+  }
+
+ private:
+  sim::Scheduler* sched_;
+  std::map<std::string, std::unique_ptr<MountContext>> mounts_;
+  int refresh_ticks_ = 0;
+};

@@ -1,0 +1,60 @@
+// Multi-mount client, safe twins: snapshot the mount names by value, re-look
+// the context up after every resumption, and re-check mounted() before use —
+// the idiom client.cc's refresh loops follow.  Zero findings expected.
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+class MountContext {
+ public:
+  sim::Task<void> RefreshVolume();
+  bool mounted() const;
+  void Touch();
+};
+
+class Client {
+ public:
+  sim::Task<void> RefreshAllSnapshot() {
+    std::vector<std::string> names;
+    for (const auto& [name, m] : mounts_) names.push_back(name);
+    for (const std::string& name : names) {  // frame-local by-value loop
+      MountContext* m = FindMount(name);  // re-lookup each round
+      if (m == nullptr || !m->mounted()) continue;
+      co_await m->RefreshVolume();
+    }
+  }
+
+  sim::Task<void> LookupPerAwait() {
+    auto it = mounts_.find("vol");
+    if (it == mounts_.end()) co_return;
+    it->second->Touch();
+    co_await Tick();
+    it = mounts_.find("vol");  // re-lookup after resumption
+    if (it != mounts_.end() && it->second->mounted()) it->second->Touch();
+  }
+
+  void ScheduleRefreshTick(int seq) {
+    sched_->After(1000, [seq]() { /* value capture only */ });
+  }
+
+  void SpawnRefresh(const std::string& name) {
+    // State enters the frame as explicit by-value parameters; the coroutine
+    // re-resolves the mount and re-checks liveness after entry.
+    Spawn([](Client* self, std::string n) -> sim::Task<void> {
+      MountContext* m = self->FindMount(n);
+      if (m == nullptr || !m->mounted()) co_return;
+      co_await m->RefreshVolume();
+    }(this, name));
+  }
+
+  MountContext* FindMount(const std::string& name);
+  sim::Task<void> Tick();
+
+ private:
+  sim::Scheduler* sched_;
+  std::map<std::string, std::unique_ptr<MountContext>> mounts_;
+};

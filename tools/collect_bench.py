@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Run the six ablation benches with --smoke and collect the results.
+"""Run the seven ablation benches with --smoke and collect the results.
 
 Each bench prints human-readable tables plus machine-readable lines of the
 form `<kind> <label> {json}` (kinds: rpc_metrics, group_commit,
 latency_quantiles, stage_breakdown, ablation rows). This script executes all
-six binaries, parses every machine line, and writes one JSON document —
+seven binaries, parses every machine line, and writes one JSON document —
 BENCH_smoke.json by default — with the schema documented in EXPERIMENTS.md
 ("BENCH_smoke.json schema"):
 
@@ -45,6 +45,7 @@ BENCHES = [
     "bench_ablation_batchget",
     "bench_ablation_write_window",
     "bench_ablation_group_commit",
+    "bench_ablation_tenancy",
 ]
 
 # `<kind> <label> {json}` — kind and label are whitespace-free tokens. The
