@@ -3,10 +3,22 @@
 // codec, and the KV store. These complement the simulated-time benches —
 // they measure the real CPU cost of the in-memory structures the paper puts
 // on the metadata hot path.
+//
+// `bench_micro --rpc-churn` bypasses google-benchmark and runs the
+// allocation-gated RPC transport bench instead: a steady-state unary echo
+// loop under an instrumented global allocator, printing one machine-readable
+// `bench_wallclock bench_micro {...}` line whose `allocs_per_rpc` field CI
+// gates at ~zero (tools/check_bench_wallclock.py; DESIGN.md "RPC
+// transport").
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
+#include <new>
+#include <string_view>
 
 #include "common/buffer.h"
 #include "common/codec.h"
@@ -272,7 +284,135 @@ void BM_KvStorePut(benchmark::State& state) {
 }
 BENCHMARK(BM_KvStorePut);
 
+// --- RPC transport allocation gate (--rpc-churn) ----------------------------
+// Proves the zero-allocation-per-RPC claim end to end: after a warmup that
+// populates every slab (envelope pool, rpc slots, frame pool, event pool),
+// a measured run of unary echo RPCs must perform ~zero heap allocations.
+
+struct RpcChurnReq {
+  uint64_t x = 0;
+};
+struct RpcChurnResp {
+  uint64_t x = 0;
+};
+
+sim::Task<void> RpcChurnClient(sim::Network& net, uint64_t n, uint64_t* ok) {
+  for (uint64_t i = 0; i < n; i++) {
+    auto r = co_await net.Call<RpcChurnReq, RpcChurnResp>(1, 2, RpcChurnReq{i});
+    if (r.ok() && r->x == i + 1) (*ok)++;
+  }
+}
+
+int RunRpcChurn();
+
 }  // namespace
 }  // namespace cfs
 
-BENCHMARK_MAIN();
+// Instrumented global allocator: counts every operator-new-family call so
+// the churn bench can report allocations per RPC. Counting is process-wide
+// and always on; the overhead (one relaxed increment) is negligible for the
+// google-benchmark mode that shares this binary.
+namespace {
+uint64_t g_heap_allocs = 0;
+
+void* CountedAlloc(std::size_t n) {
+  g_heap_allocs++;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* CountedAllocAligned(std::size_t n, std::size_t align) {
+  g_heap_allocs++;
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, n ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return CountedAllocAligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return CountedAllocAligned(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_heap_allocs++;
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_heap_allocs++;
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace cfs {
+namespace {
+
+int RunRpcChurn() {
+  constexpr uint64_t kWarmup = 4096;
+  constexpr uint64_t kMeasured = 262144;
+  sim::Scheduler sched(1);
+  sim::Network net(&sched);
+  net.AddHost();
+  net.AddHost();
+  net.host(2)->Register<RpcChurnReq, RpcChurnResp>(
+      [](RpcChurnReq r, sim::NodeId) -> sim::Task<RpcChurnResp> {
+        co_return RpcChurnResp{r.x + 1};
+      });
+  uint64_t ok = 0;
+  // Warmup: grow every slab to steady-state footprint.
+  sim::Spawn(RpcChurnClient(net, kWarmup, &ok));
+  sched.Run();
+  // Measured run under the counting allocator.
+  const uint64_t allocs0 = g_heap_allocs;
+  const uint64_t events0 = sim::Scheduler::process_executed_events();
+  const auto start = std::chrono::steady_clock::now();
+  sim::Spawn(RpcChurnClient(net, kMeasured, &ok));
+  sched.Run();
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+  const uint64_t allocs = g_heap_allocs - allocs0;
+  const uint64_t events = sim::Scheduler::process_executed_events() - events0;
+  if (ok != kWarmup + kMeasured) {
+    std::fprintf(stderr, "rpc-churn: %llu/%llu calls succeeded\n",
+                 static_cast<unsigned long long>(ok),
+                 static_cast<unsigned long long>(kWarmup + kMeasured));
+    return 1;
+  }
+  const double sec = wall.count();
+  std::printf(
+      "bench_wallclock bench_micro {\"wall_sec\":%.3f,\"events\":%llu,"
+      "\"events_per_sec\":%.0f,\"rpcs\":%llu,\"heap_allocs\":%llu,"
+      "\"allocs_per_rpc\":%.4f}\n",
+      sec, static_cast<unsigned long long>(events),
+      sec > 0 ? static_cast<double>(events) / sec : 0.0,
+      static_cast<unsigned long long>(kMeasured),
+      static_cast<unsigned long long>(allocs),
+      static_cast<double>(allocs) / static_cast<double>(kMeasured));
+  return 0;
+}
+
+}  // namespace
+}  // namespace cfs
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::string_view(argv[i]) == "--rpc-churn") return cfs::RunRpcChurn();
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

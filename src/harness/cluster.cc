@@ -507,6 +507,10 @@ obs::Registry Cluster::Metrics() {
 
   reg.Add("net.messages_sent", net_.messages_sent());
   reg.Add("net.bytes_sent", net_.bytes_sent());
+  // Watchdog accounting: cancelled = replies beat their timeout (the healthy
+  // case), fired = calls that actually timed out.
+  reg.Add("net.rpc_timeout.cancelled", net_.rpc_timeouts_cancelled());
+  reg.Add("net.rpc_timeout.fired", net_.rpc_timeouts_fired());
   reg.Set("obs.spans", static_cast<int64_t>(sched_.tracer().num_spans()));
   return reg;
 }

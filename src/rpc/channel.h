@@ -75,7 +75,8 @@ class Channel {
     obs::Tracer& tracer = sched->tracer();
     obs::SpanRef leg;
     if (tracer.enabled() && parent.valid()) {
-      leg = tracer.BeginSpan(std::string("rpc:") + name, parent, from);
+      // Interned per-type label (sim/msg_type.h): no per-call concatenation.
+      leg = tracer.BeginSpan(sim::MsgSpanRpc<Req>(), parent, from);
     }
     if constexpr (sim::HasTraceContext<Req>) {
       if (leg.valid()) req.trace = leg.ctx;

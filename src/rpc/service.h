@@ -24,6 +24,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "obs/trace.h"
@@ -48,11 +49,13 @@ inline constexpr int kReportAfterRpcFailures = 2;
 
 /// A traced logical call runs under one "call:<rpc>" span; each leg chains
 /// an "rpc:<rpc>" child under it (Channel) and retries are annotated here.
-inline obs::SpanScope BeginCallSpan(sim::Scheduler* sched, const char* rpc_name,
+/// `span_name` is the interned "call:<name>" label (sim::MsgSpanCall<Req>()),
+/// so starting a traced call performs no string concatenation.
+inline obs::SpanScope BeginCallSpan(sim::Scheduler* sched, std::string_view span_name,
                                     const obs::TraceContext& parent, sim::NodeId self) {
   obs::Tracer& t = sched->tracer();
   if (t.enabled() && parent.valid()) {
-    return obs::SpanScope(&t, t.BeginSpan(std::string("call:") + rpc_name, parent, self));
+    return obs::SpanScope(&t, t.BeginSpan(span_name, parent, self));
   }
   return {};
 }
@@ -79,9 +82,11 @@ class MasterService {
   sim::Task<Result<Resp>> CallImpl(Req req, CallOptions opts) {
     const RetryPolicy& policy = opts.policy ? *opts.policy : policy_;
     sim::Scheduler* sched = channel_.net()->scheduler();
-    obs::SpanScope call = BeginCallSpan(sched, RpcNameOf<Req>(), opts.trace, self_);
+    obs::SpanScope call = BeginCallSpan(sched, sim::MsgSpanCall<Req>(), opts.trace, self_);
     Backoff backoff(sched, policy);
-    Status last = Status::TimedOut("no master leader reachable");
+    // `last` stays OK until a leg actually fails; the timeout message is
+    // built lazily at exit so the no-failure path never pays for the string.
+    Status last;
     while (backoff.NextAttempt()) {
       if (opts.deadline.Expired(sched->Now())) {
         channel_.metrics()->RecordCallOutcome(RpcNameOf<Req>(), Outcome::kDeadlineExceeded);
@@ -112,6 +117,7 @@ class MasterService {
       co_return std::move(*r);
     }
     channel_.metrics()->RecordCallOutcome(RpcNameOf<Req>(), Outcome::kRetryExhausted);
+    if (last.ok()) last = Status::TimedOut("no master leader reachable");
     co_return last;
   }
 
@@ -154,11 +160,13 @@ class PartitionService {
   sim::Task<Result<Resp>> PartitionCallImpl(PartitionId pid, Req req, CallOptions opts) {
     const RetryPolicy& policy = opts.policy ? *opts.policy : policy_;
     sim::Scheduler* sched = channel_.net()->scheduler();
-    obs::SpanScope call = BeginCallSpan(sched, RpcNameOf<Req>(), opts.trace, self_);
+    obs::SpanScope call = BeginCallSpan(sched, sim::MsgSpanCall<Req>(), opts.trace, self_);
     CFS_CO_RETURN_IF_ERROR((co_await EnsureView(pid)));
     Backoff backoff(sched, policy);
     int rpc_failures = 0;
-    Status last = Status::TimedOut(PartitionName(pid) + " unreachable");
+    // Lazily materialized on exit (see MasterService::CallImpl): the
+    // PartitionName concatenation only runs when the call actually fails.
+    Status last;
     while (backoff.NextAttempt()) {
       if (opts.deadline.Expired(sched->Now())) {
         channel_.metrics()->RecordCallOutcome(RpcNameOf<Req>(), Outcome::kDeadlineExceeded);
@@ -192,6 +200,7 @@ class PartitionService {
     }
     channel_.metrics()->RecordCallOutcome(RpcNameOf<Req>(), Outcome::kRetryExhausted);
     MaybeReport(pid, rpc_failures);
+    if (last.ok()) last = Status::TimedOut(PartitionName(pid) + " unreachable");
     co_return last;
   }
 

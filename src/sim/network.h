@@ -7,15 +7,29 @@
 // write packets) consume bandwidth and small control messages are
 // latency-bound — exactly the distinction the paper's sequential-vs-random
 // results hinge on.
+//
+// The transport is zero-heap-allocation per RPC in steady state (DESIGN.md
+// "RPC transport"): requests/responses travel in slab-pooled Envelopes with
+// inline storage, dispatch indexes a flat per-host handler table by the
+// dense MsgTypeId (sim/msg_type.h) instead of probing a type_index map, and
+// the caller's pending-call state lives in a generation-checked RpcSlot
+// slab instead of a shared_ptr promise. The reply path cancels the timeout
+// watchdog through Scheduler::CancelAudited, which keeps the cancelled
+// timer's (time, seq) in the audited event stream — same-seed schedule
+// hashes are byte-identical to the boxing transport this replaced
+// (tests/schedule_hash_test.cc, tests/network_test.cc).
 #pragma once
 
-#include <any>
+#include <algorithm>
+#include <coroutine>
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <deque>
 #include <memory>
+#include <new>
 #include <string>
-#include <typeindex>
-#include <typeinfo>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/flat_map.h"
@@ -23,6 +37,7 @@
 #include "common/units.h"
 #include "obs/trace.h"
 #include "sim/disk.h"
+#include "sim/msg_type.h"
 #include "sim/resource.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
@@ -50,22 +65,6 @@ size_t WireBytesOf(const T& v) {
   }
 }
 
-/// Messages name themselves (kRpcName) for metrics and span labels; anything
-/// without one falls back to the (mangled, stable-within-a-build) RTTI name.
-template <typename T>
-concept HasMsgName = requires {
-  { T::kRpcName } -> std::convertible_to<const char*>;
-};
-
-template <typename T>
-const char* MsgNameOf() {
-  if constexpr (HasMsgName<T>) {
-    return T::kRpcName;
-  } else {
-    return typeid(T).name();
-  }
-}
-
 /// Requests carrying a TraceContext propagate it across the wire: the rpc
 /// layer stamps it on send and the receiving host opens a handler span
 /// under it. The field is inert (all zero) on untraced requests, so its
@@ -73,6 +72,142 @@ const char* MsgNameOf() {
 template <typename T>
 concept HasTraceContext = requires(const T& t) {
   { t.trace } -> std::convertible_to<obs::TraceContext>;
+};
+
+/// Type-erased message payload in a pooled, fixed-size node. Small payloads
+/// (nearly every RPC struct: the big data-path Buffers are shared-ownership
+/// handles, not byte arrays) are constructed inline; oversized ones live in
+/// a FramePool cell referenced from the node. Envelopes are pinned — never
+/// relocated — and recycled LIFO through the owning pool's free list, so a
+/// raw Envelope* must NOT be held across a co_await (the analyzer's
+/// A1.pooled check enforces this; see tests/analyze/fixtures/envelope_bad.cc).
+struct Envelope {
+  static constexpr size_t kInlineBytes = 192;
+
+  template <typename T>
+  static constexpr bool IsInline() {
+    return sizeof(T) <= kInlineBytes && alignof(T) <= alignof(std::max_align_t);
+  }
+
+  template <typename T>
+  T* Payload() {
+    if constexpr (IsInline<T>()) {
+      return std::launder(reinterpret_cast<T*>(buf));
+    } else {
+      return static_cast<T*>(heap);
+    }
+  }
+
+  template <typename T>
+  static void DestroyPayload(Envelope* e) {
+    if constexpr (IsInline<T>()) {
+      std::launder(reinterpret_cast<T*>(e->buf))->~T();
+    } else {
+      static_cast<T*>(e->heap)->~T();
+      detail::FramePool::Free(e->heap, sizeof(T));
+      e->heap = nullptr;
+    }
+  }
+
+  MsgTypeId type = 0;
+  uint32_t next = kNilIndex;             // pool free-list link
+  void (*destroy)(Envelope*) = nullptr;  // non-null while a payload is held
+  void* heap = nullptr;                  // oversize payload cell (FramePool)
+  alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+};
+
+/// Slab allocator for Envelopes: chunked storage, LIFO free list, no
+/// deallocation until the pool dies. Steady-state Make/Take/Free cycles
+/// touch only the free list — zero heap traffic.
+class EnvelopePool {
+ public:
+  EnvelopePool() = default;
+  EnvelopePool(const EnvelopePool&) = delete;
+  EnvelopePool& operator=(const EnvelopePool&) = delete;
+
+  /// Tear-down safety: envelopes parked in never-dispatched delivery events
+  /// (a simulation cut off mid-flight) still hold payloads; destroy them so
+  /// owning resources (strings, buffers) are released.
+  ~EnvelopePool() {
+    for (auto& chunk : chunks_) {
+      for (uint32_t i = 0; i < kChunk; i++) {
+        Envelope& e = chunk[i];
+        if (e.destroy != nullptr) e.destroy(&e);
+      }
+    }
+  }
+
+  template <typename T>
+  Envelope* Make(T v) {
+    Envelope* e = Alloc();
+    e->type = MsgTypeIdOf<T>();
+    if constexpr (Envelope::IsInline<T>()) {
+      new (e->buf) T(std::move(v));
+    } else {
+      void* cell = detail::FramePool::Alloc(sizeof(T));
+      e->heap = new (cell) T(std::move(v));
+    }
+    e->destroy = &Envelope::DestroyPayload<T>;
+    return e;
+  }
+
+  /// Move the payload out and recycle the envelope.
+  template <typename T>
+  T Take(Envelope* e) {
+    T v = std::move(*e->Payload<T>());
+    Free(e);
+    return v;
+  }
+
+  /// Destroy the payload (if any) and recycle the node — every drop path
+  /// (dead destination, partition, message loss, stale reply) ends here.
+  void Free(Envelope* e) {
+    if (e->destroy != nullptr) {
+      e->destroy(e);
+      e->destroy = nullptr;
+    }
+    const uint32_t idx = IndexOf(e);
+    e->next = free_head_;
+    free_head_ = idx;
+    in_use_--;
+  }
+
+  size_t capacity() const { return chunks_.size() * kChunk; }
+  size_t in_use() const { return in_use_; }
+
+ private:
+  static constexpr uint32_t kChunk = 128;
+
+  Envelope* Alloc() {
+    if (free_head_ == kNilIndex) {
+      const uint32_t base = static_cast<uint32_t>(chunks_.size() * kChunk);
+      chunks_.push_back(std::make_unique<Envelope[]>(kChunk));
+      for (uint32_t i = kChunk; i-- > 0;) {
+        Envelope& e = chunks_.back()[i];
+        e.next = free_head_;
+        free_head_ = base + i;
+      }
+    }
+    Envelope* e = At(free_head_);
+    free_head_ = e->next;
+    e->next = kNilIndex;
+    in_use_++;
+    return e;
+  }
+
+  Envelope* At(uint32_t idx) { return &chunks_[idx / kChunk][idx % kChunk]; }
+  uint32_t IndexOf(const Envelope* e) const {
+    for (uint32_t c = 0; c < chunks_.size(); c++) {
+      if (e >= chunks_[c].get() && e < chunks_[c].get() + kChunk) {
+        return static_cast<uint32_t>(c * kChunk + (e - chunks_[c].get()));
+      }
+    }
+    return kNilIndex;
+  }
+
+  std::vector<std::unique_ptr<Envelope[]>> chunks_;
+  uint32_t free_head_ = kNilIndex;
+  size_t in_use_ = 0;
 };
 
 /// Durable per-node blob store: stands in for the node's local file system
@@ -145,6 +280,109 @@ struct HostOptions {
 
 class Network;
 
+/// The caller's claim on a pending-call slot, handed to the handler side so
+/// the reply can find its way back. A 16-byte POD — replaces the per-call
+/// heap-allocated std::function reply closure of the boxing transport.
+struct ReplyTicket {
+  uint32_t slot = 0;
+  uint32_t gen = 0;
+  NodeId caller = kInvalidNode;  // the node awaiting the response
+  NodeId callee = kInvalidNode;  // the node running the handler
+};
+
+/// Move-only type-erased handler entry with small-buffer storage:
+/// `void(Network*, Envelope* request, NodeId from, ReplyTicket)`. The
+/// registered closure (Host* + the user handler functor) almost always fits
+/// inline; a larger one costs one heap cell at Register() time — never per
+/// message.
+class HandlerFn {
+ public:
+  static constexpr size_t kInlineBytes = 64;
+
+  HandlerFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, HandlerFn>)
+  explicit HandlerFn(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      new (buf_) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      *reinterpret_cast<Fn**>(static_cast<void*>(buf_)) = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::kOps;
+    }
+  }
+
+  HandlerFn(HandlerFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+  HandlerFn& operator=(HandlerFn&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+  HandlerFn(const HandlerFn&) = delete;
+  HandlerFn& operator=(const HandlerFn&) = delete;
+  ~HandlerFn() { Reset(); }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+  explicit operator bool() const { return ops_ != nullptr; }
+  void operator()(Network* net, Envelope* req, NodeId from, ReplyTicket ticket) const {
+    ops_->invoke(const_cast<unsigned char*>(buf_), net, req, from, ticket);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*, Network*, Envelope*, NodeId, ReplyTicket);
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* p, Network* net, Envelope* req, NodeId from, ReplyTicket t) {
+      (*std::launder(reinterpret_cast<Fn*>(p)))(net, req, from, t);
+    }
+    static void Relocate(void* dst, void* src) {
+      Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+      new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void Destroy(void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Get(void* p) { return *reinterpret_cast<Fn**>(p); }
+    static void Invoke(void* p, Network* net, Envelope* req, NodeId from, ReplyTicket t) {
+      (*Get(p))(net, req, from, t);
+    }
+    static void Relocate(void* dst, void* src) { std::memcpy(dst, src, sizeof(Fn*)); }
+    static void Destroy(void* p) { delete Get(p); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
 /// A simulated machine: CPU, NIC accounting, disks, durable storage, and the
 /// RPC handler registry. Hosts are never destroyed mid-simulation; a crash
 /// marks the host down and bumps its epoch so in-flight handlers bail out.
@@ -210,47 +448,41 @@ class Host {
     return best;
   }
 
-  using ReplyFn = std::function<void(std::any resp, size_t resp_bytes)>;
-  using RawHandler = std::function<void(std::any req, NodeId from, ReplyFn reply)>;
-
   /// Register the coroutine handler for request type Req. `h` is
-  /// `Task<Resp>(Req, NodeId from)`.
+  /// `Task<Resp>(Req, NodeId from)`. Handlers live in a flat vector indexed
+  /// by the dense MsgTypeId — delivery dispatch is one bounds check and an
+  /// array load; the only handler-related allocation happens here, at
+  /// registration. (Defined after Network below.)
   template <typename Req, typename Resp, typename F>
-  void Register(F h) {
-    handlers_[std::type_index(typeid(Req))] = [this, h = std::move(h)](std::any req, NodeId from,
-                                                                       ReplyFn reply) {
-      Spawn(InvokeHandler<Req, Resp, F>(this, h, std::any_cast<Req>(std::move(req)), from,
-                                        std::move(reply)));
-    };
-  }
+  void Register(F h);
 
   /// Remove all handlers (a decommissioned node).
   void ClearHandlers() { handlers_.clear(); }
 
-  const RawHandler* FindHandler(std::type_index t) const {
-    auto it = handlers_.find(t);
-    return it == handlers_.end() ? nullptr : &it->second;
+  const HandlerFn* FindHandler(MsgTypeId t) const {
+    if (t >= handlers_.size() || !handlers_[t]) return nullptr;
+    return &handlers_[t];
   }
 
  private:
+  friend class Network;
+
   /// Every registered handler runs under a "handler:<rpc>" span when the
   /// request is traced: the one interception point that covers master, meta
-  /// and data services alike.
+  /// and data services alike. The request payload is moved OUT of its pooled
+  /// envelope before this coroutine starts, so handler code never touches
+  /// recycled storage. `h` arrives by value (copied into the frame):
+  /// ClearHandlers() while the handler is suspended cannot dangle it.
   template <typename Req, typename Resp, typename F>
-  static Task<void> InvokeHandler(Host* self, F h, Req req, NodeId from, ReplyFn reply) {
-    obs::SpanScope span = self->OpenHandlerSpan(req);
-    Resp resp = co_await h(std::move(req), from);
-    size_t bytes = WireBytesOf(resp);
-    reply(std::any(std::move(resp)), bytes);
-  }
+  static Task<void> InvokeHandler(Host* self, Network* net, F h, Req req, NodeId from,
+                                  ReplyTicket ticket);
 
   template <typename Req>
   obs::SpanScope OpenHandlerSpan(const Req& req) {
     if constexpr (HasTraceContext<Req>) {
       obs::Tracer& t = sched_->tracer();
       if (t.enabled() && req.trace.valid()) {
-        return obs::SpanScope(
-            &t, t.BeginSpan(std::string("handler:") + MsgNameOf<Req>(), req.trace, id_));
+        return obs::SpanScope(&t, t.BeginSpan(MsgSpanHandler<Req>(), req.trace, id_));
       }
     }
     return {};
@@ -266,13 +498,10 @@ class Host {
   std::vector<std::unique_ptr<Disk>> disks_;
   StableStorage storage_;
   uint64_t memory_used_ = 0;
-  /// Sorted flat vector keyed by type_index: the registry is looked up on
-  /// every delivered message, and a dozen-entry sorted array beats node
-  /// chasing; ordered, so iteration stays hash-layout independent.  The
-  /// type_index order itself is address-dependent, but the registry is only
-  /// ever point-queried (FindHandler) — nothing iterates it, so no decision
-  /// or output depends on the ordering.
-  FlatMap<std::type_index, RawHandler> handlers_;  // analyze:allow(A3)
+  /// Flat handler table indexed by MsgTypeId. Ids are first-use-ordered and
+  /// never iterated here — only point-indexed — so the (build-dependent)
+  /// assignment order can't leak into scheduling decisions.
+  std::vector<HandlerFn> handlers_;
 };
 
 struct NetworkOptions {
@@ -315,30 +544,31 @@ class Network {
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Timeout-watchdog accounting: replies delivered in time cancel their
+  /// watchdog (audited — the phantom keeps the schedule hash intact); only
+  /// genuinely lost/late calls let it fire.
+  uint64_t rpc_timeouts_cancelled() const { return rpc_timeouts_cancelled_; }
+  uint64_t rpc_timeouts_fired() const { return rpc_timeouts_fired_; }
+
+  /// Pool/slab introspection (tests pin reuse and leak-freedom on these).
+  EnvelopePool& envelope_pool() { return pool_; }
+  size_t rpc_slots_in_use() const { return slots_in_use_; }
+  size_t rpc_slot_capacity() const { return slots_.size(); }
+
   /// Awaitable returned by Call(): resolves to Result<Resp> (TimedOut on
-  /// network-level failure).
+  /// network-level failure). Holds only the slot coordinates — the pending
+  /// state itself lives in the Network's recycled slab.
   template <typename Resp>
   struct RpcAwaitable {
-    std::shared_ptr<typename Future<Resp>::State> st;
+    Network* net;
+    uint32_t slot;
+    uint32_t gen;
     SimDuration timeout;
     NodeId to;
 
-    bool await_ready() const noexcept { return st->value.has_value(); }
-    void await_suspend(std::coroutine_handle<> h) {
-      st->waiter = h;
-      auto stc = st;
-      st->sched->After(timeout, [stc] {
-        if (!stc->delivered && stc->waiter) {
-          stc->delivered = true;
-          auto w = std::exchange(stc->waiter, nullptr);
-          w.resume();
-        }
-      });
-    }
-    Result<Resp> await_resume() {
-      if (st->value.has_value()) return std::move(*st->value);
-      return Status::TimedOut("rpc to node " + std::to_string(to));
-    }
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { net->ArmRpc(slot, gen, h, timeout); }
+    Result<Resp> await_resume() { return net->FinishRpc<Resp>(slot, gen, to); }
   };
 
   /// Issue a typed RPC. Network-level failures (timeout, drop, dead or
@@ -359,33 +589,55 @@ class Network {
   template <typename Req, typename Resp>
   RpcAwaitable<Resp> Call(NodeId from, NodeId to, Req req,
                           SimDuration timeout = kDefaultRpcTimeout) {
-    Promise<Resp> prom(sched_);
-    size_t req_bytes = WireBytesOf(req);
-    SendRequest(from, to, std::any(std::move(req)), std::type_index(typeid(Req)), req_bytes,
-                [this, prom, to, from](std::any resp, size_t resp_bytes) {
-                  // Reply path: charge the reverse transfer.
-                  SimTime at = TransferFinish(to, from, resp_bytes);
-                  MixTrace(to, from, resp_bytes, std::type_index(typeid(Resp)), at);
-                  if (ShouldDrop(to, from)) return;
-                  sched_->At(at, [prom, resp = std::move(resp)]() mutable {
-                    prom.Set(std::any_cast<Resp>(std::move(resp)));
-                  });
-                });
-    return RpcAwaitable<Resp>{prom.state(), timeout, to};
+    const uint32_t slot = AllocSlot();
+    const uint32_t gen = slots_[slot].gen;
+    const size_t req_bytes = WireBytesOf(req);
+    SendRequest(from, to, pool_.Make<Req>(std::move(req)), req_bytes,
+                ReplyTicket{slot, gen, from, to});
+    return RpcAwaitable<Resp>{this, slot, gen, timeout, to};
+  }
+
+  /// Reply-path entry (Host::InvokeHandler): charge the reverse transfer,
+  /// then deliver into the caller's slot. Transfer metering and the audit
+  /// mix happen before the drop check — the exact (odd, but golden-hashed)
+  /// order of the transport this replaced.
+  void Reply(ReplyTicket ticket, Envelope* resp, size_t resp_bytes) {
+    SimTime at = TransferFinish(ticket.callee, ticket.caller, resp_bytes);
+    MixTrace(ticket.callee, ticket.caller, resp_bytes, resp->type, at);
+    if (ShouldDrop(ticket.callee, ticket.caller)) {
+      pool_.Free(resp);
+      return;
+    }
+    // Network is a sim-lifetime singleton owned by the harness (see
+    // SendRequest): `this` in a deferred event cannot dangle.
+    sched_->At(at, [this, ticket, resp] { DeliverReply(ticket, resp); });  // analyze:allow(A2)
   }
 
  private:
-  /// Determinism auditor: fold one message into the trace hash. The type
-  /// name (not the type_index hash) feeds the digest so iteration-order or
-  /// wall-clock bugs change the hash while ASLR does not.
-  void MixTrace(NodeId from, NodeId to, size_t bytes, std::type_index type, SimTime at) {
+  /// One pending unary call. Slots are recycled through a free list; `gen`
+  /// distinguishes the current occupant from stale replies/timeouts aimed at
+  /// a previous one (the same trick TimerWheel plays with TimerIds).
+  struct RpcSlot {
+    std::coroutine_handle<> waiter = nullptr;
+    Envelope* resp = nullptr;
+    Scheduler::TimerId timer{};
+    uint32_t gen = 0;
+    uint32_t next_free = kNilIndex;
+    bool delivered = false;  // waiter resumption initiated (reply or timeout)
+  };
+
+  /// Determinism auditor: fold one message into the trace hash. The
+  /// registry's stored RTTI name (not the dense id, which is assignment-
+  /// order-dependent) feeds the digest, so iteration-order or wall-clock
+  /// bugs change the hash while ASLR and registration order do not.
+  void MixTrace(NodeId from, NodeId to, size_t bytes, MsgTypeId type, SimTime at) {
     TraceHasher& t = sched_->trace();
     t.Mix(from);
     t.Mix(to);
     t.Mix(bytes);
     t.Mix(at);
-    const char* name = type.name();
-    t.MixBytes(name, std::char_traits<char>::length(name));
+    const MsgTypeRegistry::Info& info = MsgTypeRegistry::Instance().info(type);
+    t.MixBytes(info.trace_name, info.trace_len);
   }
 
   bool ShouldDrop(NodeId from, NodeId to) {
@@ -410,22 +662,110 @@ class Network {
     return std::max(arrive, in_free);
   }
 
-  void SendRequest(NodeId from, NodeId to, std::any req, std::type_index type, size_t bytes,
-                   Host::ReplyFn reply) {
-    if (ShouldDrop(from, to)) return;
+  void SendRequest(NodeId from, NodeId to, Envelope* req, size_t bytes, ReplyTicket ticket) {
+    if (ShouldDrop(from, to)) {
+      pool_.Free(req);
+      return;
+    }
     SimTime at = TransferFinish(from, to, bytes);
-    MixTrace(from, to, bytes, type, at);
+    MixTrace(from, to, bytes, req->type, at);
     // The Network is a sim-lifetime singleton owned by the harness: it
     // strictly outlives every scheduled delivery, so capturing `this` into
     // the deferred event cannot dangle (crash schedules kill Hosts, checked
     // via h->up() below, never the Network itself).
-    sched_->At(at, [this, to, from, req = std::move(req), type, reply = std::move(reply)]() mutable {  // analyze:allow(A2)
+    sched_->At(at, [this, to, from, req, ticket] {  // analyze:allow(A2)
       Host* h = host(to);
-      if (!h->up()) return;  // dead node: request vanishes, caller times out
-      const Host::RawHandler* handler = h->FindHandler(type);
-      if (!handler) return;  // no service registered: drop
-      (*handler)(std::move(req), from, std::move(reply));
+      const HandlerFn* handler = h->up() ? h->FindHandler(req->type) : nullptr;
+      if (handler == nullptr) {
+        // Dead node or no service registered: the request vanishes and the
+        // caller's watchdog fires for real.
+        pool_.Free(req);
+        return;
+      }
+      (*handler)(this, req, from, ticket);
     });
+  }
+
+  void ArmRpc(uint32_t slot, uint32_t gen, std::coroutine_handle<> h, SimDuration timeout) {
+    RpcSlot& s = slots_[slot];
+    s.waiter = h;
+    // Same singleton-lifetime argument as SendRequest for the `this` capture.
+    s.timer = sched_->ScheduleAfter(timeout, [this, slot, gen] {  // analyze:allow(A2)
+      TimeoutFire(slot, gen);
+    });
+  }
+
+  void TimeoutFire(uint32_t slot, uint32_t gen) {
+    RpcSlot& s = slots_[slot];
+    if (s.gen != gen || s.delivered) return;
+    rpc_timeouts_fired_++;
+    s.delivered = true;
+    s.timer = {};
+    auto w = std::exchange(s.waiter, nullptr);
+    if (w) w.resume();
+  }
+
+  void DeliverReply(ReplyTicket ticket, Envelope* resp) {
+    RpcSlot& s = slots_[ticket.slot];
+    if (s.gen != ticket.gen || s.delivered) {
+      pool_.Free(resp);  // caller already timed out: late reply drops
+      return;
+    }
+    s.resp = resp;
+    s.delivered = true;
+    // The watchdog leaves the wheel now (its closure is released, its node
+    // recycled) but stays in the audited stream as a phantom — the schedule
+    // hash and executed-event count are unchanged.
+    if (sched_->CancelAudited(s.timer)) rpc_timeouts_cancelled_++;
+    s.timer = {};
+    // Resume via the scheduler at the current timestamp to bound recursion —
+    // the same two-event delivery (store + resume) the promise path used.
+    sched_->After(0, [this, slot = ticket.slot, gen = ticket.gen] {  // analyze:allow(A2)
+      RpcSlot& s2 = slots_[slot];
+      if (s2.gen != gen) return;
+      auto w = std::exchange(s2.waiter, nullptr);
+      if (w) w.resume();
+    });
+  }
+
+  template <typename Resp>
+  Result<Resp> FinishRpc(uint32_t slot, uint32_t gen, NodeId to) {
+    RpcSlot& s = slots_[slot];
+    (void)gen;  // the waiter is the slot's only consumer; gens match by construction
+    if (s.resp != nullptr) {
+      Envelope* e = std::exchange(s.resp, nullptr);
+      FreeSlot(slot);
+      return pool_.Take<Resp>(e);
+    }
+    FreeSlot(slot);
+    // Built lazily: the timeout path is the only one that pays for the
+    // message string.
+    return Status::TimedOut("rpc to node " + std::to_string(to));
+  }
+
+  uint32_t AllocSlot() {
+    uint32_t idx;
+    if (slot_free_ != kNilIndex) {
+      idx = slot_free_;
+      slot_free_ = slots_[idx].next_free;
+    } else {
+      idx = static_cast<uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    slots_in_use_++;
+    return idx;
+  }
+
+  void FreeSlot(uint32_t idx) {
+    RpcSlot& s = slots_[idx];
+    s.gen++;  // stale tickets/timers aimed at the old occupant miss
+    s.waiter = nullptr;
+    s.resp = nullptr;
+    s.timer = {};
+    s.delivered = false;
+    s.next_free = slot_free_;
+    slot_free_ = idx;
+    slots_in_use_--;
   }
 
   Scheduler* sched_;
@@ -435,6 +775,39 @@ class Network {
   double drop_prob_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t rpc_timeouts_cancelled_ = 0;
+  uint64_t rpc_timeouts_fired_ = 0;
+  EnvelopePool pool_;
+  /// Pending-call slab: deque for reference stability under growth; slots
+  /// are recycled LIFO via the embedded free list.
+  std::deque<RpcSlot> slots_;
+  uint32_t slot_free_ = kNilIndex;
+  size_t slots_in_use_ = 0;
 };
+
+// --- Host template definitions (need the complete Network type) -------------
+
+template <typename Req, typename Resp, typename F>
+void Host::Register(F h) {
+  const MsgTypeId id = MsgTypeIdOf<Req>();
+  if (handlers_.size() <= id) handlers_.resize(id + 1);
+  handlers_[id] = HandlerFn(
+      [this, h = std::move(h)](Network* net, Envelope* req, NodeId from, ReplyTicket ticket) {
+        // Take() moves the payload out and recycles the envelope BEFORE the
+        // handler coroutine can suspend — no pooled storage crosses a
+        // co_await.
+        Spawn(InvokeHandler<Req, Resp, F>(this, net, h, net->envelope_pool().Take<Req>(req),
+                                          from, ticket));
+      });
+}
+
+template <typename Req, typename Resp, typename F>
+Task<void> Host::InvokeHandler(Host* self, Network* net, F h, Req req, NodeId from,
+                               ReplyTicket ticket) {
+  obs::SpanScope span = self->OpenHandlerSpan(req);
+  Resp resp = co_await h(std::move(req), from);
+  const size_t bytes = WireBytesOf(resp);
+  net->Reply(ticket, net->envelope_pool().Make<Resp>(std::move(resp)), bytes);
+}
 
 }  // namespace cfs::sim

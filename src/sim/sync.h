@@ -30,8 +30,19 @@ class Notifier {
   }
 
   /// Resume all current waiters (scheduled, not inline, to bound recursion).
+  /// The overwhelmingly common case is a single waiter (one fetcher parked on
+  /// a cache notifier): its handle is captured inline in the pooled event and
+  /// the waiters vector keeps its capacity, so that path never allocates.
+  /// Either way exactly one After(0) event is scheduled — the fast path is
+  /// invisible to the audited schedule.
   void NotifyAll() {
     if (waiters_.empty()) return;
+    if (waiters_.size() == 1) {
+      auto h = waiters_.front();
+      waiters_.clear();
+      sched_->After(0, [h] { h.resume(); });
+      return;
+    }
     auto ws = std::move(waiters_);
     waiters_.clear();
     sched_->After(0, [ws = std::move(ws)] {

@@ -30,6 +30,9 @@ namespace detail {
 /// coroutines, so frame allocation is a hot malloc/free pair; this keeps
 /// freed frames on per-size free lists (64-byte classes up to 4 KiB) and
 /// hands them back LIFO — still-warm memory, no allocator round trip.
+/// The RPC transport reuses the same pool for the rare message payload too
+/// large for an Envelope's inline buffer (sim/network.h), so oversize
+/// requests also recycle instead of round-tripping malloc.
 /// Sized operator delete gives the class back without a header byte.
 /// Single-threaded by simulator convention; frames larger than the largest
 /// class (rare: big inline locals) fall through to the global allocator.

@@ -1,0 +1,33 @@
+// A1.pooled fixtures: raw pointers to pool-recycled Envelope storage held
+// live across a suspension point.  An Envelope* is a loan from the slab —
+// the pool can destroy the payload and hand the node to another message
+// while this coroutine is suspended.  Each marked line must produce exactly
+// one A1 finding.
+#include "sim/task.h"
+
+struct Envelope;
+struct EnvelopePool {
+  Envelope* Make();
+  void Free(Envelope*);
+};
+
+class Transport {
+ public:
+  sim::Task<void> EnvelopeAcrossAwait() {
+    Envelope* env = pool_.Make();  // analyze-expect(A1)
+    co_await Tick();
+    pool_.Free(env);
+  }
+
+  sim::Task<void> EnvelopeFromArgAcrossAwait(Envelope* incoming) {
+    Envelope* held = incoming;  // analyze-expect(A1)
+    co_await Tick();
+    Deliver(held);
+  }
+
+  sim::Task<void> Tick();
+  void Deliver(Envelope*);
+
+ private:
+  EnvelopePool pool_;
+};

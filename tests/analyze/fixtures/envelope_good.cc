@@ -1,0 +1,49 @@
+// A1.pooled negative fixtures: safe Envelope handling patterns that must
+// produce zero findings.
+#include <utility>
+
+#include "sim/task.h"
+
+struct Payload {
+  int x = 0;
+};
+
+struct Envelope;
+struct EnvelopePool {
+  Envelope* Make();
+  void Free(Envelope*);
+  Payload Take(Envelope*);
+};
+
+class Transport {
+ public:
+  // The payload moves out of the pooled node before the suspension: only a
+  // by-value copy crosses the co_await.
+  sim::Task<void> TakeBeforeAwait(Envelope* incoming) {
+    Payload p = pool_.Take(incoming);
+    co_await Tick();
+    Use(p);
+  }
+
+  // The envelope pointer is consumed synchronously; nothing pooled is live
+  // after the suspension.
+  sim::Task<void> FreeBeforeAwait() {
+    Envelope* env = pool_.Make();
+    pool_.Free(env);
+    co_await Tick();
+  }
+
+  // A plain (non-pooled) pointer value copy stays exempt from A1.
+  sim::Task<void> PlainPointerAcrossAwait(Payload* stable) {
+    Payload* p = stable;
+    co_await Tick();
+    Use(*p);
+  }
+
+  sim::Task<void> Tick();
+  void Use(Payload);
+  void Use(const Payload&);
+
+ private:
+  EnvelopePool pool_;
+};

@@ -11,7 +11,10 @@ For every bench in the baseline the run must:
     workload => same executed-event stream), so a drift means the simulated
     behavior changed, not just its speed;
   - reach at least 80% of the baseline `events_per_sec`, when one is
-    recorded (a >20% throughput regression fails CI).
+    recorded (a >20% throughput regression fails CI);
+  - stay at or below `max_allocs_per_rpc`, when the baseline sets one (the
+    RPC transport's zero-heap-allocation contract: bench_micro --rpc-churn
+    reports measured allocations per steady-state unary RPC).
 
 Usage: tools/check_bench_wallclock.py BENCH_wallclock.json
        [--baseline tools/bench_wallclock_baseline.json]
@@ -65,6 +68,16 @@ def main() -> int:
             failures.append(
                 f"{name}: {eps:.0f} events/sec is >20% below baseline {floor} "
                 f"(floor {REGRESSION_TOLERANCE * floor:.0f})")
+        alloc_cap = base.get("max_allocs_per_rpc")
+        if alloc_cap is not None:
+            allocs = got.get("allocs_per_rpc")
+            if allocs is None:
+                failures.append(f"{name}: baseline caps allocs_per_rpc but the "
+                                "run did not report it")
+            elif allocs > alloc_cap:
+                failures.append(
+                    f"{name}: {allocs} heap allocations per RPC exceeds the cap "
+                    f"{alloc_cap} (the transport's zero-allocation contract)")
 
     for f_ in failures:
         print(f"FAIL {f_}", file=sys.stderr)
