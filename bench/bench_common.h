@@ -124,6 +124,26 @@ inline void PrintRpcMetrics(const char* label, const rpc::MetricRegistry& reg) {
   std::printf("rpc_metrics %s %s\n", label, reg.DumpJson().c_str());
 }
 
+/// Cluster-wide counters/gauges filtered to the "net." and "qos."
+/// namespaces, folded across bench cells (each cell tears down its own
+/// cluster, so fold before teardown). Surfaces the rpc-timeout watchdog
+/// accounting (net.rpc_timeout.{cancelled,fired}) and the per-tenant
+/// admission-queue counters/depths next to the latency_quantiles lines.
+inline void AccumulateClusterMetrics(CfsBench& b, obs::Registry* into) {
+  obs::Registry reg = b.cluster->Metrics();
+  for (const auto& [k, v] : reg.counters()) {
+    if (k.rfind("net.", 0) == 0 || k.rfind("qos.", 0) == 0) into->Add(k, v);
+  }
+  for (const auto& [k, v] : reg.gauges()) {
+    if (k.rfind("net.", 0) == 0 || k.rfind("qos.", 0) == 0) into->SetMax(k, v);
+  }
+}
+
+/// One machine-readable line per bench: `cluster_metrics <label> {json}`.
+inline void PrintClusterMetrics(const char* label, const obs::Registry& reg) {
+  std::printf("cluster_metrics %s %s\n", label, reg.DumpJson().c_str());
+}
+
 /// One machine-readable line with the cluster-wide group-commit counters
 /// (raft proposal batching) and leader log-write accounting: how many
 /// proposals shared each log flush, and what that did to WAL write counts.

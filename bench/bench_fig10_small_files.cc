@@ -32,6 +32,7 @@ int main() {
       {SmallFileTest::kRemoval, "File Removal"},
   };
 
+  obs::Registry cfs_cluster_metrics;
   for (auto [test, name] : kTests) {
     PrintHeader(name, cols);
     std::vector<double> cfs_row, ceph_row;
@@ -44,6 +45,7 @@ int main() {
         BenchResult r = RunSmallFiles(&b.sched(), test, kb * kKiB, meta, data, kFilesPerProc);
         cfs_row.push_back(r.Iops());
         cfs_lat.MergeFrom(r.latency);
+        AccumulateClusterMetrics(b, &cfs_cluster_metrics);
       }
       {
         CephBench b = MakeCephBench(kClients, /*seed=*/41 + kb, {}, /*nic_mib=*/1170);
@@ -64,6 +66,7 @@ int main() {
     PrintLatencyQuantiles(std::string("cfs:") + name, cfs_lat);
     PrintLatencyQuantiles(std::string("ceph:") + name, ceph_lat);
   }
+  PrintClusterMetrics("cfs", cfs_cluster_metrics);
   wallclock.Print();
   return 0;
 }

@@ -26,6 +26,7 @@ int main() {
   std::printf(" CFS catches up and passes as processes increase)\n");
 
   rpc::MetricRegistry cfs_rpc_metrics, ceph_rpc_metrics;
+  obs::Registry cfs_cluster_metrics;
   for (MdTest test : kTests) {
     PrintHeader(std::string(MdTestName(test)) + " (1 client)",
                 {"procs=1", "procs=4", "procs=16", "procs=64"});
@@ -42,6 +43,7 @@ int main() {
         cfs_row.push_back(r.Iops());
         cfs_lat.MergeFrom(r.latency);
         AccumulateRpcMetrics(b, &cfs_rpc_metrics);
+        AccumulateClusterMetrics(b, &cfs_cluster_metrics);
       }
       {
         CephBench b = MakeCephBench(1, /*seed=*/7 + procs);
@@ -64,6 +66,7 @@ int main() {
   }
   PrintRpcMetrics("cfs", cfs_rpc_metrics);
   PrintRpcMetrics("ceph", ceph_rpc_metrics);
+  PrintClusterMetrics("cfs", cfs_cluster_metrics);
   wallclock.Print();
   return 0;
 }

@@ -32,6 +32,7 @@ int main() {
   // earlier ones induced (§4.2's explanation of the tree results).
   std::map<MdTest, std::vector<double>> cfs_results, ceph_results;
   std::map<MdTest, obs::Histogram> cfs_lat, ceph_lat;
+  obs::Registry cfs_cluster_metrics;
   for (int clients : kClients) {
     CfsBench cfs = MakeCfsBench(clients, /*seed=*/11 + clients);
     CephBench ceph = MakeCephBench(clients, /*seed=*/11 + clients);
@@ -62,7 +63,9 @@ int main() {
     // (proposal batching is the consensus-path lever behind the multi-client
     // mutation numbers; see bench_ablation_group_commit for the ablation).
     PrintGroupCommitStats(("clients=" + std::to_string(clients)).c_str(), *cfs.cluster);
+    AccumulateClusterMetrics(cfs, &cfs_cluster_metrics);
   }
+  PrintClusterMetrics("cfs", cfs_cluster_metrics);
 
   std::vector<double> table3_cfs, table3_ceph;
   for (MdTest test : kTests) {

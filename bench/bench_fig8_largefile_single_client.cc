@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   for (int p : kProcs) cols.push_back("p=" + std::to_string(p));
 
   rpc::MetricRegistry cfs_rpc_metrics, ceph_rpc_metrics;
+  obs::Registry cfs_cluster_metrics;
   for (FioPattern pattern : kPatterns) {
     PrintHeader(std::string(FioPatternName(pattern)) + " (1 client)", cols);
     bool rand = pattern == FioPattern::kRandWrite || pattern == FioPattern::kRandRead;
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
         cfs_row.push_back(r.Iops());
         cfs_lat.MergeFrom(r.latency);
         AccumulateRpcMetrics(b, &cfs_rpc_metrics);
+        AccumulateClusterMetrics(b, &cfs_cluster_metrics);
       }
       {
         CephBench b = MakeCephBench(1, /*seed=*/23 + procs, {}, /*nic_mib=*/1170);
@@ -78,6 +80,7 @@ int main(int argc, char** argv) {
   }
   PrintRpcMetrics("cfs", cfs_rpc_metrics);
   PrintRpcMetrics("ceph", ceph_rpc_metrics);
+  PrintClusterMetrics("cfs", cfs_cluster_metrics);
 
   // Traced 1 MiB append on a fresh (idle) cluster: the per-stage breakdown
   // of one end-to-end write through the sliding-window pipeline. Tracing is

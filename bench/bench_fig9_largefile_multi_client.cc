@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> cols;
   for (int c : kClients) cols.push_back("clients=" + std::to_string(c));
 
+  obs::Registry cfs_cluster_metrics;
   for (FioPattern pattern : kPatterns) {
     bool rand = pattern == FioPattern::kRandWrite || pattern == FioPattern::kRandRead;
     int procs = rand ? 64 : 16;
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
         BenchResult r = RunFio(&b.sched(), pattern, ops, params);
         cfs_row.push_back(r.Iops());
         cfs_lat.MergeFrom(r.latency);
+        AccumulateClusterMetrics(b, &cfs_cluster_metrics);
       }
       if (!smoke) {
         CephBench b = MakeCephBench(clients, /*seed=*/31 + clients, {}, /*nic_mib=*/1170);
@@ -84,6 +86,7 @@ int main(int argc, char** argv) {
       PrintLatencyQuantiles(std::string("ceph:") + FioPatternName(pattern), ceph_lat);
     }
   }
+  PrintClusterMetrics("cfs", cfs_cluster_metrics);
   wallclock.Print();
   return 0;
 }

@@ -65,6 +65,11 @@ class DataNode {
   /// Per-RPC metrics of node-issued legs (chain forwards, recovery aligns).
   const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
 
+  /// The channel carrying node-issued legs (chain forwards, recovery
+  /// aligns) — exposed so the harness can attach its per-peer health
+  /// observer (rpc::Channel::set_peer_observer).
+  rpc::Channel& chain_channel() { return channel_; }
+
   /// Per-tenant admission counters (weighted-fair queue in front of the
   /// client-facing handlers). Weights arrive with each partition's config.
   const qos::AdmissionQueue& admission() const { return admission_; }

@@ -46,6 +46,103 @@ Cluster::Cluster(const ClusterOptions& opts) : opts_(opts), sched_(opts.seed), n
     purge_svcs_.push_back(std::make_unique<rpc::DataService>(
         &net_, node_hosts_[i]->id(), router_.get(), &rpc_metrics_));
   }
+  if (opts_.health) WireHealth();
+}
+
+void Cluster::WireHealth() {
+  // All hooks below are plain std::function observers invoked synchronously
+  // from the instrumented code — they never create scheduler events, so the
+  // schedule with health on is byte-identical to health off.
+  obs::TimeSeriesOptions ts;
+  ts.window_usec = opts_.health_opts.window_usec;
+  ts.num_windows = opts_.health_opts.num_windows;
+  health_scorer_ = std::make_unique<obs::HealthScorer>(opts_.health_opts);
+  obs::HealthScorer* scorer = health_scorer_.get();
+  for (int i = 0; i < opts_.num_nodes; i++) {
+    node_health_.push_back(std::make_unique<NodeHealth>(ts));
+    NodeHealth* nh = node_health_.back().get();
+    sim::Host* h = node_hosts_[i];
+    // Disks: one scorer target per device, cohort "disk". The cohort spans
+    // the whole cluster on purpose: raft pins its WAL to disk 0 of every
+    // host, so within one node only a single disk carries steady traffic
+    // and a node-local cohort would never reach min_cohort scorable
+    // members. Across nodes the equivalently-loaded disks form a real
+    // population, and a gray disk detaches from their median.
+    for (int d = 0; d < h->num_disks(); d++) {
+      std::string target = "n" + std::to_string(i) + ".disk" + std::to_string(d);
+      h->disk(d)->set_op_observer(
+          [this, nh, scorer, target = std::move(target)](
+              bool is_read, SimDuration lat, uint64_t trace) {
+            const SimTime now = sched_.Now();
+            nh->series.Hist(is_read ? "disk.read_usec" : "disk.write_usec")
+                .Observe(now, lat, trace);
+            scorer->Observe("disk", target, now, lat, trace);
+          });
+    }
+    // Chain-forward RPC legs: one target per destination peer, cohort
+    // "peer". Timeouts feed the error-rate outlier.
+    std::string peer_prefix = "n" + std::to_string(i) + ".peer";
+    data_nodes_[i]->chain_channel().set_peer_observer(
+        [this, nh, scorer, peer_prefix = std::move(peer_prefix)](
+            sim::NodeId to, bool ok, SimDuration lat, uint64_t trace) {
+          const SimTime now = sched_.Now();
+          const std::string target = peer_prefix + std::to_string(to);
+          if (ok) {
+            nh->series.Hist("peer.rpc_usec").Observe(now, lat, trace);
+            scorer->Observe("peer", target, now, lat, trace);
+          } else {
+            nh->series.Hist("peer.rpc_usec").CountError(now);
+            scorer->ObserveError("peer", target, now);
+          }
+        });
+    // Meta raft-backed writes: per-node latency series (singleton — no
+    // cohort to compare against locally, so time-series only).
+    meta_nodes_[i]->set_exec_observer([this, nh](SimDuration lat, uint64_t trace) {
+      nh->series.Hist("meta.exec_usec").Observe(sched_.Now(), lat, trace);
+    });
+  }
+}
+
+void Cluster::CollectNode(int node_index) {
+  NodeHealth* nh = node_health_[node_index].get();
+  const SimTime now = sched_.Now();
+  sim::Host* h = node_hosts_[node_index];
+  uint64_t reads = 0, writes = 0;
+  for (int d = 0; d < h->num_disks(); d++) {
+    reads += h->disk(d)->reads();
+    writes += h->disk(d)->writes();
+  }
+  nh->series.SampleCounter("disk.reads", now, reads);
+  nh->series.SampleCounter("disk.writes", now, writes);
+  nh->series.SampleCounter("meta.ops", now, meta_nodes_[node_index]->ops_served());
+  nh->series.SampleCounter("data.ops", now, data_nodes_[node_index]->ops_served());
+  // The shared scorer advances at most once per window: the first node to
+  // collect in a given second scores it, the rest no-op (idempotent).
+  health_scorer_->Advance(now);
+}
+
+void Cluster::CollectAllNow() {
+  for (size_t i = 0; i < node_health_.size(); i++) CollectNode(static_cast<int>(i));
+}
+
+std::string Cluster::HealthJson() {
+  std::string out = "{\"nodes\":{";
+  for (size_t i = 0; i < node_health_.size(); i++) {
+    if (i) out += ",";
+    out += "\"" + std::to_string(i) + "\":{\"series\":" +
+           node_health_[i]->series.DumpJson() + "}";
+  }
+  out += "},\"scorer\":";
+  out += health_scorer_ ? health_scorer_->DumpJson() : "null";
+  out += ",\"master\":";
+  master::MasterNode* leader = master_leader();
+  out += leader ? leader->HealthViewJson() : "null";
+  out += "}";
+  return out;
+}
+
+std::string Cluster::HealthEventsJsonl() const {
+  return health_scorer_ ? health_scorer_->DumpEventsJsonl() : std::string();
 }
 
 master::MasterNode* Cluster::master_leader() {
@@ -81,6 +178,11 @@ Task<void> Cluster::HeartbeatLoop(int node_index) {
     co_await sim::SleepFor{sched_, opts_.heartbeat_interval};
     sim::Host* host = node_hosts_[node_index];
     if (!host->up()) continue;
+    // This loop doubles as the node's telemetry collector: sampling and
+    // window scoring ride the heartbeat wakeups that exist anyway, so
+    // health telemetry adds zero scheduler events (schedule-neutrality is
+    // pinned by tests/determinism_test.cc).
+    if (!node_health_.empty()) CollectNode(node_index);
     master::MasterNode* leader = master_leader();
     if (!leader) continue;
     master::NodeHeartbeatReq req;
@@ -89,6 +191,13 @@ Task<void> Cluster::HeartbeatLoop(int node_index) {
     req.disk_utilization = host->DiskUtilization();
     req.meta_reports = meta_nodes_[node_index]->Reports();
     req.data_reports = data_nodes_[node_index]->Reports();
+    if (health_scorer_) {
+      // Each node piggybacks its own slice of the cluster-wide scorer
+      // (targets are "n<i>.…"), the compact summary the master folds into
+      // its health view.
+      req.health =
+          health_scorer_->SummaryFor("n" + std::to_string(node_index) + ".");
+    }
     (void)co_await channel_->Unary<master::NodeHeartbeatReq, master::NodeHeartbeatResp>(
         host->id(), leader->host()->id(), std::move(req), 1 * kSec);
   }

@@ -13,7 +13,9 @@
 #include "datanode/data_node.h"
 #include "master/master.h"
 #include "meta/meta_node.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "raft/multiraft.h"
 #include "rpc/metrics.h"
@@ -41,6 +43,27 @@ struct ClusterOptions {
   /// tracing never perturbs the schedule either way, but the span log costs
   /// memory proportional to traffic.
   bool trace = false;
+  /// Enable windowed health telemetry (DESIGN.md "Health telemetry"): a
+  /// per-node obs::TimeSeries plus one cluster-wide obs::HealthScorer, both
+  /// filled by passive observers on disks, chain channels and meta execs,
+  /// sampled and scored from each node's HeartbeatLoop, with each node's
+  /// slice of the scorer piggybacked on its heartbeat. The scorer is
+  /// cluster-wide because its cohorts must span nodes: in this simulation
+  /// (as in a raft-heavy deployment) one disk per node carries most of the
+  /// traffic, so a disk's only comparable peers are the *other nodes'*
+  /// equivalently-loaded disks, not its mostly-idle siblings.
+  /// Schedule-neutral by construction — no events are added either way
+  /// (tests/determinism_test.cc pins it).
+  bool health = false;
+  obs::HealthOptions health_opts;
+};
+
+/// Per-node health telemetry: the windowed time-series store, fed by passive
+/// observers and sampled at the node's heartbeat cadence. (Scoring state
+/// lives in the cluster-wide HealthScorer owned by the Cluster.)
+struct NodeHealth {
+  obs::TimeSeries series;
+  explicit NodeHealth(const obs::TimeSeriesOptions& ts) : series(ts) {}
 };
 
 class Cluster {
@@ -106,6 +129,24 @@ class Cluster {
   /// The scheduler-owned span tracer (enabled iff ClusterOptions.trace).
   obs::Tracer& tracer() { return sched_.tracer(); }
 
+  // Health telemetry (enabled iff ClusterOptions.health).
+  bool health_enabled() const { return health_scorer_ != nullptr; }
+  obs::TimeSeries* node_series(int i) {
+    return health_enabled() ? &node_health_[i]->series : nullptr;
+  }
+  /// The cluster-wide gray-failure scorer (targets "n<i>.disk<d>" in cohort
+  /// "disk", "n<i>.peer<id>" in cohort "peer").
+  obs::HealthScorer* health_scorer() { return health_scorer_.get(); }
+  /// Force a collection + scoring pass on every node at the current virtual
+  /// time (tests/benches flush pending windows before dumping).
+  void CollectAllNow();
+  /// Cluster-wide health dump: {"nodes":{"<i>":{"series":…}},"scorer":…,
+  /// "master":<leader HealthViewJson or null>} — byte-stable.
+  std::string HealthJson();
+  /// The scorer's health-event log, one JSON object per line (log order;
+  /// targets carry the node prefix, so lines are self-describing).
+  std::string HealthEventsJsonl() const;
+
   /// Unified cluster-wide metric registry (DESIGN.md "Observability"): every
   /// per-node RPC registry (harness/raft, masters, data nodes, clients)
   /// exported into the shared "rpc." namespace, raft group-commit and WAL
@@ -161,6 +202,8 @@ class Cluster {
   sim::Task<void> HeartbeatLoop(int node_index);
   meta::MetaNode::ExtentPurger MakePurger(int node_index);
   sim::Task<Status> PurgeInodeContent(int node_index, meta::Inode inode);
+  void WireHealth();
+  void CollectNode(int node_index);
 
   ClusterOptions opts_;
   sim::Scheduler sched_;
@@ -181,6 +224,8 @@ class Cluster {
   std::vector<std::unique_ptr<data::DataNode>> data_nodes_;
   std::vector<std::unique_ptr<client::Client>> clients_;
   std::vector<std::string> volumes_;
+  std::vector<std::unique_ptr<NodeHealth>> node_health_;  // empty unless opts.health
+  std::unique_ptr<obs::HealthScorer> health_scorer_;      // null unless opts.health
 };
 
 /// Determinism-auditor harness mode: run `scenario` twice against freshly

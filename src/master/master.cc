@@ -739,6 +739,7 @@ void MasterNode::RegisterHandlers() {
         rt.disk_utilization = req.disk_utilization;
         for (auto& r : req.meta_reports) rt.meta_reports[r.pid] = r;
         for (auto& r : req.data_reports) rt.data_reports[r.pid] = r;
+        rt.health = std::move(req.health);
         co_return NodeHeartbeatResp{Status::OK()};
       });
 
@@ -934,6 +935,23 @@ Task<void> MasterNode::MaybeExpandVolumes() {
     expansions_++;
     LOG_INFO("expanded volume ", vid, " with ", opts_.expand_batch, " data partitions");
   }
+}
+
+std::string MasterNode::HealthViewJson() const {
+  const SimTime now = net_->scheduler()->Now();
+  std::string out = "{\"time\":" + std::to_string(now) + ",\"nodes\":{";
+  bool first = true;
+  for (const auto& [node, rt] : runtime_) {
+    if (!first) out += ",";
+    first = false;
+    const bool alive = now - rt.last_heartbeat <= opts_.node_timeout;
+    out += "\"" + std::to_string(node) + "\":{\"alive\":";
+    out += alive ? "true" : "false";
+    out += ",\"last_heartbeat\":" + std::to_string(rt.last_heartbeat) +
+           ",\"health\":" + rt.health.DumpJson() + "}";
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace cfs::master

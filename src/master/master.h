@@ -88,6 +88,9 @@ struct NodeRuntime {
   double disk_utilization = 0;
   std::map<PartitionId, meta::MetaPartitionReport> meta_reports;
   std::map<PartitionId, data::DataPartitionReport> data_reports;
+  /// Latest gray-failure summary piggybacked on the node's heartbeat
+  /// (empty structure when health telemetry is off).
+  obs::NodeHealthSummary health;
 };
 
 /// The replicated state machine of the resource manager.
@@ -188,6 +191,13 @@ class MasterNode {
   /// Per-RPC metrics of this master's admin fan-outs (partition install,
   /// split sync).
   const rpc::MetricRegistry& rpc_metrics() const { return rpc_metrics_; }
+
+  /// Cluster-wide health view from heartbeat-piggybacked summaries plus the
+  /// master's own liveness judgment: {"time":t,"nodes":{id:{"alive":b,
+  /// "last_heartbeat":t,"health":{...}}}} — byte-stable (ordered map, all
+  /// integers). Meaningful on the leader; followers see only their own
+  /// registration-time soft state.
+  std::string HealthViewJson() const;
 
  private:
   void RegisterHandlers();

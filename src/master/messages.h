@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "datanode/messages.h"
 #include "meta/messages.h"
+#include "obs/health.h"
 #include "sim/network.h"
 
 namespace cfs::master {
@@ -45,6 +46,11 @@ struct NodeHeartbeatReq {
   double disk_utilization = 0;
   std::vector<meta::MetaPartitionReport> meta_reports;
   std::vector<data::DataPartitionReport> data_reports;
+  /// Compact health summary from the node's local gray-failure scorer
+  /// (empty when health telemetry is off). Wire size stays frozen — the
+  /// summary is a few dozen bytes, within the 64-byte header allowance, and
+  /// keeping the formula unchanged keeps pinned schedules byte-identical.
+  obs::NodeHealthSummary health;
   size_t WireBytes() const {
     return 64 + meta_reports.size() * 48 + data_reports.size() * 40;
   }

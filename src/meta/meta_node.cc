@@ -50,6 +50,7 @@ Status MetaNode::CheckLeader(PartitionId pid) const {
 
 Task<ApplyResult> MetaNode::Execute(PartitionId pid, std::string cmd,
                                     obs::TraceContext trace) {
+  const SimTime exec_start = net_->scheduler()->Now();
   ApplyResult res;
   MetaPartition* mp = GetPartition(pid);
   if (!mp) {
@@ -74,6 +75,9 @@ Task<ApplyResult> MetaNode::Execute(PartitionId pid, std::string cmd,
   if (!taken) {
     res.status = Status::Retry("apply result pruned");
     co_return res;
+  }
+  if (exec_observer_) {
+    exec_observer_(net_->scheduler()->Now() - exec_start, trace.trace_id);
   }
   co_return std::move(*taken);
 }

@@ -61,6 +61,13 @@ class MetaNode {
 
   void set_extent_purger(ExtentPurger purger) { purger_ = std::move(purger); }
 
+  /// Passive hook observing every successful raft-backed write (latency from
+  /// Execute entry to apply-result pickup, plus the op's trace id). Invoked
+  /// synchronously — pure observation, never a scheduler event. Health
+  /// telemetry taps this for the per-node meta exec latency series.
+  using ExecObserver = std::function<void(SimDuration, uint64_t)>;
+  void set_exec_observer(ExecObserver obs) { exec_observer_ = std::move(obs); }
+
   /// Reports for the resource-manager heartbeat (§2.3.2: maxInodeID flows to
   /// the master through periodic communication).
   std::vector<MetaPartitionReport> Reports() const;
@@ -96,6 +103,7 @@ class MetaNode {
   qos::AdmissionQueue admission_;
   std::map<PartitionId, std::unique_ptr<MetaPartition>> partitions_;
   ExtentPurger purger_;
+  ExecObserver exec_observer_;
   uint64_t ops_ = 0;
 };
 

@@ -1,0 +1,264 @@
+#include "obs/health.h"
+
+#include <algorithm>
+
+namespace cfs::obs {
+
+std::string_view HealthStateName(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kSuspect:
+      return "suspect";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+std::string HealthEvent::DumpJson() const {
+  std::string out = "{\"time\":" + std::to_string(time) +
+                    ",\"window\":" + std::to_string(window) + ",\"target\":\"" +
+                    target + "\",\"cohort\":\"" + cohort + "\",\"from\":\"" +
+                    std::string(HealthStateName(from)) + "\",\"to\":\"" +
+                    std::string(HealthStateName(to)) +
+                    "\",\"p99_usec\":" + std::to_string(p99_usec) +
+                    ",\"cohort_median_usec\":" + std::to_string(cohort_median_usec) +
+                    ",\"errors\":" + std::to_string(errors) +
+                    ",\"streak\":" + std::to_string(streak) + "}";
+  return out;
+}
+
+std::string NodeHealthSummary::DumpJson() const {
+  std::string out = "{\"scored_window\":" + std::to_string(scored_window) +
+                    ",\"worst\":\"" +
+                    std::string(HealthStateName(static_cast<HealthState>(worst))) +
+                    "\",\"tracked\":" + std::to_string(tracked) + ",\"unhealthy\":[";
+  bool first = true;
+  for (const TargetHealth& t : unhealthy) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"target\":\"" + t.target + "\",\"state\":\"" +
+           std::string(HealthStateName(static_cast<HealthState>(t.state))) +
+           "\",\"streak\":" + std::to_string(t.streak) +
+           ",\"p99_usec\":" + std::to_string(t.p99_usec) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+HealthScorer::Target& HealthScorer::GetTarget(std::string_view cohort,
+                                              std::string_view target) {
+  auto it = targets_.find(target);
+  if (it == targets_.end()) {
+    it = targets_
+             .emplace(std::string(target),
+                      Target{std::string(cohort),
+                             WindowedHistogram(opts_.window_usec, opts_.num_windows)})
+             .first;
+  }
+  return it->second;
+}
+
+void HealthScorer::Observe(std::string_view cohort, std::string_view target,
+                           SimTime now, SimDuration latency_usec,
+                           uint64_t trace_id) {
+  GetTarget(cohort, target).series.Observe(now, latency_usec, trace_id);
+}
+
+void HealthScorer::ObserveError(std::string_view cohort, std::string_view target,
+                                SimTime now) {
+  GetTarget(cohort, target).series.CountError(now);
+}
+
+void HealthScorer::Advance(SimTime now) {
+  const uint64_t cur =
+      static_cast<uint64_t>(now) / static_cast<uint64_t>(opts_.window_usec);
+  if (cur == 0) return;
+  // Only windows fully closed before `now` are scorable; clamp the backlog to
+  // the ring depth — anything older has been evicted anyway.
+  const uint64_t depth = static_cast<uint64_t>(opts_.num_windows);
+  uint64_t from = scored_upto_;
+  if (cur > depth && from < cur - depth) from = cur - depth;
+  for (uint64_t w = from; w < cur; w++) ScoreWindow(w);
+  if (cur > scored_upto_) scored_upto_ = cur;
+}
+
+void HealthScorer::ScoreWindow(uint64_t w) {
+  // Pass 1: collect the per-cohort p99 population of latency-scorable
+  // members (enough samples in this window).
+  std::map<std::string, std::vector<uint64_t>, std::less<>> cohort_p99s;
+  for (const auto& [name, t] : targets_) {
+    const HistWindow* hw = t.series.Find(w);
+    if (hw == nullptr || hw->hist.count < opts_.min_samples) continue;
+    cohort_p99s[t.cohort].push_back(hw->hist.QuantileUpperBound(99, 100));
+  }
+  std::map<std::string, uint64_t, std::less<>> cohort_median;
+  for (auto& [cohort, p99s] : cohort_p99s) {
+    if (p99s.size() < opts_.min_cohort) continue;
+    std::sort(p99s.begin(), p99s.end());
+    cohort_median[cohort] = p99s[(p99s.size() - 1) / 2];  // lower median
+  }
+
+  // Pass 2: classify each target's window and advance its state machine.
+  const SimTime end = static_cast<SimTime>((w + 1) * static_cast<uint64_t>(opts_.window_usec));
+  for (auto& [name, t] : targets_) {
+    if (t.state == HealthState::kDead) continue;  // sticky until MarkAlive
+    const HistWindow* hw = t.series.Find(w);
+    const uint64_t samples = hw ? hw->hist.count : 0;
+    const uint64_t errors = hw ? hw->errors : 0;
+    if (samples == 0 && errors == 0) continue;  // idle window: streaks freeze
+
+    const uint64_t p99 = samples ? hw->hist.QuantileUpperBound(99, 100) : 0;
+    if (samples) t.last_p99 = p99;
+
+    uint64_t median = 0;
+    bool outlier = false;
+    if (samples >= opts_.min_samples) {
+      auto mit = cohort_median.find(t.cohort);
+      if (mit != cohort_median.end()) {
+        median = mit->second;
+        if (p99 * opts_.outlier_den > median * opts_.outlier_num) outlier = true;
+      }
+    }
+    const uint64_t total_ops = samples + errors;
+    if (total_ops >= opts_.min_error_ops &&
+        errors * 100 >= static_cast<uint64_t>(opts_.error_pct) * total_ops) {
+      outlier = true;
+    }
+
+    if (outlier) {
+      t.outlier_streak++;
+      t.clean_streak = 0;
+      if (t.state == HealthState::kHealthy &&
+          t.outlier_streak >= opts_.suspect_after) {
+        Transition(name, t, HealthState::kSuspect, end, w, p99, median, errors,
+                   t.outlier_streak);
+      } else if (t.state == HealthState::kSuspect &&
+                 t.outlier_streak >= opts_.degraded_after) {
+        Transition(name, t, HealthState::kDegraded, end, w, p99, median, errors,
+                   t.outlier_streak);
+      }
+    } else {
+      t.clean_streak++;
+      t.outlier_streak = 0;
+      if (t.state != HealthState::kHealthy &&
+          t.clean_streak >= opts_.recover_after) {
+        const HealthState down = t.state == HealthState::kDegraded
+                                     ? HealthState::kSuspect
+                                     : HealthState::kHealthy;
+        Transition(name, t, down, end, w, p99, median, errors, t.clean_streak);
+        t.clean_streak = 0;  // each step-down needs a fresh clean streak
+      }
+    }
+  }
+}
+
+void HealthScorer::Transition(const std::string& name, Target& t, HealthState to,
+                              SimTime time, uint64_t window, uint64_t p99,
+                              uint64_t median, uint64_t errors, uint32_t streak) {
+  HealthEvent ev;
+  ev.time = time;
+  ev.window = window;
+  ev.target = name;
+  ev.cohort = t.cohort;
+  ev.from = t.state;
+  ev.to = to;
+  ev.p99_usec = p99;
+  ev.cohort_median_usec = median;
+  ev.errors = errors;
+  ev.streak = streak;
+  events_.push_back(std::move(ev));
+  t.state = to;
+}
+
+void HealthScorer::MarkDead(std::string_view cohort, std::string_view target,
+                            SimTime now) {
+  Target& t = GetTarget(cohort, target);
+  if (t.state == HealthState::kDead) return;
+  const uint64_t w =
+      static_cast<uint64_t>(now) / static_cast<uint64_t>(opts_.window_usec);
+  Transition(std::string(target), t, HealthState::kDead, now, w, t.last_p99, 0,
+             0, 0);
+  t.outlier_streak = 0;
+  t.clean_streak = 0;
+}
+
+void HealthScorer::MarkAlive(std::string_view cohort, std::string_view target,
+                             SimTime now) {
+  Target& t = GetTarget(cohort, target);
+  if (t.state != HealthState::kDead) return;
+  const uint64_t w =
+      static_cast<uint64_t>(now) / static_cast<uint64_t>(opts_.window_usec);
+  Transition(std::string(target), t, HealthState::kHealthy, now, w, t.last_p99,
+             0, 0, 0);
+  t.outlier_streak = 0;
+  t.clean_streak = 0;
+}
+
+HealthState HealthScorer::state(std::string_view target) const {
+  auto it = targets_.find(target);
+  return it == targets_.end() ? HealthState::kHealthy : it->second.state;
+}
+
+const WindowedHistogram* HealthScorer::Series(std::string_view target) const {
+  auto it = targets_.find(target);
+  return it == targets_.end() ? nullptr : &it->second.series;
+}
+
+NodeHealthSummary HealthScorer::SummaryFor(std::string_view prefix) const {
+  NodeHealthSummary s;
+  s.scored_window = last_scored_window();
+  for (const auto& [name, t] : targets_) {
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    s.tracked++;
+    if (static_cast<uint8_t>(t.state) > s.worst) s.worst = static_cast<uint8_t>(t.state);
+    if (t.state == HealthState::kHealthy) continue;
+    TargetHealth th;
+    th.target = name;
+    th.state = static_cast<uint8_t>(t.state);
+    th.streak = t.outlier_streak;
+    th.p99_usec = t.last_p99;
+    s.unhealthy.push_back(std::move(th));
+  }
+  return s;
+}
+
+const HealthEvent* HealthScorer::FirstSuspectEvent(std::string_view target,
+                                                   SimTime t) const {
+  for (const HealthEvent& ev : events_) {
+    if (ev.time < t || ev.target != target) continue;
+    if (ev.to >= HealthState::kSuspect && ev.to > ev.from) return &ev;
+  }
+  return nullptr;
+}
+
+std::string HealthScorer::DumpJson() const {
+  std::string out = "{\"targets\":{";
+  bool first = true;
+  for (const auto& [name, t] : targets_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"cohort\":\"" + t.cohort + "\",\"state\":\"" +
+           std::string(HealthStateName(t.state)) +
+           "\",\"outlier_streak\":" + std::to_string(t.outlier_streak) +
+           ",\"clean_streak\":" + std::to_string(t.clean_streak) +
+           ",\"last_p99_usec\":" + std::to_string(t.last_p99) +
+           ",\"series\":" + t.series.DumpJson() + "}";
+  }
+  out += "},\"events\":" + std::to_string(events_.size()) + "}";
+  return out;
+}
+
+std::string HealthScorer::DumpEventsJsonl() const {
+  std::string out;
+  for (const HealthEvent& ev : events_) {
+    out += ev.DumpJson();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cfs::obs

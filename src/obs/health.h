@@ -1,0 +1,181 @@
+// Gray-failure scoring over windowed health telemetry (DESIGN.md "Health
+// telemetry").
+//
+// The paper's failure handling (§2.3.3) is binary — heartbeat loss and
+// client-reported timeouts mark things dead/read-only — so a *degrading*
+// component (slow disk, lossy link) is invisible until it hard-fails. The
+// HealthScorer closes that gap with peer-comparison outlier scoring: every
+// tracked target (a disk, an RPC peer) belongs to a cohort, and a target is
+// an outlier in a window when its windowed p99 exceeds k x the cohort median
+// (or its error share crosses a floor). N consecutive outlier windows drive
+// a healthy -> suspect -> degraded state machine; recovery steps back down
+// one state per M consecutive clean windows. `dead` only enters externally
+// (the master's heartbeat-loss view) and is sticky.
+//
+// Determinism: scoring is a pure function of (observations, virtual time) —
+// integer arithmetic only (bucket-resolution p99s via
+// Histogram::QuantileUpperBound, integer k as a num/den ratio, lower-median
+// of a sorted vector), ordered containers, no RNG, no scheduler events.
+// Same-seed runs therefore produce byte-identical health-event logs, which
+// the gray-failure bench and tests/health_test.cc pin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/timeseries.h"
+
+namespace cfs::obs {
+
+enum class HealthState : uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kDegraded = 2,
+  kDead = 3,
+};
+
+std::string_view HealthStateName(HealthState s);
+
+struct HealthOptions {
+  /// Windowing shared by every tracked target (matches the collector
+  /// cadence: the harness samples at heartbeat time, default 1 s).
+  SimDuration window_usec = 1 * kSec;
+  int num_windows = 32;
+  /// Latency outlier: windowed p99 > (outlier_num / outlier_den) x the
+  /// cohort median p99 of the window.
+  uint32_t outlier_num = 3;
+  uint32_t outlier_den = 1;
+  /// Windows with fewer latency samples than this are not latency-scored.
+  uint64_t min_samples = 8;
+  /// Peer comparison needs at least this many scored cohort members.
+  size_t min_cohort = 3;
+  /// Error outlier: errors * 100 >= error_pct * (samples + errors), with at
+  /// least min_error_ops total ops in the window. Independent of the cohort
+  /// (a whole cohort erroring together is still sick).
+  uint32_t error_pct = 25;
+  uint64_t min_error_ops = 4;
+  /// Consecutive outlier windows before healthy -> suspect, and before
+  /// suspect -> degraded (counted from the start of the streak).
+  uint32_t suspect_after = 3;
+  uint32_t degraded_after = 8;
+  /// Consecutive clean (traffic-bearing, non-outlier) windows per one-state
+  /// step-down. Idle windows freeze both streaks.
+  uint32_t recover_after = 4;
+};
+
+/// One byte-stable line of the health-event log: a state transition with the
+/// evidence that drove it.
+struct HealthEvent {
+  SimTime time = 0;      // end of the scored window
+  uint64_t window = 0;   // absolute window index
+  std::string target;
+  std::string cohort;
+  HealthState from = HealthState::kHealthy;
+  HealthState to = HealthState::kHealthy;
+  uint64_t p99_usec = 0;            // target's windowed p99 (integer)
+  uint64_t cohort_median_usec = 0;  // cohort median p99 (0 = not scored)
+  uint64_t errors = 0;              // target's window error count
+  uint32_t streak = 0;              // outlier (or clean) streak length
+
+  std::string DumpJson() const;
+};
+
+/// Compact per-target health for the heartbeat piggyback.
+struct TargetHealth {
+  std::string target;
+  uint8_t state = 0;  // HealthState
+  uint32_t streak = 0;
+  uint64_t p99_usec = 0;  // last scored window's p99
+};
+
+/// Compact per-node summary riding NodeHeartbeatReq (wire size frozen — see
+/// master/messages.h) so the master can build a cluster-wide health view.
+struct NodeHealthSummary {
+  uint64_t scored_window = 0;  // last window the scorer evaluated
+  uint8_t worst = 0;           // worst HealthState across targets
+  uint32_t tracked = 0;        // total tracked targets
+  std::vector<TargetHealth> unhealthy;  // only targets not kHealthy
+
+  std::string DumpJson() const;
+};
+
+class HealthScorer {
+ public:
+  explicit HealthScorer(const HealthOptions& opts = {}) : opts_(opts) {}
+
+  HealthScorer(const HealthScorer&) = delete;
+  HealthScorer& operator=(const HealthScorer&) = delete;
+
+  const HealthOptions& options() const { return opts_; }
+
+  /// Record one successful op against `target` (registered into `cohort` on
+  /// first touch). Passive: ring-buffer update only.
+  void Observe(std::string_view cohort, std::string_view target, SimTime now,
+               SimDuration latency_usec, uint64_t trace_id = 0);
+
+  /// Record one failed op (no latency sample; feeds the error-rate outlier).
+  void ObserveError(std::string_view cohort, std::string_view target, SimTime now);
+
+  /// Score every window that closed strictly before `now`'s window, in
+  /// order. Idempotent per window; called by the collector at its cadence.
+  void Advance(SimTime now);
+
+  /// External hard-failure input (heartbeat loss). Sticky: scoring never
+  /// leaves kDead; only MarkAlive (explicit recovery) does.
+  void MarkDead(std::string_view cohort, std::string_view target, SimTime now);
+  void MarkAlive(std::string_view cohort, std::string_view target, SimTime now);
+
+  HealthState state(std::string_view target) const;
+  const std::vector<HealthEvent>& events() const { return events_; }
+  const WindowedHistogram* Series(std::string_view target) const;
+  uint64_t last_scored_window() const {
+    return scored_upto_ == 0 ? 0 : scored_upto_ - 1;
+  }
+
+  /// Summary over every tracked target.
+  NodeHealthSummary Summary() const { return SummaryFor(""); }
+
+  /// Summary restricted to targets whose name starts with `prefix` — the
+  /// harness scores one cluster-wide scorer (cohorts must span nodes to be
+  /// comparable) but piggybacks each node's slice ("n<i>.") on its own
+  /// heartbeat.
+  NodeHealthSummary SummaryFor(std::string_view prefix) const;
+
+  /// First event at/after `t` that moved `target` up to at least kSuspect;
+  /// nullptr when it never happened. (The gray-failure bench's detection-
+  /// latency probe.)
+  const HealthEvent* FirstSuspectEvent(std::string_view target, SimTime t) const;
+
+  /// {"targets":{name:{...series + state...}},"events":n} — byte-stable.
+  std::string DumpJson() const;
+  /// One JSON object per line, log order — byte-stable across same-seed runs
+  /// and across platforms (integers and fixed strings only).
+  std::string DumpEventsJsonl() const;
+
+ private:
+  struct Target {
+    std::string cohort;
+    WindowedHistogram series;
+    HealthState state = HealthState::kHealthy;
+    uint32_t outlier_streak = 0;
+    uint32_t clean_streak = 0;
+    uint64_t last_p99 = 0;  // last scored window with samples
+  };
+
+  Target& GetTarget(std::string_view cohort, std::string_view target);
+  void ScoreWindow(uint64_t w);
+  void Transition(const std::string& name, Target& t, HealthState to,
+                  SimTime time, uint64_t window, uint64_t p99, uint64_t median,
+                  uint64_t errors, uint32_t streak);
+
+  HealthOptions opts_;
+  std::map<std::string, Target, std::less<>> targets_;
+  std::vector<HealthEvent> events_;
+  uint64_t scored_upto_ = 0;  // first window index not yet scored
+};
+
+}  // namespace cfs::obs

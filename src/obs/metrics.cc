@@ -47,6 +47,21 @@ double Histogram::Quantile(double q) const {
   return static_cast<double>(max_usec);
 }
 
+uint64_t Histogram::QuantileUpperBound(uint32_t q_num, uint32_t q_den) const {
+  if (count == 0 || q_den == 0) return 0;
+  // ceil(count * q_num / q_den), clamped to [1, count]: the rank of the
+  // sample whose bucket's upper edge we report.
+  uint64_t rank = (count * q_num + q_den - 1) / q_den;
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBounds; i++) {
+    cum += buckets[i];
+    if (rank <= cum) return kBounds[i];
+  }
+  return max_usec;  // overflow bucket: no sample exceeded the observed max
+}
+
 std::string Histogram::DumpJson() const {
   std::string out = "{\"count\":" + std::to_string(count) +
                     ",\"sum_usec\":" + std::to_string(sum_usec) +

@@ -40,10 +40,23 @@ struct Histogram {
   void MergeFrom(const Histogram& other);
 
   /// Interpolated quantile estimate, q in [0, 1]. Linear interpolation
-  /// within the bucket containing the q-th sample; the overflow bucket is
-  /// clamped to max_usec (we know no sample exceeded it). Returns 0 on an
-  /// empty histogram.
+  /// within the bucket containing the q-th sample. Edge behavior (pinned by
+  /// tests/obs_test.cc "QuantileEdges"):
+  ///   * empty histogram -> 0;
+  ///   * q == 0 -> the lower edge of the first non-empty bucket;
+  ///   * count == 1 -> a value inside the sample's bucket, never above the
+  ///     sample itself (the final min() clamps to max_usec);
+  ///   * the q-th sample lands in the overflow bucket -> interpolation uses
+  ///     max_usec as the bucket's upper edge (no sample exceeded it; the
+  ///     max(lo, ...) guard keeps the edge sane even though any overflow
+  ///     sample must already exceed the last bound), so the estimate stays
+  ///     within (last bound, max_usec].
   double Quantile(double q) const;
+  /// Integer bucket-resolution quantile: the upper edge of the bucket
+  /// containing the ceil(count*q_num/q_den)-th sample (max_usec for the
+  /// overflow bucket, 0 when empty). No floating point — byte-stable across
+  /// platforms, so health scoring and its event log are built on this.
+  uint64_t QuantileUpperBound(uint32_t q_num, uint32_t q_den) const;
   double P50() const { return Quantile(0.50); }
   double P95() const { return Quantile(0.95); }
   double P99() const { return Quantile(0.99); }

@@ -1,0 +1,171 @@
+#include "obs/timeseries.h"
+
+namespace cfs::obs {
+
+std::string HistWindow::DumpJson() const {
+  std::string out = "{\"window\":" + std::to_string(window) +
+                    ",\"count\":" + std::to_string(hist.count) +
+                    ",\"errors\":" + std::to_string(errors) +
+                    ",\"p50_usec\":" + std::to_string(hist.QuantileUpperBound(50, 100)) +
+                    ",\"p99_usec\":" + std::to_string(hist.QuantileUpperBound(99, 100)) +
+                    ",\"max_usec\":" + std::to_string(worst_usec) +
+                    ",\"exemplar\":" + std::to_string(exemplar_trace) + "}";
+  return out;
+}
+
+HistWindow& WindowedHistogram::Roll(SimTime now) {
+  const uint64_t w = WindowOf(now);
+  HistWindow& slot = ring_[w % ring_.size()];
+  if (!slot.used || slot.window != w) slot.Reset(w);
+  if (w > newest_) newest_ = w;
+  return slot;
+}
+
+void WindowedHistogram::Observe(SimTime now, SimDuration latency_usec,
+                                uint64_t trace_id) {
+  HistWindow& slot = Roll(now);
+  const uint64_t v = latency_usec < 0 ? 0 : static_cast<uint64_t>(latency_usec);
+  slot.hist.Add(latency_usec);
+  if (v >= slot.worst_usec) {
+    slot.worst_usec = v;
+    if (trace_id != 0) slot.exemplar_trace = trace_id;
+  }
+  total_samples_++;
+}
+
+void WindowedHistogram::CountError(SimTime now) {
+  Roll(now).errors++;
+  total_errors_++;
+}
+
+const HistWindow* WindowedHistogram::Find(uint64_t w) const {
+  const uint64_t n = ring_.size();
+  // A window more than `n` behind the newest is evicted even if its slot was
+  // never physically reused (a sparse stream can skip the slots in between).
+  if (w + n <= newest_) return nullptr;
+  const HistWindow& slot = ring_[w % n];
+  if (!slot.used || slot.window != w) return nullptr;
+  return &slot;
+}
+
+std::vector<const HistWindow*> WindowedHistogram::Windows() const {
+  std::vector<const HistWindow*> out;
+  // Ascending absolute index: the resident range is (newest - ring, newest].
+  const uint64_t n = ring_.size();
+  const uint64_t lo = newest_ >= n ? newest_ - n + 1 : 0;
+  for (uint64_t w = lo; w <= newest_; w++) {
+    if (const HistWindow* hw = Find(w)) out.push_back(hw);
+  }
+  return out;
+}
+
+std::string WindowedHistogram::DumpJson() const {
+  std::string out = "{\"windows\":[";
+  bool first = true;
+  for (const HistWindow* hw : Windows()) {
+    if (!first) out += ",";
+    first = false;
+    out += hw->DumpJson();
+  }
+  out += "]}";
+  return out;
+}
+
+void RateSeries::Sample(SimTime now, uint64_t cumulative) {
+  const uint64_t w = static_cast<uint64_t>(now) / static_cast<uint64_t>(width_);
+  const uint64_t delta = seeded_ && cumulative >= last_value_
+                             ? cumulative - last_value_
+                             : 0;  // first sample (or counter reset) seeds
+  seeded_ = true;
+  last_value_ = cumulative;
+  Slot& slot = ring_[w % ring_.size()];
+  if (!slot.used || slot.window != w) {
+    slot.window = w;
+    slot.delta = 0;
+    slot.used = true;
+  }
+  slot.delta += delta;
+  if (w > newest_) newest_ = w;
+}
+
+uint64_t RateSeries::Delta(uint64_t w) const {
+  const uint64_t n = ring_.size();
+  if (w + n <= newest_) return 0;  // evicted even if the slot was never reused
+  const Slot& slot = ring_[w % n];
+  if (!slot.used || slot.window != w) return 0;
+  return slot.delta;
+}
+
+std::string RateSeries::DumpJson() const {
+  std::string out = "{\"windows\":[";
+  const uint64_t n = ring_.size();
+  const uint64_t lo = newest_ >= n ? newest_ - n + 1 : 0;
+  bool first = true;
+  for (uint64_t w = lo; w <= newest_; w++) {
+    const Slot& slot = ring_[w % n];
+    if (!slot.used || slot.window != w) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "[";
+    out += std::to_string(w);
+    out += ",";
+    out += std::to_string(slot.delta);
+    out += "]";
+  }
+  out += "]}";
+  return out;
+}
+
+WindowedHistogram& TimeSeries::Hist(std::string_view name) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_
+             .emplace(std::string(name),
+                      WindowedHistogram(opts_.window_usec, opts_.num_windows))
+             .first;
+  }
+  return it->second;
+}
+
+RateSeries& TimeSeries::Rate(std::string_view name) {
+  auto it = rates_.find(name);
+  if (it == rates_.end()) {
+    it = rates_
+             .emplace(std::string(name),
+                      RateSeries(opts_.window_usec, opts_.num_windows))
+             .first;
+  }
+  return it->second;
+}
+
+const WindowedHistogram* TimeSeries::FindHist(std::string_view name) const {
+  auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+const RateSeries* TimeSeries::FindRate(std::string_view name) const {
+  auto it = rates_.find(name);
+  return it == rates_.end() ? nullptr : &it->second;
+}
+
+std::string TimeSeries::DumpJson() const {
+  std::string out =
+      "{\"window_usec\":" + std::to_string(opts_.window_usec) + ",\"hists\":{";
+  bool first = true;
+  for (const auto& [name, h] : hists_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + h.DumpJson();
+  }
+  out += "},\"rates\":{";
+  first = true;
+  for (const auto& [name, r] : rates_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + r.DumpJson();
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace cfs::obs

@@ -1,0 +1,178 @@
+// Windowed time-series metrics over virtual time, layered on the snapshot
+// primitives of obs/metrics.h (DESIGN.md "Health telemetry").
+//
+// The Registry answers "what happened over the whole run"; these types answer
+// "what happened in the last N seconds" — the signal a gray-failure detector
+// needs. Two series kinds share one ring-buffer windowing model:
+//
+//   WindowedHistogram — per-window fixed-bucket histograms of a latency
+//     stream, each window additionally retaining an *exemplar*: the trace id
+//     of the worst sample observed in that window, so a p99 spike in any
+//     window links directly to its obs::Tracer span tree.
+//
+//   RateSeries — per-window deltas of a monotonic counter, sampled by a
+//     collector at whatever cadence it runs (the harness samples at heartbeat
+//     time); the window delta is the counter's rate for that window.
+//
+// Windows are addressed by absolute index (virtual time / window width), so
+// rolling is a pure function of the observation timestamp: no timers, no
+// scheduler events, no RNG. Everything here is passive data-structure
+// update — recording into a series can never perturb the simulation
+// schedule, and all iteration is over ordered containers, so dumps are
+// byte-identical across same-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+
+namespace cfs::obs {
+
+struct TimeSeriesOptions {
+  /// Window width in virtual microseconds. The harness collector samples at
+  /// heartbeat cadence (1 s), so the default matches it.
+  SimDuration window_usec = 1 * kSec;
+  /// Ring length: windows older than `num_windows` behind the newest
+  /// observation are evicted (their slot is reused).
+  int num_windows = 32;
+};
+
+/// One window of a WindowedHistogram: the histogram plus the worst sample
+/// and its exemplar trace id, and an error count (ops that failed and
+/// therefore contributed no latency sample).
+struct HistWindow {
+  uint64_t window = 0;  // absolute index = timestamp / window width
+  bool used = false;
+  Histogram hist;
+  uint64_t errors = 0;
+  uint64_t worst_usec = 0;
+  uint64_t exemplar_trace = 0;  // trace id of the worst sample (0 = untraced)
+
+  void Reset(uint64_t w) {
+    window = w;
+    used = true;
+    hist = Histogram{};
+    errors = 0;
+    worst_usec = 0;
+    exemplar_trace = 0;
+  }
+
+  /// {"window":w,"count":n,"errors":n,"p50_usec":n,"p99_usec":n,
+  ///  "max_usec":n,"exemplar":id} — integer quantiles (bucket upper bounds)
+  /// so the line is byte-stable across platforms.
+  std::string DumpJson() const;
+};
+
+/// Ring of per-window histograms addressed by absolute window index.
+class WindowedHistogram {
+ public:
+  WindowedHistogram(SimDuration window_usec, int num_windows)
+      : width_(window_usec > 0 ? window_usec : 1),
+        ring_(num_windows > 0 ? static_cast<size_t>(num_windows) : 1) {}
+
+  uint64_t WindowOf(SimTime now) const {
+    return static_cast<uint64_t>(now) / static_cast<uint64_t>(width_);
+  }
+  SimDuration width() const { return width_; }
+  size_t num_windows() const { return ring_.size(); }
+
+  /// Record one latency sample at virtual time `now`. `trace_id` (0 =
+  /// untraced) is retained as the window's exemplar iff this is the worst
+  /// sample seen in the window so far.
+  void Observe(SimTime now, SimDuration latency_usec, uint64_t trace_id = 0);
+
+  /// Record one failed op at `now` (no latency sample; feeds error rates).
+  void CountError(SimTime now);
+
+  /// The resident window with absolute index `w`, or nullptr if it was
+  /// never written or has been evicted by newer observations.
+  const HistWindow* Find(uint64_t w) const;
+
+  /// Resident windows in ascending index order.
+  std::vector<const HistWindow*> Windows() const;
+
+  /// Newest window index ever observed (0 when empty).
+  uint64_t newest_window() const { return newest_; }
+  uint64_t total_samples() const { return total_samples_; }
+  uint64_t total_errors() const { return total_errors_; }
+
+  /// {"windows":[{...},...]} ascending by window index.
+  std::string DumpJson() const;
+
+ private:
+  HistWindow& Roll(SimTime now);
+
+  SimDuration width_;
+  std::vector<HistWindow> ring_;
+  uint64_t newest_ = 0;
+  uint64_t total_samples_ = 0;
+  uint64_t total_errors_ = 0;
+};
+
+/// Per-window deltas of a monotonic counter. The collector calls
+/// Sample(now, cumulative) at its cadence; each window accumulates the
+/// increase observed while it was current.
+class RateSeries {
+ public:
+  RateSeries(SimDuration window_usec, int num_windows)
+      : width_(window_usec > 0 ? window_usec : 1),
+        ring_(num_windows > 0 ? static_cast<size_t>(num_windows) : 1) {}
+
+  void Sample(SimTime now, uint64_t cumulative);
+
+  /// Delta recorded for window `w` (0 if absent/evicted).
+  uint64_t Delta(uint64_t w) const;
+  uint64_t newest_window() const { return newest_; }
+
+  /// {"windows":[[w,delta],...]} ascending by window index.
+  std::string DumpJson() const;
+
+ private:
+  struct Slot {
+    uint64_t window = 0;
+    uint64_t delta = 0;
+    bool used = false;
+  };
+
+  SimDuration width_;
+  std::vector<Slot> ring_;
+  uint64_t newest_ = 0;
+  uint64_t last_value_ = 0;
+  bool seeded_ = false;  // first Sample() seeds the baseline, delta 0
+};
+
+/// Named collection of both series kinds with shared windowing options —
+/// the per-node (and cluster-wide) time-series store the harness collector
+/// writes into. Ordered maps keep DumpJson byte-stable.
+class TimeSeries {
+ public:
+  explicit TimeSeries(const TimeSeriesOptions& opts = {}) : opts_(opts) {}
+
+  const TimeSeriesOptions& options() const { return opts_; }
+
+  WindowedHistogram& Hist(std::string_view name);
+  RateSeries& Rate(std::string_view name);
+  const WindowedHistogram* FindHist(std::string_view name) const;
+  const RateSeries* FindRate(std::string_view name) const;
+
+  /// Sample a monotonic counter (e.g. a Registry counter) into the rate
+  /// series `name`: the window's delta is the counter's rate over it.
+  void SampleCounter(std::string_view name, SimTime now, uint64_t value) {
+    Rate(name).Sample(now, value);
+  }
+
+  /// {"window_usec":n,"hists":{...},"rates":{...}} — stable key order.
+  std::string DumpJson() const;
+
+ private:
+  TimeSeriesOptions opts_;
+  std::map<std::string, WindowedHistogram, std::less<>> hists_;
+  std::map<std::string, RateSeries, std::less<>> rates_;
+};
+
+}  // namespace cfs::obs

@@ -160,9 +160,9 @@ class AdmissionQueue {
       reg->Add(base + "queued", s.queued);
       reg->Add(base + "wait_usec", s.wait_usec);
     }
-    if (enabled()) {
-      reg->SetMax(prefix + ".max_depth", static_cast<int64_t>(max_depth_));
-    }
+    // Unconditional: a disabled queue reports depth 0, so the metric key is
+    // always present and fig-bench metric lines keep a stable schema.
+    reg->SetMax(prefix + ".max_depth", static_cast<int64_t>(max_depth_));
   }
 
   struct TenantStats {

@@ -4,6 +4,7 @@
 // Channel or a service stub — tools/lint.py rule R4 (raw-rpc) enforces it.
 #pragma once
 
+#include <functional>
 #include <typeinfo>
 #include <utility>
 
@@ -51,6 +52,12 @@ class Channel {
   /// has a `tenant` field and hasn't set one gets it stamped on send.
   void set_tenant(uint64_t tenant) { tenant_ = tenant; }
   uint64_t tenant() const { return tenant_; }
+
+  /// Passive per-leg hook: (destination, ok, latency, trace id). Invoked
+  /// synchronously right after the leg is metered — pure observation, never
+  /// a scheduler event. Health telemetry taps this to score peers.
+  using PeerObserver = std::function<void(sim::NodeId, bool, SimDuration, uint64_t)>;
+  void set_peer_observer(PeerObserver obs) { peer_observer_ = std::move(obs); }
 
   /// One metered RPC leg; no retries, no routing. Plain function forwarding
   /// by value into the Impl coroutine (the repo-wide gcc 12 braced-init
@@ -100,6 +107,7 @@ class Channel {
     } else {
       metrics_->RecordLeg(name, Outcome::kOk, latency);
     }
+    if (peer_observer_) peer_observer_(to, r.ok(), latency, parent.trace_id);
     tracer.End(leg);
     co_return std::move(r);
   }
@@ -107,6 +115,7 @@ class Channel {
   sim::Network* net_;
   MetricRegistry* metrics_;
   uint64_t tenant_ = 0;
+  PeerObserver peer_observer_;
 };
 
 }  // namespace cfs::rpc

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 
 #include "common/status.h"
@@ -32,6 +33,11 @@ struct DiskOptions {
 
 class Disk {
  public:
+  /// Passive per-op hook: (is_read, end-to-end latency incl. queueing, trace
+  /// id of the issuing op). Invoked synchronously when an op completes —
+  /// pure observation, never a scheduler event (health telemetry taps this).
+  using OpObserver = std::function<void(bool, SimDuration, uint64_t)>;
+
   /// `node` labels this disk's spans with the owning host (0 = unattached),
   /// so per-node tracks line up in trace viewers.
   Disk(Scheduler* sched, const DiskOptions& opts = {}, uint32_t node = 0)
@@ -43,9 +49,11 @@ class Disk {
   Task<Status> Read(uint64_t bytes, obs::TraceContext trace = {}) {
     if (failed_) co_return Status::IOError("disk failed");
     obs::SpanScope span = OpenSpan("disk:read", trace, bytes);
+    const SimTime op_start = sched_->Now();
     co_await queue_.Use(ServiceTime(bytes, opts_.read_latency_usec));
     reads_++;
     read_bytes_ += bytes;
+    if (op_observer_) op_observer_(true, sched_->Now() - op_start, trace.trace_id);
     co_return Status::OK();
   }
 
@@ -54,10 +62,12 @@ class Disk {
     if (failed_) co_return Status::IOError("disk failed");
     if (used_ + bytes > opts_.capacity_bytes) co_return Status::NoSpace("disk full");
     obs::SpanScope span = OpenSpan("disk:write", trace, bytes);
+    const SimTime op_start = sched_->Now();
     co_await queue_.Use(ServiceTime(bytes, opts_.write_latency_usec));
     used_ += bytes;
     writes_++;
     write_bytes_ += bytes;
+    if (op_observer_) op_observer_(false, sched_->Now() - op_start, trace.trace_id);
     co_return Status::OK();
   }
 
@@ -71,6 +81,14 @@ class Disk {
 
   void set_failed(bool failed) { failed_ = failed; }
   bool failed() const { return failed_; }
+
+  /// Gray-failure injection: multiply every op's service time by `factor`
+  /// (1 = nominal). Unlike set_failed, ops still succeed — they are just
+  /// slow, which is exactly the failure mode binary liveness checks miss.
+  void set_slow_factor(uint32_t factor) { slow_factor_ = factor > 0 ? factor : 1; }
+  uint32_t slow_factor() const { return slow_factor_; }
+
+  void set_op_observer(OpObserver obs) { op_observer_ = std::move(obs); }
 
   uint64_t used_bytes() const { return used_; }
   uint64_t capacity_bytes() const { return opts_.capacity_bytes; }
@@ -88,7 +106,9 @@ class Disk {
 
  private:
   SimDuration ServiceTime(uint64_t bytes, SimDuration base) const {
-    return base + static_cast<SimDuration>(bytes * kSec / (opts_.bandwidth_mib * kMiB));
+    const SimDuration t =
+        base + static_cast<SimDuration>(bytes * kSec / (opts_.bandwidth_mib * kMiB));
+    return t * static_cast<SimDuration>(slow_factor_);
   }
 
   obs::SpanScope OpenSpan(std::string_view name, const obs::TraceContext& trace,
@@ -107,6 +127,8 @@ class Disk {
   Resource queue_;
   uint32_t node_ = 0;
   bool failed_ = false;
+  uint32_t slow_factor_ = 1;
+  OpObserver op_observer_;
   uint64_t used_ = 0;
   uint64_t reads_ = 0, writes_ = 0;
   uint64_t read_bytes_ = 0, write_bytes_ = 0;

@@ -1,0 +1,46 @@
+// Health-telemetry fixtures (bad twins): the hazard shapes the health layer
+// must never take — collection callbacks whose captures outlive the frame
+// (deferred or coroutine), and address-dependent target keys that would make
+// scoring order (and the event log) nondeterministic.
+#include <map>
+
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+struct Series {
+  void Observe(unsigned long t, unsigned long v);
+};
+
+struct Disk {
+  int id;
+};
+
+class HealthCollector {
+ public:
+  void DeferredSampleRefCapture() {
+    Series local;
+    sched_->After(1000000, [&local]() { local.Observe(0, 0); });  // analyze-expect(A2)
+  }
+
+  void DeferredSampleThisCapture() {
+    sched_->After(1000000, [this]() { Sample(); });  // analyze-expect(A2)
+  }
+
+  void CollectorCoroutineCaptures() {
+    Spawn([this]() -> sim::Task<void> {  // analyze-expect(A2)
+      co_await Tick();
+      Sample();
+    }());
+  }
+
+  void PointerKeyedTargets(Disk* d) {
+    std::map<Disk*, Series> by_disk;  // analyze-expect(A3)
+    by_disk[d] = Series{};
+  }
+
+  sim::Task<void> Tick();
+  void Sample();
+
+ private:
+  sim::Scheduler* sched_;
+};

@@ -1,0 +1,55 @@
+// Health-telemetry fixtures (good twins): the sanctioned shapes
+// src/harness/cluster.cc actually uses — a synchronous std::function
+// observer (invoked inline by the instrumented code, never deferred, with
+// owned value captures), a capture-less collector coroutine taking explicit
+// parameters, and stable-name target keys.
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+struct Series {
+  void Observe(unsigned long t, unsigned long v);
+};
+
+class Disk {
+ public:
+  void set_op_observer(std::function<void(unsigned long)> f) {
+    observer_ = std::move(f);
+  }
+
+ private:
+  std::function<void(unsigned long)> observer_;
+};
+
+class HealthCollector {
+ public:
+  void SynchronousObserver(Disk* d) {
+    std::string target = "n0.disk0";
+    // Not a deferral call and not a coroutine: the observer runs inline
+    // inside the disk op, while the collector object is alive, and owns its
+    // captures by value.
+    d->set_op_observer([this, target = std::move(target)](unsigned long lat) {
+      Record(target, lat);
+    });
+  }
+
+  void CaptureLessCollector() {
+    // State enters the coroutine frame as explicit parameters.
+    Spawn([](HealthCollector* self) -> sim::Task<void> {
+      co_await self->Tick();
+      self->Sample();
+    }(this));
+  }
+
+  void StableKeyedTargets() {
+    std::map<std::string, Series> by_target;
+    by_target["n0.disk0"] = Series{};
+  }
+
+  sim::Task<void> Tick();
+  void Sample();
+  void Record(const std::string& target, unsigned long lat);
+};

@@ -158,6 +158,46 @@ TEST(Determinism, TracedRunsProduceByteIdenticalObservability) {
   EXPECT_NE(metrics1.find("\"rpc."), std::string::npos);
 }
 
+TEST(Determinism, HealthTelemetryIsScheduleNeutral) {
+  // Health telemetry's zero-schedule-cost invariant (harness/cluster.h):
+  // observers are synchronous, sampling rides the heartbeat wakeups that
+  // exist anyway, and the heartbeat's wire size is frozen — so a run with
+  // health scoring on is event-for-event identical to one with it off.
+  auto run = [](bool health) {
+    ClusterOptions opts = SmallCluster(47);
+    opts.health = health;
+    Cluster cluster(opts);
+    TracedScenario(cluster);
+    return cluster.sched().trace_hash();
+  };
+  uint64_t off = run(false);
+  uint64_t on = run(true);
+  EXPECT_EQ(off, on);
+}
+
+TEST(Determinism, HealthRunsProduceByteIdenticalDumps) {
+  // Same-seed health-enabled runs must agree byte for byte on the full
+  // health dump and the event log (integer arithmetic + ordered containers
+  // only — no floats, no unordered iteration, no wall clock).
+  auto run = [](std::string* health_json, std::string* events) {
+    ClusterOptions opts = SmallCluster(53);
+    opts.health = true;
+    Cluster cluster(opts);
+    TracedScenario(cluster);
+    cluster.CollectAllNow();
+    *health_json = cluster.HealthJson();
+    *events = cluster.HealthEventsJsonl();
+  };
+  std::string json1, json2, events1, events2;
+  run(&json1, &events1);
+  run(&json2, &events2);
+  EXPECT_EQ(json1, json2);
+  EXPECT_EQ(events1, events2);
+  // The dump carries real telemetry: per-node series and the scorer section.
+  EXPECT_NE(json1.find("\"scorer\""), std::string::npos);
+  EXPECT_NE(json1.find("disk.write_usec"), std::string::npos);
+}
+
 TEST(Determinism, DifferentSeedsDiverge) {
   // Sanity check on the auditor's sensitivity: the same scenario under a
   // different seed takes a different event path (timers, jitter, drops).

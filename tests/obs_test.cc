@@ -85,6 +85,42 @@ TEST(Histogram, MergePreservesCountSumMax) {
   EXPECT_EQ(a.max_usec, 7000u);
 }
 
+// Pins the edge behavior documented on Histogram::Quantile and its integer
+// sibling QuantileUpperBound (the health scorer's byte-stable p99).
+TEST(Histogram, QuantileEdges) {
+  // Empty: both forms return 0 for every q.
+  Histogram empty;
+  EXPECT_EQ(empty.Quantile(0.0), 0.0);
+  EXPECT_EQ(empty.Quantile(1.0), 0.0);
+  EXPECT_EQ(empty.QuantileUpperBound(99, 100), 0u);
+
+  // q == 0 -> lower edge of the first non-empty bucket.
+  Histogram h;
+  h.Add(1500);  // bucket (1000, 2000]
+  EXPECT_EQ(h.Quantile(0.0), 1000.0);
+
+  // count == 1 -> never above the sample itself.
+  EXPECT_LE(h.Quantile(1.0), 1500.0);
+  // Integer form reports the bucket's upper edge, by design one bucket
+  // coarser than the interpolated estimate.
+  EXPECT_EQ(h.QuantileUpperBound(50, 100), 2000u);
+  EXPECT_EQ(h.QuantileUpperBound(99, 100), 2000u);
+
+  // Rank arithmetic: ceil(count * q) with the rank clamped to [1, count].
+  Histogram r;
+  for (int i = 0; i < 99; i++) r.Add(80);  // <= 100
+  r.Add(15000);                            // (10000, 20000]
+  // ceil(100 * 0.99) = 99 -> still the low bucket; 0.995 crosses over.
+  EXPECT_EQ(r.QuantileUpperBound(99, 100), 100u);
+  EXPECT_EQ(r.QuantileUpperBound(995, 1000), 20000u);
+  EXPECT_EQ(r.QuantileUpperBound(0, 100), 100u);  // rank clamps up to 1
+
+  // Overflow bucket -> observed max, not infinity and not the last bound.
+  Histogram o;
+  o.Add(9'000'000);
+  EXPECT_EQ(o.QuantileUpperBound(99, 100), 9'000'000u);
+}
+
 // --- Registry ----------------------------------------------------------------
 
 TEST(Registry, CountersSumGaugesHighWatermark) {

@@ -46,6 +46,7 @@ BENCHES = [
     "bench_ablation_write_window",
     "bench_ablation_group_commit",
     "bench_ablation_tenancy",
+    "bench_health_gray_disk",
 ]
 
 # `<kind> <label> {json}` — kind and label are whitespace-free tokens. The

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate and render health-event logs from the windowed health telemetry.
+
+Input: the JSON-lines event log written by HealthScorer::DumpEventsJsonl()
+(e.g. via `bench_health_gray_disk --events-out events.jsonl`). Every line is
+one state transition with the evidence that drove it; the full schema is
+documented in EXPERIMENTS.md ("Gray-failure detection").
+
+Modes (combinable):
+  default          validate the schema, then print a per-target timeline —
+                   one row per transition, grouped by target, with the
+                   outlier evidence (p99 vs cohort median) inline.
+  --check          validate only (exit non-zero on any malformed line);
+                   prints a one-line summary. CI runs this on the log the
+                   gray-disk bench just produced.
+  --golden PATH    additionally require the input to be byte-identical to
+                   the committed golden log — the cross-platform
+                   determinism pin for the whole scoring pipeline.
+
+Usage: tools/health_report.py events.jsonl [--check] [--golden PATH]
+"""
+
+import argparse
+import json
+import sys
+
+STATES = ("healthy", "suspect", "degraded", "dead")
+
+# Required fields and their types. Integers are virtual-time microseconds or
+# plain counts; states are fixed strings.
+SCHEMA = {
+    "time": int,
+    "window": int,
+    "target": str,
+    "cohort": str,
+    "from": str,
+    "to": str,
+    "p99_usec": int,
+    "cohort_median_usec": int,
+    "errors": int,
+    "streak": int,
+}
+
+
+def validate(lines):
+    """Parse + schema-check every line; returns the event list or raises
+    SystemExit with the first offending line number."""
+    events = []
+    last_time = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"line {lineno}: not valid JSON: {e}")
+        for key, typ in SCHEMA.items():
+            if key not in ev:
+                raise SystemExit(f"line {lineno}: missing field {key!r}")
+            if not isinstance(ev[key], typ) or isinstance(ev[key], bool):
+                raise SystemExit(
+                    f"line {lineno}: field {key!r} should be {typ.__name__}, "
+                    f"got {type(ev[key]).__name__}")
+        for key in ("from", "to"):
+            if ev[key] not in STATES:
+                raise SystemExit(f"line {lineno}: {key}={ev[key]!r} is not one "
+                                 f"of {STATES}")
+        if ev["from"] == ev["to"]:
+            raise SystemExit(f"line {lineno}: no-op transition "
+                             f"{ev['from']} -> {ev['to']}")
+        if ev["time"] < last_time:
+            raise SystemExit(f"line {lineno}: time {ev['time']} goes backwards "
+                             f"(previous {last_time}) — log order broken")
+        last_time = ev["time"]
+        events.append(ev)
+    return events
+
+
+def render(events, out=sys.stdout):
+    """Per-target timeline: transitions in log order with their evidence."""
+    by_target = {}
+    for ev in events:
+        by_target.setdefault(ev["target"], []).append(ev)
+    for target in sorted(by_target):
+        evs = by_target[target]
+        print(f"{target} (cohort {evs[0]['cohort']}):", file=out)
+        for ev in evs:
+            up = STATES.index(ev["to"]) > STATES.index(ev["from"])
+            arrow = "^" if up else "v"
+            evidence = f"p99 {ev['p99_usec']}us"
+            if ev["cohort_median_usec"]:
+                evidence += f" vs cohort median {ev['cohort_median_usec']}us"
+            if ev["errors"]:
+                evidence += f", {ev['errors']} errors"
+            print(f"  w{ev['window']:<5} t={ev['time']:<12} "
+                  f"{ev['from']} -> {ev['to']} {arrow}  "
+                  f"[{evidence}; streak {ev['streak']}]", file=out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("log", help="health-event JSONL (DumpEventsJsonl output)")
+    ap.add_argument("--check", action="store_true",
+                    help="validate only, no timeline output")
+    ap.add_argument("--golden", metavar="PATH",
+                    help="require the log to be byte-identical to PATH")
+    args = ap.parse_args()
+
+    with open(args.log, "rb") as f:
+        raw = f.read()
+    events = validate(raw.decode("utf-8").splitlines())
+
+    if args.golden:
+        with open(args.golden, "rb") as f:
+            golden = f.read()
+        if raw != golden:
+            raise SystemExit(
+                f"{args.log} differs from golden {args.golden} "
+                f"({len(raw)} vs {len(golden)} bytes) — the scoring pipeline "
+                f"is no longer byte-deterministic, or the golden needs a "
+                f"deliberate refresh")
+
+    targets = {ev["target"] for ev in events}
+    print(f"health_report: {len(events)} event(s), {len(targets)} target(s) OK"
+          + (", matches golden" if args.golden else ""))
+    if not args.check:
+        render(events)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
